@@ -1,0 +1,302 @@
+//! Flow-sensitive *available extension facts*: at each program point,
+//! which registers are known sign-extended / upper-zero.
+//!
+//! This forward analysis backs two places in the pipeline:
+//!
+//! * the 64-bit conversion pass skips generating an `extend` after a
+//!   definition "unless the destination operand of the instruction I is
+//!   guaranteed to be sign-extended" (paper Fig 5 step 1);
+//! * the insertion phase skips inserting before a use "unless its variable
+//!   is obviously sign-extended" (paper §2.1).
+
+use sxe_ir::semantics::{def_facts, param_facts};
+use sxe_ir::{BlockId, Cfg, ExtFacts, Function, Inst, Reg, Target, Width};
+
+/// Per-block-entry extension facts for every register, at one query width.
+#[derive(Debug, Clone)]
+pub struct AvailableExt {
+    /// `entry[b][r]` = facts of register `r` at the entry of block `b`.
+    entry: Vec<Vec<ExtFacts>>,
+    target: Target,
+    width: Width,
+    inherent: bool,
+}
+
+impl AvailableExt {
+    /// Compute the analysis for `f` at query width `width`.
+    #[must_use]
+    pub fn compute(f: &Function, cfg: &Cfg, target: Target, width: Width) -> AvailableExt {
+        Self::compute_mode(f, cfg, target, width, false)
+    }
+
+    /// Like [`AvailableExt::compute`], but explicit `extend`/`justext`
+    /// instructions contribute **no** facts of their own (they behave as
+    /// plain copies). The result answers "is this value *inherently*
+    /// sign-extended, independent of any explicit extension instruction"
+    /// — the check behind the insertion phase's "unless its variable is
+    /// obviously sign-extended": a value that is extended only because an
+    /// extension instruction exists elsewhere should still receive an
+    /// inserted extension, so the existing one can be eliminated.
+    #[must_use]
+    pub fn compute_inherent(f: &Function, cfg: &Cfg, target: Target, width: Width) -> AvailableExt {
+        Self::compute_mode(f, cfg, target, width, true)
+    }
+
+    fn compute_mode(
+        f: &Function,
+        cfg: &Cfg,
+        target: Target,
+        width: Width,
+        inherent: bool,
+    ) -> AvailableExt {
+        let nregs = f.reg_count as usize;
+        let nblocks = f.blocks.len();
+
+        // Entry state: parameters carry their convention facts; all other
+        // registers are zero-initialized by the machine, and zero is both
+        // sign-extended and upper-zero.
+        let mut entry_state = vec![ExtFacts::NONNEG; nregs];
+        for (i, &(r, ty)) in f.params.iter().enumerate() {
+            let _ = i;
+            entry_state[r.index()] = param_facts(ty, width);
+        }
+
+        // Optimistic (top) initialization elsewhere; meet = pointwise AND.
+        let top = vec![ExtFacts::NONNEG; nregs];
+        let mut entry: Vec<Vec<ExtFacts>> = vec![top; nblocks];
+        entry[0] = entry_state;
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo() {
+                // Meet over predecessors' transferred outputs.
+                let new_in = if b == BlockId(0) {
+                    entry[0].clone()
+                } else {
+                    let mut acc: Option<Vec<ExtFacts>> = None;
+                    for &p in cfg.preds(b) {
+                        if !cfg.is_reachable(p) {
+                            continue;
+                        }
+                        let out = transfer_block(f, p, &entry[p.index()], target, width, inherent);
+                        acc = Some(match acc {
+                            None => out,
+                            Some(mut a) => {
+                                for (x, y) in a.iter_mut().zip(out) {
+                                    *x = x.meet(y);
+                                }
+                                a
+                            }
+                        });
+                    }
+                    acc.unwrap_or_else(|| entry[b.index()].clone())
+                };
+                if new_in != entry[b.index()] {
+                    entry[b.index()] = new_in;
+                    changed = true;
+                }
+            }
+        }
+        AvailableExt { entry, target, width, inherent }
+    }
+
+    /// Facts for `r` at the entry of `b`.
+    #[must_use]
+    pub fn at_block_entry(&self, b: BlockId, r: Reg) -> ExtFacts {
+        self.entry[b.index()][r.index()]
+    }
+
+    /// A walker that steps through block `b` instruction by instruction,
+    /// exposing the facts in force *before* each instruction.
+    #[must_use]
+    pub fn walk_block<'a>(&'a self, f: &'a Function, b: BlockId) -> FactsWalker<'a> {
+        FactsWalker {
+            f,
+            b,
+            idx: 0,
+            state: self.entry[b.index()].clone(),
+            target: self.target,
+            width: self.width,
+            inherent: self.inherent,
+        }
+    }
+}
+
+fn transfer_block(
+    f: &Function,
+    b: BlockId,
+    input: &[ExtFacts],
+    target: Target,
+    width: Width,
+    inherent: bool,
+) -> Vec<ExtFacts> {
+    let mut state = input.to_vec();
+    for inst in &f.block(b).insts {
+        transfer_inst(inst, &mut state, target, width, inherent);
+    }
+    state
+}
+
+fn transfer_inst(inst: &Inst, state: &mut [ExtFacts], target: Target, width: Width, inherent: bool) {
+    if matches!(inst, Inst::Nop) {
+        return;
+    }
+    if let Some(d) = inst.dst() {
+        // In inherent mode, explicit extensions and dummies behave like
+        // copies: they pass their source's facts through unchanged.
+        let facts = match inst {
+            Inst::Extend { src, .. } | Inst::JustExtended { src, .. } if inherent => {
+                state[src.index()]
+            }
+            _ => def_facts(inst, target, width, &mut |r: Reg| state[r.index()]),
+        };
+        state[d.index()] = facts;
+    }
+}
+
+/// Iterator-style cursor over one block; see [`AvailableExt::walk_block`].
+#[derive(Debug)]
+pub struct FactsWalker<'a> {
+    f: &'a Function,
+    b: BlockId,
+    idx: usize,
+    state: Vec<ExtFacts>,
+    target: Target,
+    width: Width,
+    inherent: bool,
+}
+
+impl FactsWalker<'_> {
+    /// Facts for `r` before the instruction the cursor is at.
+    #[must_use]
+    pub fn facts(&self, r: Reg) -> ExtFacts {
+        self.state[r.index()]
+    }
+
+    /// Advance past the instruction at the cursor.
+    ///
+    /// # Panics
+    /// Panics when stepping past the end of the block.
+    pub fn step(&mut self) {
+        let inst = &self.f.block(self.b).insts[self.idx];
+        transfer_inst(inst, &mut self.state, self.target, self.width, self.inherent);
+        self.idx += 1;
+    }
+
+    /// Index of the instruction the cursor is at.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxe_ir::parse_function;
+
+    #[test]
+    fn params_are_extended_locals_start_zero() {
+        let f = parse_function(
+            "func @f(i32, i64) -> i32 {\n\
+             b0:\n    r2 = add.i32 r0, r0\n    ret r2\n}\n",
+        )
+        .unwrap();
+        let cfg = Cfg::compute(&f);
+        let av = AvailableExt::compute(&f, &cfg, Target::Ia64, Width::W32);
+        assert_eq!(av.at_block_entry(BlockId(0), Reg(0)), ExtFacts::EXTENDED);
+        assert_eq!(av.at_block_entry(BlockId(0), Reg(1)), ExtFacts::NONE); // i64 param
+        assert_eq!(av.at_block_entry(BlockId(0), Reg(2)), ExtFacts::NONNEG); // zero-init
+    }
+
+    #[test]
+    fn add_destroys_facts_extend_restores() {
+        let f = parse_function(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = add.i32 r0, r0\n    r1 = extend.32 r1\n    ret r1\n}\n",
+        )
+        .unwrap();
+        let cfg = Cfg::compute(&f);
+        let av = AvailableExt::compute(&f, &cfg, Target::Ia64, Width::W32);
+        let mut w = av.walk_block(&f, BlockId(0));
+        w.step(); // past the add
+        assert_eq!(w.facts(Reg(1)), ExtFacts::NONE);
+        w.step(); // past the extend
+        assert_eq!(w.facts(Reg(1)), ExtFacts::EXTENDED);
+    }
+
+    #[test]
+    fn loop_meet_loses_facts() {
+        // r0 extended at entry (param) but redefined by add in the loop:
+        // at the loop head the meet must drop the fact.
+        let f = parse_function(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    br b1\n\
+             b1:\n    r1 = const.i32 1\n    r0 = add.i32 r0, r1\n    condbr gt.i32 r0, r1, b1, b2\n\
+             b2:\n    ret r0\n}\n",
+        )
+        .unwrap();
+        let cfg = Cfg::compute(&f);
+        let av = AvailableExt::compute(&f, &cfg, Target::Ia64, Width::W32);
+        assert_eq!(av.at_block_entry(BlockId(1), Reg(0)), ExtFacts::NONE);
+        assert_eq!(av.at_block_entry(BlockId(2), Reg(0)), ExtFacts::NONE);
+    }
+
+    #[test]
+    fn loop_invariant_fact_survives() {
+        // r0 is extended before the loop and never redefined inside.
+        let f = parse_function(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r0 = extend.32 r0\n    br b1\n\
+             b1:\n    r1 = add.i32 r1, r0\n    condbr gt.i32 r1, r0, b1, b2\n\
+             b2:\n    ret r1\n}\n",
+        )
+        .unwrap();
+        let cfg = Cfg::compute(&f);
+        let av = AvailableExt::compute(&f, &cfg, Target::Ia64, Width::W32);
+        assert!(av.at_block_entry(BlockId(1), Reg(0)).sign_extended);
+        assert!(av.at_block_entry(BlockId(2), Reg(0)).sign_extended);
+    }
+
+    #[test]
+    fn inherent_mode_sees_through_extends() {
+        // r0 is extended in the loop, so the normal analysis says
+        // extended at b2 — but inherently it is not (the fact exists only
+        // because of the explicit instruction).
+        let f = parse_function(
+            "func @f(i32, i32) -> i32 {\n\
+             b0:\n    br b1\n\
+             b1:\n    r2 = const.i32 1\n    r0 = sub.i32 r0, r2\n    r0 = extend.32 r0\n    condbr gt.i32 r0, r1, b1, b2\n\
+             b2:\n    ret r0\n}\n",
+        )
+        .unwrap();
+        let cfg = Cfg::compute(&f);
+        let normal = AvailableExt::compute(&f, &cfg, Target::Ia64, Width::W32);
+        assert!(normal.at_block_entry(BlockId(2), Reg(0)).sign_extended);
+        let inherent = AvailableExt::compute_inherent(&f, &cfg, Target::Ia64, Width::W32);
+        assert!(!inherent.at_block_entry(BlockId(2), Reg(0)).sign_extended);
+        // A parameter that is never overwritten stays inherently extended.
+        assert!(inherent.at_block_entry(BlockId(2), Reg(1)).sign_extended);
+    }
+
+    #[test]
+    fn ia64_load_is_upper_zero() {
+        let f = parse_function(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = newarray.i32 r0\n    r2 = aload.i32 r1, r0\n    ret r2\n}\n",
+        )
+        .unwrap();
+        let cfg = Cfg::compute(&f);
+        for (target, expect) in [
+            (Target::Ia64, ExtFacts::UPPER_ZERO),
+            (Target::Ppc64, ExtFacts::EXTENDED),
+        ] {
+            let av = AvailableExt::compute(&f, &cfg, target, Width::W32);
+            let mut w = av.walk_block(&f, BlockId(0));
+            w.step();
+            w.step();
+            assert_eq!(w.facts(Reg(2)), expect, "{target}");
+        }
+    }
+}

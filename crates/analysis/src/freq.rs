@@ -1,0 +1,166 @@
+//! Execution-frequency estimation for basic blocks (paper §2.2).
+//!
+//! "For each basic block B, this can be estimated from both the loop
+//! nesting level of B and the execution frequency of B within its acyclic
+//! region based on the probability of each conditional branch.
+//! Additionally, we use profile information collected for conditional
+//! branches by our combined interpreter and dynamic compiler."
+//!
+//! [`Freq::estimate`] implements the static estimate (each loop level
+//! multiplies by [`LOOP_MULTIPLIER`], conditional branches split their
+//! probability evenly); [`Freq::from_counts`] wraps exact block counts
+//! collected by the interpreter (`sxe-vm` profile mode).
+
+use sxe_ir::{BlockId, Cfg, LoopForest};
+
+/// Static weight multiplier per loop-nesting level.
+pub const LOOP_MULTIPLIER: f64 = 10.0;
+
+/// Estimated (or measured) execution frequency per basic block.
+#[derive(Debug, Clone)]
+pub struct Freq {
+    freq: Vec<f64>,
+}
+
+impl Freq {
+    /// Statically estimate frequencies from loop nesting and branch
+    /// probabilities.
+    #[must_use]
+    pub fn estimate(cfg: &Cfg, loops: &LoopForest) -> Freq {
+        let n = cfg.num_blocks();
+        // Acyclic propagation: ignore back edges (edges to a block with a
+        // smaller-or-equal RPO index that is a loop header), split
+        // probability evenly among the remaining successors.
+        let mut p = vec![0.0f64; n];
+        if let Some(&entry) = cfg.rpo().first() {
+            p[entry.index()] = 1.0;
+        }
+        for &b in cfg.rpo() {
+            let weight = p[b.index()];
+            if weight == 0.0 {
+                continue;
+            }
+            let succs = cfg.succs(b);
+            if succs.is_empty() {
+                continue;
+            }
+            let share = weight / succs.len() as f64;
+            for &s in succs {
+                let is_back_edge = cfg
+                    .rpo_index(s)
+                    .zip(cfg.rpo_index(b))
+                    .is_some_and(|(si, bi)| si <= bi);
+                if !is_back_edge {
+                    p[s.index()] += share;
+                }
+            }
+        }
+        // Headers may receive probability only through back edges in
+        // degenerate shapes; give every reachable block a floor so the
+        // loop multiplier still orders them sensibly.
+        let freq = (0..n)
+            .map(|i| {
+                let b = BlockId(i as u32);
+                if !cfg.is_reachable(b) {
+                    return 0.0;
+                }
+                let base = p[i].max(1.0e-6);
+                base * LOOP_MULTIPLIER.powi(loops.depth(b) as i32)
+            })
+            .collect();
+        Freq { freq }
+    }
+
+    /// Wrap measured block execution counts (profile-guided mode).
+    ///
+    /// # Panics
+    /// Panics if `counts` is empty.
+    #[must_use]
+    pub fn from_counts(counts: &[u64]) -> Freq {
+        assert!(!counts.is_empty(), "need at least one block");
+        Freq { freq: counts.iter().map(|&c| c as f64).collect() }
+    }
+
+    /// The frequency of block `b` (0 for unreachable blocks).
+    #[must_use]
+    pub fn of(&self, b: BlockId) -> f64 {
+        self.freq.get(b.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Number of blocks covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.freq.len()
+    }
+
+    /// Whether no blocks are covered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.freq.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxe_ir::{parse_function, DomTree};
+
+    fn freqs(src: &str) -> (Freq, usize) {
+        let f = parse_function(src).unwrap();
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&cfg);
+        let loops = LoopForest::compute(&cfg, &dom);
+        let n = cfg.num_blocks();
+        (Freq::estimate(&cfg, &loops), n)
+    }
+
+    #[test]
+    fn loop_body_hotter_than_exit() {
+        let (fr, _) = freqs(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    br b1\n\
+             b1:\n    r1 = const.i32 1\n    r0 = sub.i32 r0, r1\n    condbr gt.i32 r0, r1, b1, b2\n\
+             b2:\n    ret r0\n}\n",
+        );
+        assert!(fr.of(BlockId(1)) > fr.of(BlockId(0)));
+        assert!(fr.of(BlockId(1)) > fr.of(BlockId(2)));
+    }
+
+    #[test]
+    fn nested_loop_hotter_than_outer() {
+        let (fr, _) = freqs(
+            "func @f(i32, i32) {\n\
+             b0:\n    br b1\n\
+             b1:\n    condbr gt.i32 r0, r1, b2, b5\n\
+             b2:\n    br b3\n\
+             b3:\n    condbr gt.i32 r1, r0, b3, b4\n\
+             b4:\n    br b1\n\
+             b5:\n    ret\n}\n",
+        );
+        assert!(fr.of(BlockId(3)) > fr.of(BlockId(2)));
+        assert!(fr.of(BlockId(2)) > fr.of(BlockId(0)));
+        assert!(fr.of(BlockId(5)) < fr.of(BlockId(1)));
+    }
+
+    #[test]
+    fn diamond_arms_split_probability() {
+        let (fr, _) = freqs(
+            "func @f(i32) {\n\
+             b0:\n    condbr gt.i32 r0, r0, b1, b2\n\
+             b1:\n    br b3\n\
+             b2:\n    br b3\n\
+             b3:\n    ret\n}\n",
+        );
+        assert!((fr.of(BlockId(1)) - 0.5).abs() < 1e-9);
+        assert!((fr.of(BlockId(2)) - 0.5).abs() < 1e-9);
+        assert!((fr.of(BlockId(3)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_counts_override() {
+        let fr = Freq::from_counts(&[1, 1000, 5]);
+        assert_eq!(fr.of(BlockId(1)), 1000.0);
+        assert_eq!(fr.of(BlockId(2)), 5.0);
+        assert_eq!(fr.len(), 3);
+    }
+}

@@ -1,0 +1,115 @@
+//! Register liveness (backward dataflow), used by dead-code elimination
+//! and by tests.
+
+use sxe_ir::{BlockId, Cfg, Function, Inst, Reg};
+
+use crate::bitset::BitSet;
+use crate::dataflow::{solve, Direction, GenKillProblem, Meet};
+
+/// Live-in/live-out register sets per block.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: Vec<BitSet>,
+    live_out: Vec<BitSet>,
+}
+
+impl Liveness {
+    /// Compute liveness for `f`.
+    #[must_use]
+    pub fn compute(f: &Function, cfg: &Cfg) -> Liveness {
+        let nregs = f.reg_count as usize;
+        let n = cfg.num_blocks();
+        let mut gen = vec![BitSet::new(nregs); n]; // upward-exposed uses
+        let mut kill = vec![BitSet::new(nregs); n]; // defs
+        let mut buf = Vec::new();
+        for b in f.block_ids() {
+            let bi = b.index();
+            for inst in &f.block(b).insts {
+                if matches!(inst, Inst::Nop) {
+                    continue;
+                }
+                buf.clear();
+                inst.collect_uses(&mut buf);
+                for &u in &buf {
+                    if !kill[bi].contains(u.index()) {
+                        gen[bi].insert(u.index());
+                    }
+                }
+                if let Some(d) = inst.dst() {
+                    kill[bi].insert(d.index());
+                }
+            }
+        }
+        let sol = solve(
+            cfg,
+            &GenKillProblem {
+                direction: Direction::Backward,
+                meet: Meet::Union,
+                universe: nregs,
+                gen,
+                kill,
+                boundary: BitSet::new(nregs),
+            },
+        );
+        Liveness { live_in: sol.block_in, live_out: sol.block_out }
+    }
+
+    /// Registers live at the entry of `b`.
+    #[must_use]
+    pub fn live_in(&self, b: BlockId) -> &BitSet {
+        &self.live_in[b.index()]
+    }
+
+    /// Registers live at the exit of `b`.
+    #[must_use]
+    pub fn live_out(&self, b: BlockId) -> &BitSet {
+        &self.live_out[b.index()]
+    }
+
+    /// Whether `r` is live at the exit of `b`.
+    #[must_use]
+    pub fn is_live_out(&self, b: BlockId, r: Reg) -> bool {
+        self.live_out[b.index()].contains(r.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxe_ir::parse_function;
+
+    #[test]
+    fn loop_liveness() {
+        let f = parse_function(
+            "func @f(i32, i32) -> i32 {\n\
+             b0:\n    r2 = const.i32 0\n    br b1\n\
+             b1:\n    r2 = add.i32 r2, r0\n    r3 = const.i32 1\n    r0 = sub.i32 r0, r3\n    condbr gt.i32 r0, r1, b1, b2\n\
+             b2:\n    ret r2\n}\n",
+        )
+        .unwrap();
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        // r0 (counter), r1 (bound), r2 (acc) live around the loop.
+        assert!(lv.is_live_out(BlockId(1), Reg(0)));
+        assert!(lv.is_live_out(BlockId(1), Reg(1)));
+        assert!(lv.is_live_out(BlockId(1), Reg(2)));
+        // r3 is block-local.
+        assert!(!lv.is_live_out(BlockId(1), Reg(3)));
+        // Only r2 is live into the exit block.
+        assert!(lv.live_in(BlockId(2)).contains(2));
+        assert!(!lv.live_in(BlockId(2)).contains(0));
+    }
+
+    #[test]
+    fn dead_def_not_live() {
+        let f = parse_function(
+            "func @g(i32) -> i32 {\n\
+             b0:\n    r1 = const.i32 9\n    ret r0\n}\n",
+        )
+        .unwrap();
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        assert!(!lv.live_in(BlockId(0)).contains(1));
+        assert!(lv.live_in(BlockId(0)).contains(0));
+    }
+}

@@ -1,0 +1,485 @@
+//! Value-range analysis over UD chains.
+//!
+//! The paper's array-subscript theorems (§3) "depend on knowledge of the
+//! value range, which can be determined at compile time using one of the
+//! value range analysis techniques [4, 7]". This module provides interval
+//! bounds for the **low 32 bits of a register interpreted as an `i32`** —
+//! exactly the quantity the theorems constrain (`LS(e)`, `0 <= j <=
+//! 0x7fffffff`, `-1 <= i`), since for a sign-extended operand the low-32
+//! value *is* the full value.
+//!
+//! The analysis is demand-driven: a query recursively walks the UD chains
+//! of the defining instructions with memoization, returning the full
+//! `i32` range on cycles or at a depth limit (always sound).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use sxe_ir::{BinOp, Function, Inst, InstId, Reg, Ty, UnOp};
+
+use crate::udu::{DefId, DefSite, UdDu};
+
+/// An inclusive interval of `i32` values (stored as `i64` for convenient
+/// arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Lower bound (inclusive).
+    pub lo: i64,
+    /// Upper bound (inclusive).
+    pub hi: i64,
+}
+
+impl Interval {
+    /// The full signed 32-bit range (the analysis "don't know" value).
+    pub const TOP: Interval = Interval { lo: i32::MIN as i64, hi: i32::MAX as i64 };
+
+    /// A singleton interval.
+    #[must_use]
+    pub fn constant(v: i32) -> Interval {
+        Interval { lo: v as i64, hi: v as i64 }
+    }
+
+    /// An interval from bounds, clamped to the `i32` range.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn new(lo: i64, hi: i64) -> Interval {
+        assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
+        Interval {
+            lo: lo.max(i32::MIN as i64),
+            hi: hi.min(i32::MAX as i64),
+        }
+    }
+
+    /// Whether every value in the interval is within `[min, max]`.
+    #[must_use]
+    pub fn within(self, min: i64, max: i64) -> bool {
+        min <= self.lo && self.hi <= max
+    }
+
+    /// Whether the interval is the full `i32` range.
+    #[must_use]
+    pub fn is_top(self) -> bool {
+        self == Interval::TOP
+    }
+
+    /// Union (convex hull).
+    #[must_use]
+    pub fn join(self, other: Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Intersection. An empty intersection (contradictory facts — the
+    /// program point is unreachable for those values) collapses to a
+    /// singleton, which is sound for every consumer here.
+    #[must_use]
+    pub fn intersect(self, other: Interval) -> Interval {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo > hi {
+            Interval { lo, hi: lo }
+        } else {
+            Interval { lo, hi }
+        }
+    }
+
+    /// Whether every value is non-negative.
+    #[must_use]
+    pub fn is_nonneg(self) -> bool {
+        self.lo >= 0
+    }
+
+    fn from_checked(lo: i64, hi: i64) -> Interval {
+        if lo < i32::MIN as i64 || hi > i32::MAX as i64 || lo > hi {
+            // The 32-bit result may have wrapped; give up.
+            Interval::TOP
+        } else {
+            Interval { lo, hi }
+        }
+    }
+}
+
+/// Demand-driven range analysis for one function.
+#[derive(Debug)]
+pub struct RangeAnalysis<'a> {
+    f: &'a Function,
+    udu: &'a UdDu,
+    memo: RefCell<HashMap<DefId, Interval>>,
+    in_progress: RefCell<Vec<DefId>>,
+}
+
+const MAX_DEPTH: usize = 64;
+
+impl<'a> RangeAnalysis<'a> {
+    /// Create an analysis bound to a function and its UD/DU chains.
+    #[must_use]
+    pub fn new(f: &'a Function, udu: &'a UdDu) -> RangeAnalysis<'a> {
+        RangeAnalysis {
+            f,
+            udu,
+            memo: RefCell::new(HashMap::new()),
+            in_progress: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Range of the low-32 value of `reg` as used at `inst`: the join over
+    /// all reaching definitions. Returns [`Interval::TOP`] if no
+    /// definition information is available.
+    #[must_use]
+    pub fn range_at(&self, inst: InstId, reg: Reg) -> Interval {
+        let defs = self.udu.defs_reaching(inst, reg);
+        if defs.is_empty() {
+            return Interval::TOP;
+        }
+        let mut acc: Option<Interval> = None;
+        for d in defs {
+            let r = self.range_of_def(d, 0);
+            acc = Some(match acc {
+                None => r,
+                Some(a) => a.join(r),
+            });
+        }
+        acc.unwrap_or(Interval::TOP)
+    }
+
+    /// Range produced by one definition site.
+    #[must_use]
+    pub fn range_of(&self, d: DefId) -> Interval {
+        self.range_of_def(d, 0)
+    }
+
+    fn range_of_def(&self, d: DefId, depth: usize) -> Interval {
+        if depth > MAX_DEPTH {
+            return Interval::TOP;
+        }
+        if let Some(&r) = self.memo.borrow().get(&d) {
+            return r;
+        }
+        if self.in_progress.borrow().contains(&d) {
+            // Cycle through a loop-carried definition: no invariant
+            // reasoning here, so the sound answer is TOP.
+            return Interval::TOP;
+        }
+        self.in_progress.borrow_mut().push(d);
+        let result = match self.udu.site(d) {
+            DefSite::Param(_) => Interval::TOP,
+            DefSite::Inst(id) => self.range_of_inst(id, depth),
+        };
+        self.in_progress.borrow_mut().pop();
+        self.memo.borrow_mut().insert(d, result);
+        result
+    }
+
+    fn operand(&self, id: InstId, r: Reg, depth: usize) -> Interval {
+        let defs = self.udu.defs_reaching(id, r);
+        if defs.is_empty() {
+            return Interval::TOP;
+        }
+        let mut acc: Option<Interval> = None;
+        for d in defs {
+            let rr = self.range_of_def(d, depth + 1);
+            acc = Some(match acc {
+                None => rr,
+                Some(a) => a.join(rr),
+            });
+        }
+        acc.unwrap_or(Interval::TOP)
+    }
+
+    fn range_of_inst(&self, id: InstId, depth: usize) -> Interval {
+        match *self.f.inst(id) {
+            Inst::Const { value, .. } => Interval::constant(value as i32),
+            Inst::Copy { src, ty, .. } if ty != Ty::F64 => self.operand(id, src, depth),
+            // Extensions do not change the low 32 bits for W32; for W8/W16
+            // they bound the result.
+            Inst::Extend { src, from, .. } | Inst::JustExtended { src, from, .. } => {
+                match from.bits() {
+                    32 => self.operand(id, src, depth),
+                    16 => Interval::new(i16::MIN as i64, i16::MAX as i64),
+                    _ => Interval::new(i8::MIN as i64, i8::MAX as i64),
+                }
+            }
+            Inst::Setcc { .. } => Interval::new(0, 1),
+            Inst::ArrayLen { .. } => Interval::new(0, i32::MAX as i64),
+            Inst::ArrayLoad { elem, .. } => match elem {
+                Ty::I8 => Interval::new(i8::MIN as i64, i8::MAX as i64),
+                Ty::I16 => Interval::new(i16::MIN as i64, i16::MAX as i64),
+                _ => Interval::TOP,
+            },
+            Inst::Un { op, src, ty, .. } => match op {
+                UnOp::Zext(w) => match w.bits() {
+                    8 => Interval::new(0, 0xFF),
+                    16 => Interval::new(0, 0xFFFF),
+                    // zext32 leaves the low 32 bits unchanged.
+                    _ => self.operand(id, src, depth),
+                },
+                UnOp::Neg if ty != Ty::F64 => {
+                    let s = self.operand(id, src, depth);
+                    if s.lo == i32::MIN as i64 {
+                        Interval::TOP // -INT_MIN wraps
+                    } else {
+                        Interval::from_checked(-s.hi, -s.lo)
+                    }
+                }
+                UnOp::Not if ty != Ty::F64 => {
+                    let s = self.operand(id, src, depth);
+                    Interval::from_checked(-s.hi - 1, -s.lo - 1)
+                }
+                _ => Interval::TOP,
+            },
+            Inst::Bin { op, ty, lhs, rhs, .. } if ty != Ty::F64 => {
+                let l = self.operand(id, lhs, depth);
+                let r = self.operand(id, rhs, depth);
+                self.bin_range(op, ty, l, r)
+            }
+            _ => Interval::TOP,
+        }
+    }
+
+    fn bin_range(&self, op: BinOp, ty: Ty, l: Interval, r: Interval) -> Interval {
+        binop_range(op, ty, l, r)
+    }
+}
+
+/// Interval transfer function for a binary operation on low-32 values.
+///
+/// For I64 operations the low 32 bits can wrap arbitrarily relative
+/// to the 64-bit value except when the bounds stay in i32 range, in
+/// which case the math below is still exact — so the same rules
+/// apply (`from_checked` returns TOP otherwise).
+///
+/// **Contract for full-register ops**: the rules for `Div`, `Rem`, and
+/// `Shr` describe the result only when the machine's *full-register*
+/// inputs equal the low-32 values the intervals bound, i.e. when the
+/// operands are sign-extended. Every consumer in the eliminator checks
+/// that guard (`operand_facts(..).sign_extended`) before trusting these
+/// rules; the unconditional [`crate::FlowRanges`] stays conservative for
+/// them instead.
+#[must_use]
+pub fn binop_range(op: BinOp, ty: Ty, l: Interval, r: Interval) -> Interval {
+    {
+        let _ = ty;
+        match op {
+            BinOp::Add => Interval::from_checked(l.lo + r.lo, l.hi + r.hi),
+            BinOp::Sub => Interval::from_checked(l.lo - r.hi, l.hi - r.lo),
+            BinOp::Mul => {
+                let cands = [l.lo * r.lo, l.lo * r.hi, l.hi * r.lo, l.hi * r.hi];
+                let lo = cands.iter().copied().min().expect("non-empty");
+                let hi = cands.iter().copied().max().expect("non-empty");
+                Interval::from_checked(lo, hi)
+            }
+            BinOp::And => {
+                if l.is_nonneg() && r.is_nonneg() {
+                    Interval::new(0, l.hi.min(r.hi))
+                } else if l.is_nonneg() {
+                    Interval::new(0, l.hi)
+                } else if r.is_nonneg() {
+                    Interval::new(0, r.hi)
+                } else {
+                    Interval::TOP
+                }
+            }
+            BinOp::Or | BinOp::Xor => {
+                if l.is_nonneg() && r.is_nonneg() {
+                    // Both below 2^k for the smallest covering mask.
+                    let mask = fill_ones(l.hi as u64 | r.hi as u64) as i64;
+                    Interval::new(0, mask.min(i32::MAX as i64))
+                } else {
+                    Interval::TOP
+                }
+            }
+            BinOp::Shl => {
+                if let Some(s) = singleton(r).filter(|&s| (0..=31).contains(&s)) {
+                    if l.is_nonneg() {
+                        Interval::from_checked(l.lo << s, l.hi << s)
+                    } else {
+                        Interval::TOP
+                    }
+                } else {
+                    Interval::TOP
+                }
+            }
+            BinOp::Shr => {
+                if let Some(s) = singleton(r).filter(|&s| (0..=31).contains(&s)) {
+                    Interval::new(l.lo >> s, l.hi >> s)
+                } else if l.is_nonneg() {
+                    // Arithmetic shift of a non-negative value stays in
+                    // [0, hi] for any amount in 0..=31.
+                    Interval::new(0, l.hi)
+                } else {
+                    Interval::TOP
+                }
+            }
+            BinOp::Shru => {
+                if let Some(s) = singleton(r).filter(|&s| (1..=31).contains(&s)) {
+                    if l.is_nonneg() {
+                        Interval::new(l.lo >> s, l.hi >> s)
+                    } else {
+                        // Low 32 bits as u32, shifted: bounded by 2^(32-s)-1.
+                        Interval::new(0, (u32::MAX as i64) >> s)
+                    }
+                } else if singleton(r) == Some(0) {
+                    l
+                } else if l.is_nonneg() {
+                    Interval::new(0, l.hi)
+                } else {
+                    Interval::TOP
+                }
+            }
+            BinOp::Div => {
+                if let Some(c) = singleton(r).filter(|&c| c > 0) {
+                    Interval::new(l.lo / c, l.hi / c)
+                } else {
+                    Interval::TOP
+                }
+            }
+            BinOp::Rem => {
+                if let Some(c) = singleton(r).filter(|&c| c != 0) {
+                    let m = c.abs() - 1;
+                    if l.is_nonneg() {
+                        Interval::new(0, m)
+                    } else {
+                        Interval::new(-m, m)
+                    }
+                } else {
+                    Interval::TOP
+                }
+            }
+        }
+    }
+}
+
+fn singleton(i: Interval) -> Option<i64> {
+    (i.lo == i.hi).then_some(i.lo)
+}
+
+/// Smallest all-ones mask covering `v` (e.g. `0b1010 -> 0b1111`).
+fn fill_ones(mut v: u64) -> u64 {
+    v |= v >> 1;
+    v |= v >> 2;
+    v |= v >> 4;
+    v |= v >> 8;
+    v |= v >> 16;
+    v |= v >> 32;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxe_ir::{parse_function, BlockId, Cfg};
+
+    fn analyse(src: &str) -> (Function, UdDu) {
+        let f = parse_function(src).unwrap();
+        let cfg = Cfg::compute(&f);
+        let udu = UdDu::compute(&f, &cfg);
+        (f, udu)
+    }
+
+    #[test]
+    fn constants_and_masks() {
+        let (f, udu) = analyse(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = const.i32 268435455\n    r2 = and.i32 r0, r1\n    ret r2\n}\n",
+        );
+        let ra = RangeAnalysis::new(&f, &udu);
+        // The and-result at the ret: [0, 0x0fffffff] — paper Figure 3 (6).
+        let r = ra.range_at(InstId::new(BlockId(0), 2), Reg(2));
+        assert_eq!(r, Interval::new(0, 0x0FFF_FFFF));
+        assert!(r.is_nonneg());
+    }
+
+    #[test]
+    fn add_of_bounded_values() {
+        let (f, udu) = analyse(
+            "func @f() -> i32 {\n\
+             b0:\n    r0 = const.i32 10\n    r1 = const.i32 -3\n    r2 = add.i32 r0, r1\n    ret r2\n}\n",
+        );
+        let ra = RangeAnalysis::new(&f, &udu);
+        assert_eq!(ra.range_at(InstId::new(BlockId(0), 3), Reg(2)), Interval::constant(7));
+    }
+
+    #[test]
+    fn overflow_goes_top() {
+        let (f, udu) = analyse(
+            "func @f() -> i32 {\n\
+             b0:\n    r0 = const.i32 2147483647\n    r1 = const.i32 1\n    r2 = add.i32 r0, r1\n    ret r2\n}\n",
+        );
+        let ra = RangeAnalysis::new(&f, &udu);
+        assert!(ra.range_at(InstId::new(BlockId(0), 3), Reg(2)).is_top());
+    }
+
+    #[test]
+    fn loop_carried_is_top_but_mask_recovers() {
+        // i decremented in a loop: top; but i & 0xff after: [0, 255].
+        let (f, udu) = analyse(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    br b1\n\
+             b1:\n    r1 = const.i32 1\n    r0 = sub.i32 r0, r1\n    r2 = const.i32 255\n    r3 = and.i32 r0, r2\n    condbr gt.i32 r0, r1, b1, b2\n\
+             b2:\n    ret r3\n}\n",
+        );
+        let ra = RangeAnalysis::new(&f, &udu);
+        assert!(ra.range_at(InstId::new(BlockId(1), 4), Reg(0)).is_top());
+        assert_eq!(
+            ra.range_at(InstId::new(BlockId(2), 0), Reg(3)),
+            Interval::new(0, 255)
+        );
+    }
+
+    #[test]
+    fn join_over_two_defs() {
+        let (f, udu) = analyse(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = const.i32 5\n    condbr gt.i32 r0, r1, b1, b2\n\
+             b1:\n    r2 = const.i32 10\n    br b3\n\
+             b2:\n    r2 = const.i32 -4\n    br b3\n\
+             b3:\n    ret r2\n}\n",
+        );
+        let ra = RangeAnalysis::new(&f, &udu);
+        assert_eq!(
+            ra.range_at(InstId::new(BlockId(3), 0), Reg(2)),
+            Interval::new(-4, 10)
+        );
+    }
+
+    #[test]
+    fn shifts_and_div() {
+        let (f, udu) = analyse(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = const.i32 255\n    r2 = and.i32 r0, r1\n    r3 = const.i32 2\n    r4 = shl.i32 r2, r3\n    r5 = div.i32 r4, r3\n    r6 = shru.i32 r5, r3\n    ret r6\n}\n",
+        );
+        let ra = RangeAnalysis::new(&f, &udu);
+        let at = |i: usize, r: u32| ra.range_at(InstId::new(BlockId(0), i), Reg(r));
+        assert_eq!(at(3, 2), Interval::new(0, 255));
+        assert_eq!(at(4, 4), Interval::new(0, 1020));
+        assert_eq!(at(5, 5), Interval::new(0, 510));
+        assert_eq!(at(6, 6), Interval::new(0, 127));
+    }
+
+    #[test]
+    fn setcc_len_and_byte_load() {
+        let (f, udu) = analyse(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = newarray.i8 r0\n    r2 = len r1\n    r3 = aload.i8 r1, r0\n    r4 = set.lt.i32 r2, r3\n    ret r4\n}\n",
+        );
+        let ra = RangeAnalysis::new(&f, &udu);
+        let at = |i: usize, r: u32| ra.range_at(InstId::new(BlockId(0), i), Reg(r));
+        assert_eq!(at(3, 2), Interval::new(0, i32::MAX as i64));
+        assert_eq!(at(3, 3), Interval::new(-128, 127));
+        assert_eq!(at(4, 4), Interval::new(0, 1));
+    }
+
+    #[test]
+    fn negative_constant_for_countdown() {
+        // The Theorem 4 countdown case: j = const -1 has range [-1, -1].
+        let (f, udu) = analyse(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = const.i32 -1\n    r2 = add.i32 r0, r1\n    ret r2\n}\n",
+        );
+        let ra = RangeAnalysis::new(&f, &udu);
+        let r = ra.range_at(InstId::new(BlockId(0), 1), Reg(1));
+        assert_eq!(r, Interval::constant(-1));
+        assert!(r.within(-1, 0x7FFF_FFFF));
+    }
+}

@@ -1,0 +1,438 @@
+//! Reaching definitions and UD/DU chains.
+//!
+//! The paper's elimination operates on UD/DU chains ("It utilizes UD/DU
+//! chains for the above two goals"). Chains are built once after the
+//! insertion phase and then maintained *incrementally* as extensions are
+//! deleted: removing a transparent definition like `r = extend(r)` splices
+//! the definitions that reached the extension into every use the extension
+//! reached.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sxe_ir::{Cfg, Function, Inst, InstId, Reg};
+
+use crate::bitset::BitSet;
+use crate::dataflow::{solve, Direction, GenKillProblem, Meet};
+
+/// Identifies one definition site in [`UdDu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DefId(pub u32);
+
+impl DefId {
+    /// Index into dense tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Where a definition comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefSite {
+    /// The `i`-th function parameter (defined at entry, sign-extended per
+    /// the calling convention if narrow).
+    Param(usize),
+    /// An instruction.
+    Inst(InstId),
+}
+
+/// A use site: instruction plus the register it reads. One key covers all
+/// operand slots of that register in the instruction.
+pub type UseKey = (InstId, Reg);
+
+/// UD/DU chains for one function.
+#[derive(Debug, Clone)]
+pub struct UdDu {
+    defs: Vec<DefSite>,
+    def_reg: Vec<Reg>,
+    removed: Vec<bool>,
+    def_of_inst: BTreeMap<InstId, DefId>,
+    ud: BTreeMap<UseKey, BTreeSet<DefId>>,
+    du: Vec<BTreeSet<UseKey>>,
+}
+
+impl UdDu {
+    /// Build the chains for `f` using reaching-definitions dataflow.
+    #[must_use]
+    pub fn compute(f: &Function, cfg: &Cfg) -> UdDu {
+        // Enumerate definition sites: parameters first, then instructions.
+        let mut defs: Vec<DefSite> = Vec::new();
+        let mut def_reg: Vec<Reg> = Vec::new();
+        let mut def_of_inst: BTreeMap<InstId, DefId> = BTreeMap::new();
+        for (i, &(r, _)) in f.params.iter().enumerate() {
+            defs.push(DefSite::Param(i));
+            def_reg.push(r);
+        }
+        for (id, inst) in f.insts() {
+            if let Some(d) = inst.dst() {
+                def_of_inst.insert(id, DefId(defs.len() as u32));
+                defs.push(DefSite::Inst(id));
+                def_reg.push(d);
+            }
+        }
+        let universe = defs.len();
+
+        // Per-register def sets.
+        let mut defs_of_reg: BTreeMap<Reg, BitSet> = BTreeMap::new();
+        for (i, &r) in def_reg.iter().enumerate() {
+            defs_of_reg
+                .entry(r)
+                .or_insert_with(|| BitSet::new(universe))
+                .insert(i);
+        }
+
+        // Gen/kill per block.
+        let n = cfg.num_blocks();
+        let mut gen = vec![BitSet::new(universe); n];
+        let mut kill = vec![BitSet::new(universe); n];
+        for b in f.block_ids() {
+            let bi = b.index();
+            for (i, inst) in f.block(b).insts.iter().enumerate() {
+                if inst.dst().is_some() {
+                    let id = InstId::new(b, i);
+                    let d = def_of_inst[&id];
+                    let r = def_reg[d.index()];
+                    let all = &defs_of_reg[&r];
+                    // This def kills every other def of r and supersedes
+                    // any earlier gen of r in this block.
+                    gen[bi].subtract(all);
+                    kill[bi].union_with(all);
+                    gen[bi].insert(d.index());
+                }
+            }
+        }
+
+        // Boundary: parameter defs reach the entry.
+        let mut boundary = BitSet::new(universe);
+        for i in 0..f.params.len() {
+            boundary.insert(i);
+        }
+
+        let sol = solve(
+            cfg,
+            &GenKillProblem {
+                direction: Direction::Forward,
+                meet: Meet::Union,
+                universe,
+                gen,
+                kill,
+                boundary,
+            },
+        );
+
+        // Walk each block computing per-use chains.
+        let mut ud: BTreeMap<UseKey, BTreeSet<DefId>> = BTreeMap::new();
+        let mut du: Vec<BTreeSet<UseKey>> = vec![BTreeSet::new(); universe];
+        let mut use_buf: Vec<Reg> = Vec::new();
+        for b in f.block_ids() {
+            if !cfg.is_reachable(b) {
+                continue;
+            }
+            let mut current = sol.block_in[b.index()].clone();
+            for (i, inst) in f.block(b).insts.iter().enumerate() {
+                if matches!(inst, Inst::Nop) {
+                    continue;
+                }
+                let id = InstId::new(b, i);
+                use_buf.clear();
+                inst.collect_uses(&mut use_buf);
+                use_buf.sort_unstable();
+                use_buf.dedup();
+                for &r in &use_buf {
+                    let Some(all) = defs_of_reg.get(&r) else { continue };
+                    let mut reaching = current.clone();
+                    reaching.intersect_with(all);
+                    let set: BTreeSet<DefId> =
+                        reaching.iter().map(|i| DefId(i as u32)).collect();
+                    for &d in &set {
+                        du[d.index()].insert((id, r));
+                    }
+                    ud.insert((id, r), set);
+                }
+                if inst.dst().is_some() {
+                    let d = def_of_inst[&id];
+                    let r = def_reg[d.index()];
+                    current.subtract(&defs_of_reg[&r]);
+                    current.insert(d.index());
+                }
+            }
+        }
+
+        UdDu {
+            removed: vec![false; defs.len()],
+            defs,
+            def_reg,
+            def_of_inst,
+            ud,
+            du,
+        }
+    }
+
+    /// The definition made by instruction `id`, if it defines a register
+    /// and has not been removed.
+    #[must_use]
+    pub fn def_of_inst(&self, id: InstId) -> Option<DefId> {
+        self.def_of_inst
+            .get(&id)
+            .copied()
+            .filter(|d| !self.removed[d.index()])
+    }
+
+    /// Where definition `d` comes from.
+    ///
+    /// # Panics
+    /// Panics if `d` is out of range.
+    #[must_use]
+    pub fn site(&self, d: DefId) -> DefSite {
+        self.defs[d.index()]
+    }
+
+    /// The register defined by `d`.
+    ///
+    /// # Panics
+    /// Panics if `d` is out of range.
+    #[must_use]
+    pub fn reg_of(&self, d: DefId) -> Reg {
+        self.def_reg[d.index()]
+    }
+
+    /// Definitions reaching the use of `reg` at `inst` (empty if `inst`
+    /// does not use `reg` or the block is unreachable).
+    #[must_use]
+    pub fn defs_reaching(&self, inst: InstId, reg: Reg) -> BTreeSet<DefId> {
+        self.ud.get(&(inst, reg)).cloned().unwrap_or_default()
+    }
+
+    /// Use sites reached by definition `d`.
+    ///
+    /// # Panics
+    /// Panics if `d` is out of range.
+    #[must_use]
+    pub fn uses_of(&self, d: DefId) -> BTreeSet<UseKey> {
+        self.du[d.index()].clone()
+    }
+
+    /// Total number of definition sites (including removed ones).
+    #[must_use]
+    pub fn num_defs(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether `d` has been removed by [`UdDu::remove_transparent_def`].
+    #[must_use]
+    pub fn is_removed(&self, d: DefId) -> bool {
+        self.removed[d.index()]
+    }
+
+    /// Incrementally remove a *transparent* definition: an instruction
+    /// like `r = extend(r)` or `r = justext(r)` whose destination equals
+    /// its (single) source. The definitions that reached the instruction
+    /// are spliced into every use the instruction's definition reached.
+    ///
+    /// The caller is responsible for tombstoning the instruction in the
+    /// [`Function`] (see [`Function::delete_inst`]).
+    ///
+    /// # Panics
+    /// Panics if `id` does not define a register, was already removed, or
+    /// is not of the `dst == src` transparent shape.
+    pub fn remove_transparent_def(&mut self, f: &Function, id: InstId) {
+        let inst = f.inst(id);
+        let (dst, src) = match *inst {
+            Inst::Extend { dst, src, .. }
+            | Inst::JustExtended { dst, src, .. }
+            | Inst::Copy { dst, src, .. } => (dst, src),
+            ref other => panic!("not a transparent def at {id}: {other:?}"),
+        };
+        assert_eq!(dst, src, "transparent def must have dst == src at {id}");
+        let r = dst;
+        let e_def = self.def_of_inst.get(&id).copied().expect("defines a register");
+        assert!(!self.removed[e_def.index()], "{id} already removed");
+
+        // Defs feeding the extension (may include e_def itself via a loop
+        // back edge; drop it — after removal it no longer exists).
+        let mut feeding = self.ud.remove(&(id, r)).unwrap_or_default();
+        feeding.remove(&e_def);
+        // Uses the extension's def reached (exclude its own use key).
+        let mut consumers = std::mem::take(&mut self.du[e_def.index()]);
+        consumers.remove(&(id, r));
+
+        for &u in &consumers {
+            let entry = self.ud.entry(u).or_default();
+            entry.remove(&e_def);
+            entry.extend(feeding.iter().copied());
+        }
+        for &d in &feeding {
+            let du = &mut self.du[d.index()];
+            du.remove(&(id, r));
+            du.extend(consumers.iter().copied());
+        }
+        self.removed[e_def.index()] = true;
+        self.def_of_inst.remove(&id);
+    }
+
+    /// Flatten the chains into a canonical set of `(def site, use site)`
+    /// edges for comparison in tests.
+    #[must_use]
+    pub fn edges(&self) -> BTreeSet<(String, UseKey)> {
+        let mut out = BTreeSet::new();
+        for (d, uses) in self.du.iter().enumerate() {
+            if self.removed[d] {
+                continue;
+            }
+            let site = match self.defs[d] {
+                DefSite::Param(i) => format!("param{i}"),
+                DefSite::Inst(id) => format!("{id}"),
+            };
+            for &u in uses {
+                out.insert((site.clone(), u));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxe_ir::{parse_function, BlockId, Width};
+
+    const LOOP: &str = "\
+func @f(i32) -> i32 {
+b0:
+    r1 = const.i32 0
+    br b1
+b1:
+    r2 = const.i32 1
+    r0 = sub.i32 r0, r2
+    r0 = extend.32 r0
+    r1 = add.i32 r1, r0
+    condbr gt.i32 r0, r2, b1, b2
+b2:
+    ret r1
+}
+";
+
+    fn setup() -> (Function, Cfg, UdDu) {
+        let f = parse_function(LOOP).unwrap();
+        let cfg = Cfg::compute(&f);
+        let udu = UdDu::compute(&f, &cfg);
+        (f, cfg, udu)
+    }
+
+    #[test]
+    fn param_def_reaches_first_use() {
+        let (_, _, udu) = setup();
+        // The `sub` at b1:1 uses r0; reaching defs are the param and the
+        // extend at b1:2 (via the back edge).
+        let sub_id = InstId::new(BlockId(1), 1);
+        let defs = udu.defs_reaching(sub_id, Reg(0));
+        let sites: Vec<DefSite> = defs.iter().map(|&d| udu.site(d)).collect();
+        assert_eq!(sites.len(), 2);
+        assert!(sites.contains(&DefSite::Param(0)));
+        assert!(sites.contains(&DefSite::Inst(InstId::new(BlockId(1), 2))));
+    }
+
+    #[test]
+    fn extend_def_reaches_loop_uses() {
+        let (_, _, udu) = setup();
+        let ext_id = InstId::new(BlockId(1), 2);
+        let d = udu.def_of_inst(ext_id).unwrap();
+        let uses = udu.uses_of(d);
+        // extend's r0 reaches: add (b1:3), condbr (b1:4), sub (b1:1 via
+        // back edge).
+        assert!(uses.contains(&(InstId::new(BlockId(1), 3), Reg(0))));
+        assert!(uses.contains(&(InstId::new(BlockId(1), 4), Reg(0))));
+        assert!(uses.contains(&(InstId::new(BlockId(1), 1), Reg(0))));
+        assert_eq!(uses.len(), 3);
+    }
+
+    #[test]
+    fn removal_matches_recompute() {
+        let (mut f, cfg, mut udu) = setup();
+        let ext_id = InstId::new(BlockId(1), 2);
+        udu.remove_transparent_def(&f, ext_id);
+        f.delete_inst(ext_id);
+        let fresh = UdDu::compute(&f, &cfg);
+        assert_eq!(udu.edges(), fresh.edges());
+    }
+
+    #[test]
+    fn removal_splices_defs() {
+        let (f, _, mut udu) = setup();
+        let ext_id = InstId::new(BlockId(1), 2);
+        udu.remove_transparent_def(&f, ext_id);
+        // Now the sub's def (b1:1) directly reaches the add and the branch.
+        let sub_def = udu.def_of_inst(InstId::new(BlockId(1), 1)).unwrap();
+        let uses = udu.uses_of(sub_def);
+        assert!(uses.contains(&(InstId::new(BlockId(1), 3), Reg(0))));
+        assert!(uses.contains(&(InstId::new(BlockId(1), 4), Reg(0))));
+        // And the param def reaches the sub (unchanged) but the extension
+        // def is gone.
+        assert!(udu.def_of_inst(ext_id).is_none());
+    }
+
+    #[test]
+    fn self_reaching_extend_removal() {
+        // A loop where the extend is the only def of r0 inside the loop:
+        // its def reaches its own use around the back edge.
+        let f = parse_function(
+            "func @g(i32) -> i32 {\n\
+             b0:\n    br b1\n\
+             b1:\n    r0 = extend.32 r0\n    condbr gt.i32 r0, r0, b1, b2\n\
+             b2:\n    ret r0\n}\n",
+        )
+        .unwrap();
+        let cfg = Cfg::compute(&f);
+        let mut udu = UdDu::compute(&f, &cfg);
+        let ext_id = InstId::new(BlockId(1), 0);
+        let d = udu.def_of_inst(ext_id).unwrap();
+        assert!(udu.uses_of(d).contains(&(ext_id, Reg(0))));
+        let mut f2 = f.clone();
+        udu.remove_transparent_def(&f2, ext_id);
+        f2.delete_inst(ext_id);
+        let fresh = UdDu::compute(&f2, &cfg);
+        assert_eq!(udu.edges(), fresh.edges());
+    }
+
+    #[test]
+    fn multiple_extends_in_sequence() {
+        let f = parse_function(
+            "func @h(i32) -> i32 {\n\
+             b0:\n    r0 = extend.32 r0\n    r0 = extend.32 r0\n    ret r0\n}\n",
+        )
+        .unwrap();
+        let cfg = Cfg::compute(&f);
+        let mut udu = UdDu::compute(&f, &cfg);
+        let e1 = InstId::new(BlockId(0), 0);
+        let e2 = InstId::new(BlockId(0), 1);
+        // Remove the second first: the ret should then be fed by e1.
+        let mut f2 = f.clone();
+        udu.remove_transparent_def(&f2, e2);
+        f2.delete_inst(e2);
+        let ret_defs = udu.defs_reaching(InstId::new(BlockId(0), 2), Reg(0));
+        assert_eq!(ret_defs.len(), 1);
+        assert_eq!(udu.site(*ret_defs.iter().next().unwrap()), DefSite::Inst(e1));
+        // Then remove the first: the ret is fed by the parameter.
+        udu.remove_transparent_def(&f2, e1);
+        f2.delete_inst(e1);
+        let ret_defs = udu.defs_reaching(InstId::new(BlockId(0), 2), Reg(0));
+        assert_eq!(ret_defs.len(), 1);
+        assert_eq!(udu.site(*ret_defs.iter().next().unwrap()), DefSite::Param(0));
+        let fresh = UdDu::compute(&f2, &cfg);
+        assert_eq!(udu.edges(), fresh.edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "transparent")]
+    fn non_transparent_removal_panics() {
+        let f = parse_function(
+            "func @x(i32) -> i32 {\n\
+             b0:\n    r1 = extend.32 r0\n    ret r1\n}\n",
+        )
+        .unwrap();
+        let cfg = Cfg::compute(&f);
+        let mut udu = UdDu::compute(&f, &cfg);
+        udu.remove_transparent_def(&f, InstId::new(BlockId(0), 0));
+        let _ = Width::W32;
+    }
+}

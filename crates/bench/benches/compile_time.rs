@@ -1,0 +1,62 @@
+//! Criterion bench: per-phase compile time (the quantities behind the
+//! paper's Table 3 — sign-extension optimizations vs UD/DU chain
+//! creation vs everything else).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sxe_analysis::UdDu;
+use sxe_core::{GenStrategy, SxeConfig, Variant};
+use sxe_ir::{Cfg, Target};
+use sxe_opt::GeneralOpts;
+
+fn prepared_function() -> sxe_ir::Function {
+    let mut m = sxe_workloads::by_name("compress").expect("exists").build(256);
+    sxe_core::convert_module(&mut m, Target::Ia64, GenStrategy::AfterDef);
+    sxe_opt::run_module(&mut m, &GeneralOpts::default());
+    let id = m.function_by_name("main").expect("main");
+    m.function(id).clone()
+}
+
+fn bench_phases(c: &mut Criterion) {
+    let source = sxe_workloads::by_name("compress").expect("exists").build(256);
+    let prepared = prepared_function();
+
+    c.bench_function("step1_conversion", |b| {
+        b.iter(|| {
+            let mut m = source.clone();
+            std::hint::black_box(sxe_core::convert_module(
+                &mut m,
+                Target::Ia64,
+                GenStrategy::AfterDef,
+            ))
+        })
+    });
+
+    c.bench_function("step2_general_opts", |b| {
+        let mut converted = source.clone();
+        sxe_core::convert_module(&mut converted, Target::Ia64, GenStrategy::AfterDef);
+        b.iter(|| {
+            let mut m = converted.clone();
+            std::hint::black_box(sxe_opt::run_module(&mut m, &GeneralOpts::default()))
+        })
+    });
+
+    c.bench_function("udu_chain_creation", |b| {
+        let cfg = Cfg::compute(&prepared);
+        b.iter(|| std::hint::black_box(UdDu::compute(&prepared, &cfg)))
+    });
+
+    c.bench_function("step3_sxe_all", |b| {
+        let config = SxeConfig::for_variant(Variant::All);
+        b.iter(|| {
+            let mut f = prepared.clone();
+            std::hint::black_box(sxe_core::run_step3(&mut f, &config, None))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_phases
+}
+criterion_main!(benches);

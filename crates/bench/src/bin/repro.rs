@@ -1,0 +1,103 @@
+//! Reproduce the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale S] [table1|table2|table3|fig11|fig12|fig13|fig14|all]
+//! ```
+//!
+//! `--scale` multiplies every workload's default size (default 1.0; use
+//! e.g. `--scale 0.1` for a quick pass).
+
+use sxe_bench::{
+    compile_time_table, dynamic_extend_table, dynamic_extend_table_on, figure_series,
+    render_compile_times, render_speedups, render_table, speedup_figure, CountTable,
+};
+use sxe_ir::Target;
+use sxe_workloads::Suite;
+
+struct Lazy {
+    scale: f64,
+    t1: Option<CountTable>,
+    t2: Option<CountTable>,
+}
+
+impl Lazy {
+    fn table1(&mut self) -> &CountTable {
+        let scale = self.scale;
+        self.t1
+            .get_or_insert_with(|| dynamic_extend_table(Suite::JByteMark, scale))
+    }
+    fn table2(&mut self) -> &CountTable {
+        let scale = self.scale;
+        self.t2
+            .get_or_insert_with(|| dynamic_extend_table(Suite::SpecJvm98, scale))
+    }
+}
+
+fn main() {
+    let mut scale = 1.0f64;
+    let mut what: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--scale S] [table1|table2|table3|fig11|fig12|fig13|fig14|ppc64|all]"
+                );
+                return;
+            }
+            other => what.push(other.to_string()),
+        }
+    }
+    if what.is_empty() {
+        what.push("all".into());
+    }
+    let wants = |k: &str| what.iter().any(|w| w == k || w == "all");
+    let mut lazy = Lazy { scale, t1: None, t2: None };
+
+    if wants("table1") {
+        println!("== Table 1: dynamic counts of remaining 32-bit sign extensions (jBYTEmark) ==");
+        println!("{}", render_table(lazy.table1()));
+    }
+    if wants("table2") {
+        println!("== Table 2: dynamic counts of remaining 32-bit sign extensions (SPECjvm98) ==");
+        println!("{}", render_table(lazy.table2()));
+    }
+    if wants("fig11") {
+        println!("== Figure 11: percentages over baseline (jBYTEmark) ==");
+        println!("{}", figure_series(lazy.table1()));
+    }
+    if wants("fig12") {
+        println!("== Figure 12: percentages over baseline (SPECjvm98) ==");
+        println!("{}", figure_series(lazy.table2()));
+    }
+    if wants("fig13") {
+        println!("== Figure 13: estimated performance improvement (jBYTEmark) ==");
+        println!("{}", render_speedups(&speedup_figure(Suite::JByteMark, scale)));
+    }
+    if wants("fig14") {
+        println!("== Figure 14: estimated performance improvement (SPECjvm98) ==");
+        println!("{}", render_speedups(&speedup_figure(Suite::SpecJvm98, scale)));
+    }
+    if wants("table3") {
+        println!("== Table 3: breakdown of JIT compilation time ==");
+        println!("{}", render_compile_times(&compile_time_table(scale, 5)));
+    }
+    if what.iter().any(|w| w == "ppc64") {
+        println!("== Extra: Table 1 on PPC64 (lwa loads sign-extend) ==");
+        println!(
+            "{}",
+            render_table(&dynamic_extend_table_on(Suite::JByteMark, scale, Target::Ppc64))
+        );
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,356 @@
+//! # sxe-bench — reproduction harness for every table and figure
+//!
+//! Regenerates the paper's evaluation artifacts on the synthetic
+//! workloads:
+//!
+//! * [`dynamic_extend_table`] — Tables 1 and 2 (dynamic counts of
+//!   remaining 32-bit sign extensions, twelve algorithm variants);
+//! * [`figure_series`] — Figures 11 and 12 (the same data as percentage
+//!   series);
+//! * [`speedup_figure`] — Figures 13 and 14 (estimated run-time
+//!   improvement over the baseline, via the VM cycle model);
+//! * [`compile_time_table`] — Table 3 (JIT compile-time breakdown).
+//!
+//! The `repro` binary prints them: `cargo run -p sxe-bench --bin repro --release`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt::Write as _;
+
+use sxe_core::Variant;
+use sxe_ir::{Target, Width};
+use sxe_jit::{Compiled, Compiler};
+use sxe_vm::Machine;
+use sxe_workloads::{Suite, Workload};
+
+/// Execution fuel for harness runs.
+pub const FUEL: u64 = 4_000_000_000;
+
+/// One table cell: dynamic count and percentage of the baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// Dynamic count of remaining 32-bit sign extensions.
+    pub count: u64,
+    /// Percentage of the baseline count (100.0 for the baseline row).
+    pub pct: f64,
+}
+
+/// One table row (an algorithm variant across all workloads).
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The variant.
+    pub variant: Variant,
+    /// Cells in workload order.
+    pub cells: Vec<Cell>,
+    /// Arithmetic mean of the percentages (the paper's "average" column).
+    pub avg_pct: f64,
+}
+
+/// A full dynamic-count table (Table 1 or Table 2).
+#[derive(Debug, Clone)]
+pub struct CountTable {
+    /// Which suite.
+    pub suite: Suite,
+    /// Workload names, in column order.
+    pub workloads: Vec<String>,
+    /// Rows in the paper's variant order.
+    pub rows: Vec<Row>,
+}
+
+fn run_counting(compiled: &Compiled, target: Target) -> (u64, u64, u64) {
+    let mut vm = Machine::new(&compiled.module, target);
+    vm.set_fuel(FUEL);
+    vm.run("main", &[]).expect("workload must not trap");
+    (
+        vm.counters.extend_count(Some(Width::W32)),
+        vm.counters.cycles,
+        vm.counters.insts,
+    )
+}
+
+/// Scale a workload size by `scale` (at least 4).
+fn scaled(w: &Workload, scale: f64) -> u32 {
+    ((w.default_size as f64 * scale) as u32).max(4)
+}
+
+/// Compute Table 1 (`suite = JByteMark`) or Table 2 (`SpecJvm98`).
+///
+/// `scale` multiplies every workload's default size (use < 1.0 for quick
+/// runs, 1.0 for the full reproduction).
+///
+/// # Panics
+/// Panics if a workload traps — that would be a compiler bug.
+#[must_use]
+pub fn dynamic_extend_table(suite: Suite, scale: f64) -> CountTable {
+    dynamic_extend_table_on(suite, scale, Target::Ia64)
+}
+
+/// [`dynamic_extend_table`] for an explicit target. On
+/// [`Target::Ppc64`] the baseline itself is smaller (the `lwa` load
+/// sign-extends), reproducing the paper's remark that elimination
+/// matters even more on architectures without implicit sign extension.
+///
+/// # Panics
+/// Panics if a workload traps — that would be a compiler bug.
+#[must_use]
+pub fn dynamic_extend_table_on(suite: Suite, scale: f64, target: Target) -> CountTable {
+    let workloads: Vec<Workload> = sxe_workloads::all()
+        .into_iter()
+        .filter(|w| w.suite == suite)
+        .collect();
+    let mut baseline: Vec<u64> = Vec::new();
+    let mut rows = Vec::new();
+    for variant in Variant::ALL {
+        let compiler = Compiler::for_variant(variant).with_target(target);
+        let mut cells = Vec::new();
+        for (i, w) in workloads.iter().enumerate() {
+            let m = w.build(scaled(w, scale));
+            // Paper-faithful: the combined interpreter + dynamic compiler
+            // profiles the code before optimizing, feeding measured block
+            // frequencies to order determination.
+            let compiled = compiler.compile_profiled(&m, "main", &[]);
+            let (count, _, _) = run_counting(&compiled, target);
+            let base = if variant == Variant::Baseline {
+                baseline.push(count.max(1));
+                count.max(1)
+            } else {
+                baseline[i]
+            };
+            cells.push(Cell { count, pct: 100.0 * count as f64 / base as f64 });
+        }
+        let avg_pct = cells.iter().map(|c| c.pct).sum::<f64>() / cells.len() as f64;
+        rows.push(Row { variant, cells, avg_pct });
+    }
+    CountTable {
+        suite,
+        workloads: workloads.iter().map(|w| w.name.to_string()).collect(),
+        rows,
+    }
+}
+
+/// Render a [`CountTable`] as aligned text in the paper's layout.
+#[must_use]
+pub fn render_table(t: &CountTable) -> String {
+    let mut out = String::new();
+    let label_w = 28;
+    let col_w = 14;
+    let _ = write!(out, "{:label_w$}", "");
+    for name in &t.workloads {
+        let _ = write!(out, "{name:>col_w$}");
+    }
+    let _ = writeln!(out, "{:>col_w$}", "average");
+    for row in &t.rows {
+        let _ = write!(out, "{:label_w$}", row.variant.label());
+        for c in &row.cells {
+            let _ = write!(out, "{:>col_w$}", c.count);
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "{:label_w$}", "");
+        for c in &row.cells {
+            let _ = write!(out, "{:>col_w$}", format!("({:.2}%)", c.pct));
+        }
+        let _ = writeln!(out, "{:>col_w$}", format!("({:.2}%)", row.avg_pct));
+    }
+    out
+}
+
+/// Figures 11/12: the percentage series per variant (one line per
+/// variant: `label: p1 p2 ... pN avg`).
+#[must_use]
+pub fn figure_series(t: &CountTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} — % of baseline dynamic 32-bit sign extensions", t.suite);
+    let _ = writeln!(out, "# columns: {}", t.workloads.join(", "));
+    for row in &t.rows {
+        let series: Vec<String> = row.cells.iter().map(|c| format!("{:.2}", c.pct)).collect();
+        let _ = writeln!(out, "{:28} {}  avg={:.2}", row.variant.label(), series.join(" "), row.avg_pct);
+    }
+    out
+}
+
+/// One bar of Figures 13/14.
+#[derive(Debug, Clone)]
+pub struct SpeedupBar {
+    /// Workload name.
+    pub name: String,
+    /// Estimated performance improvement over the baseline, in percent
+    /// (flat cycle-model: `baseline / optimized - 1`).
+    pub improvement_pct: f64,
+    /// Improvement under the in-order dual-issue list-scheduling model
+    /// ([`sxe_vm::sched`]), which additionally credits shortened
+    /// dependence chains.
+    pub scheduled_pct: f64,
+}
+
+/// Figures 13/14: per-workload estimated improvement of the full
+/// algorithm over the baseline.
+///
+/// # Panics
+/// Panics if a workload traps.
+#[must_use]
+pub fn speedup_figure(suite: Suite, scale: f64) -> Vec<SpeedupBar> {
+    let base_compiler = Compiler::for_variant(Variant::Baseline);
+    let all_compiler = Compiler::for_variant(Variant::All);
+    sxe_workloads::all()
+        .into_iter()
+        .filter(|w| w.suite == suite)
+        .map(|w| {
+            let m = w.build(scaled(&w, scale));
+            let base = base_compiler.compile_profiled(&m, "main", &[]);
+            let all = all_compiler.compile_profiled(&m, "main", &[]);
+            let (_, base_cycles, _) = run_counting(&base, Target::Ia64);
+            let (_, all_cycles, _) = run_counting(&all, Target::Ia64);
+            let sched = |c: &Compiled| -> u64 {
+                let mut vm = Machine::new(&c.module, Target::Ia64);
+                vm.enable_profile();
+                vm.set_fuel(FUEL);
+                vm.run("main", &[]).expect("no trap");
+                c.module
+                    .iter()
+                    .map(|(id, f)| {
+                        let counts = vm.profile_counts(id).expect("profiling on");
+                        sxe_vm::sched::function_cycles(f, counts)
+                    })
+                    .sum()
+            };
+            let base_sched = sched(&base).max(1);
+            let all_sched = sched(&all).max(1);
+            SpeedupBar {
+                name: w.name.to_string(),
+                improvement_pct: 100.0 * (base_cycles as f64 / all_cycles as f64 - 1.0),
+                scheduled_pct: 100.0 * (base_sched as f64 / all_sched as f64 - 1.0),
+            }
+        })
+        .collect()
+}
+
+/// One row of Table 3.
+#[derive(Debug, Clone)]
+pub struct CompileTimeRow {
+    /// Workload name.
+    pub name: String,
+    /// Percentage of compile time in the sign-extension optimizations.
+    pub sxe_pct: f64,
+    /// Percentage in UD/DU chain creation.
+    pub chains_pct: f64,
+    /// Everything else.
+    pub others_pct: f64,
+}
+
+/// Table 3: the JIT compile-time breakdown for the full algorithm, per
+/// workload, plus the average as the final row.
+#[must_use]
+pub fn compile_time_table(scale: f64, repeats: u32) -> Vec<CompileTimeRow> {
+    let compiler = Compiler::for_variant(Variant::All);
+    let mut rows: Vec<CompileTimeRow> = sxe_workloads::all()
+        .into_iter()
+        .map(|w| {
+            let m = w.build(scaled(&w, scale));
+            let mut times = sxe_jit::PhaseTimes::default();
+            for _ in 0..repeats.max(1) {
+                times.merge(compiler.compile(&m).times);
+            }
+            let total = times.total().as_secs_f64().max(1e-12);
+            CompileTimeRow {
+                name: w.name.to_string(),
+                sxe_pct: 100.0 * times.sxe_opt.as_secs_f64() / total,
+                chains_pct: 100.0 * times.chain_creation.as_secs_f64() / total,
+                others_pct: 100.0 * times.others().as_secs_f64() / total,
+            }
+        })
+        .collect();
+    let n = rows.len() as f64;
+    rows.push(CompileTimeRow {
+        name: "average".into(),
+        sxe_pct: rows.iter().map(|r| r.sxe_pct).sum::<f64>() / n,
+        chains_pct: rows.iter().map(|r| r.chains_pct).sum::<f64>() / n,
+        others_pct: rows.iter().map(|r| r.others_pct).sum::<f64>() / n,
+    });
+    rows
+}
+
+/// Render Figures 13/14 bars as text (both performance models).
+#[must_use]
+pub fn render_speedups(bars: &[SpeedupBar]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>14} {:>10} {:>10}", "", "flat-cost", "scheduled");
+    for b in bars {
+        let hashes = "#".repeat((b.scheduled_pct.max(0.0) / 0.5) as usize);
+        let _ = writeln!(
+            out,
+            "{:>14} {:>9.2}% {:>9.2}% {}",
+            b.name, b.improvement_pct, b.scheduled_pct, hashes
+        );
+    }
+    out
+}
+
+/// Render Table 3 as text.
+#[must_use]
+pub fn render_compile_times(rows: &[CompileTimeRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>14} {:>22} {:>22} {:>10}",
+        "", "sign-ext opts (all)", "UD/DU chain creation", "others"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>14} {:>21.2}% {:>21.2}% {:>9.2}%",
+            r.name, r.sxe_pct, r.chains_pct, r.others_pct
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_table_has_expected_shape() {
+        let t = dynamic_extend_table(Suite::JByteMark, 0.05);
+        assert_eq!(t.rows.len(), 12);
+        assert_eq!(t.workloads.len(), 10);
+        // Baseline row is 100%.
+        for c in &t.rows[0].cells {
+            assert!((c.pct - 100.0).abs() < 1e-9);
+        }
+        // The full algorithm's average beats the first algorithm's.
+        let avg = |v: Variant| t.rows.iter().find(|r| r.variant == v).unwrap().avg_pct;
+        assert!(avg(Variant::All) < avg(Variant::FirstAlgorithm));
+        assert!(avg(Variant::All) < 50.0, "majority eliminated");
+        let text = render_table(&t);
+        assert!(text.contains("new algorithm (all)"));
+    }
+
+    #[test]
+    fn speedups_are_positive_for_integer_kernels() {
+        let bars = speedup_figure(Suite::SpecJvm98, 0.05);
+        assert_eq!(bars.len(), 7);
+        let compress = bars.iter().find(|b| b.name == "compress").unwrap();
+        assert!(compress.improvement_pct > 0.0);
+        let text = render_speedups(&bars);
+        assert!(text.contains("compress"));
+    }
+
+    #[test]
+    fn compile_time_rows_sum_to_100() {
+        let rows = compile_time_table(0.05, 1);
+        assert_eq!(rows.len(), 18); // 17 workloads + average
+        for r in &rows {
+            let sum = r.sxe_pct + r.chains_pct + r.others_pct;
+            assert!((sum - 100.0).abs() < 0.5, "{}: {sum}", r.name);
+        }
+    }
+
+    #[test]
+    fn figure_series_renders() {
+        let t = dynamic_extend_table(Suite::SpecJvm98, 0.05);
+        let s = figure_series(&t);
+        assert!(s.contains("SPECjvm98"));
+        assert!(s.lines().count() >= 14);
+    }
+}

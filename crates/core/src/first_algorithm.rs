@@ -1,0 +1,201 @@
+//! The authors' *first algorithm*: sign-extension elimination by backward
+//! dataflow analysis (paper §1).
+//!
+//! "This algorithm … eliminates a sign extension instruction if the
+//! backward dataflow analysis proves that the upper 32 bits of the
+//! destination operand do not affect the correct execution of the
+//! following instructions."
+//!
+//! The analysis computes, per program point and query width `w`, the set
+//! of registers whose bits `>= w` still matter downstream (*demand*). An
+//! extension whose destination is not demanded immediately after it is
+//! removed. The algorithm's four limitations (§1) — array indices, missed
+//! def-side opportunities, latest-extension-wins placement, and no code
+//! motion out of loops — all fall out of this formulation and are
+//! exercised by the `paper_figures` integration test.
+
+use sxe_analysis::BitSet;
+use sxe_ir::semantics::classify_uses;
+use sxe_ir::{Cfg, Function, Inst, UseKind, Width};
+
+/// Run the first algorithm at one width; returns the number of
+/// extensions eliminated.
+pub fn run_width(f: &mut Function, width: Width) -> usize {
+    let cfg = Cfg::compute(f);
+    let nregs = f.reg_count as usize;
+    let nblocks = f.blocks.len();
+
+    // Fixpoint over block-entry demand (backward).
+    let mut demand_in: Vec<BitSet> = vec![BitSet::new(nregs); nblocks];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in cfg.rpo().iter().rev() {
+            let mut out = BitSet::new(nregs);
+            for &s in cfg.succs(b) {
+                out.union_with(&demand_in[s.index()]);
+            }
+            let mut set = out;
+            for inst in f.block(b).insts.iter().rev() {
+                transfer(inst, width, &mut set);
+            }
+            if set != demand_in[b.index()] {
+                demand_in[b.index()] = set;
+                changed = true;
+            }
+        }
+    }
+
+    // Sweep: remove extensions whose destination is undemanded just after
+    // them. The demand computed with all extensions present is sound for
+    // simultaneous removal because extensions only *kill* demand.
+    let mut eliminated = 0;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        if !cfg.is_reachable(b) {
+            continue;
+        }
+        let mut set = BitSet::new(nregs);
+        for &s in cfg.succs(b) {
+            set.union_with(&demand_in[s.index()]);
+        }
+        let blk = f.block_mut(b);
+        for inst in blk.insts.iter_mut().rev() {
+            if let Inst::Extend { dst, src, from } = *inst {
+                if from == width && !set.contains(dst.index()) {
+                    // The machine `sxt` disappears. An in-place extension
+                    // (`r = extend(r)`) vanishes entirely; a two-register
+                    // one still has to move the value.
+                    *inst = if dst == src {
+                        Inst::Nop
+                    } else {
+                        Inst::Copy { dst, src, ty: from.ty() }
+                    };
+                    eliminated += 1;
+                }
+            }
+            transfer(inst, width, &mut set);
+        }
+    }
+    eliminated
+}
+
+/// Run the first algorithm for every width; returns the total eliminated.
+pub fn run(f: &mut Function, widths: &[Width]) -> usize {
+    let mut total = 0;
+    for &w in widths {
+        total += run_width(f, w);
+    }
+    f.compact();
+    total
+}
+
+fn transfer(inst: &Inst, width: Width, set: &mut BitSet) {
+    if matches!(inst, Inst::Nop) {
+        return;
+    }
+    let demanded_dst = inst.dst().is_some_and(|d| set.contains(d.index()));
+    if let Some(d) = inst.dst() {
+        set.remove(d.index());
+    }
+    for (r, kind) in classify_uses(inst, width) {
+        match kind {
+            // The first algorithm cannot reason about array subscripts:
+            // the effective-address computation demands the full register.
+            UseKind::Required | UseKind::ArrayIndex => {
+                set.insert(r.index());
+            }
+            UseKind::Transmits => {
+                if demanded_dst {
+                    set.insert(r.index());
+                }
+            }
+            UseKind::Ignored => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxe_ir::parse_function;
+
+    #[test]
+    fn removes_unneeded_keeps_needed() {
+        // Figure 2(2): i = mem; i = i + 1; i = extend(i); t = (double) i.
+        let mut f = parse_function(
+            "func @f(i32) -> f64 {\n\
+             b0:\n    r1 = newarray.i32 r0\n    r2 = aload.i32 r1, r0\n    r2 = extend.32 r2\n    r3 = const.i32 1\n    r2 = add.i32 r2, r3\n    r2 = extend.32 r2\n    r4 = i32tof64.f64 r2\n    ret r4\n}\n",
+        )
+        .unwrap();
+        let n = run(&mut f, &[Width::W32]);
+        // The extension after the load is removable (the add doesn't need
+        // it); the one before i2d is not.
+        assert_eq!(n, 1);
+        assert_eq!(f.count_extends(None), 1);
+    }
+
+    #[test]
+    fn keeps_array_index_extensions() {
+        // Limitation 1: a[i] demands the full index register.
+        let mut f = parse_function(
+            "func @f(i32, i32) -> i32 {\n\
+             b0:\n    r2 = newarray.i32 r0\n    r3 = sub.i32 r0, r1\n    r3 = extend.32 r3\n    r4 = aload.i32 r2, r3\n    r4 = extend.32 r4\n    ret r4\n}\n",
+        )
+        .unwrap();
+        let n = run(&mut f, &[Width::W32]);
+        // The index extension stays; the loaded value's extension stays
+        // too (ret requires it).
+        assert_eq!(n, 0);
+        assert_eq!(f.count_extends(None), 2);
+    }
+
+    #[test]
+    fn leaves_latest_extension_in_loop() {
+        // Limitation 3: extensions of the same variable inside and
+        // outside a loop — the one inside survives.
+        let mut f = parse_function(
+            "func @f(i32, i32) -> f64 {\n\
+             b0:\n    r0 = extend.32 r0\n    br b1\n\
+             b1:\n    r2 = const.i32 1\n    r0 = sub.i32 r0, r2\n    r0 = extend.32 r0\n    condbr gt.i32 r0, r1, b1, b2\n\
+             b2:\n    r3 = i32tof64.f64 r0\n    ret r3\n}\n",
+        )
+        .unwrap();
+        let n = run(&mut f, &[Width::W32]);
+        assert_eq!(n, 1);
+        // The surviving extension is the one in the loop (b1) — the
+        // unfortunate placement the new algorithm fixes.
+        assert!(f.block(sxe_ir::BlockId(1)).insts.iter().any(|i| i.is_extend(None)));
+        assert!(!f.block(sxe_ir::BlockId(0)).insts.iter().any(|i| i.is_extend(None)));
+    }
+
+    #[test]
+    fn demand_through_transmitting_ops() {
+        // extend feeds an add whose result feeds i2d: demand flows
+        // through the add, so the extension must stay.
+        let mut f = parse_function(
+            "func @f(i32, i32) -> f64 {\n\
+             b0:\n    r2 = mul.i32 r0, r1\n    r2 = extend.32 r2\n    r3 = add.i32 r2, r1\n    r4 = i32tof64.f64 r3\n    ret r4\n}\n",
+        )
+        .unwrap();
+        // Wait: the add's RESULT feeds i2d, so the add's dst is demanded
+        // and demand transmits to r2.
+        let n = run(&mut f, &[Width::W32]);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn per_width_independence() {
+        // extend.8 before a 32-bit store: bits 8..32 are stored, so the
+        // 8-bit extension must stay; an extend.32 before the same store
+        // is removable.
+        let mut f = parse_function(
+            "func @f(i32, i32) {\n\
+             b0:\n    r2 = newarray.i32 r0\n    r3 = const.i32 0\n    r1 = extend.8 r1\n    r1 = extend.32 r1\n    astore.i32 r2, r3, r1\n    ret\n}\n",
+        )
+        .unwrap();
+        let n = run(&mut f, &[Width::W32, Width::W16, Width::W8]);
+        assert_eq!(n, 1);
+        assert_eq!(f.count_extends(Some(Width::W8)), 1);
+        assert_eq!(f.count_extends(Some(Width::W32)), 0);
+    }
+}

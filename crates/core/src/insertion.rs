@@ -1,0 +1,276 @@
+//! Phase (3)-1: sign-extension insertion (paper §2.1).
+//!
+//! Two kinds of instructions are inserted:
+//!
+//! * a sign extension "immediately before every instruction where sign
+//!   extension is necessary unless its variable is obviously
+//!   sign-extended" — so that, combined with hottest-first elimination,
+//!   extensions migrate out of loops (Figures 7/8);
+//! * a *dummy* sign extension (`justext`) just after every array access,
+//!   marking the index as known-extended (the access succeeded), "unless
+//!   an array index is overwritten immediately, as in `i = a[i]`".
+//!
+//! "To balance compilation time and effectiveness, we apply this
+//! insertion only to those methods which include a loop."
+
+use sxe_analysis::AvailableExt;
+use sxe_ir::semantics::{classify_uses, def_facts};
+use sxe_ir::{
+    Cfg, DomTree, ExtFacts, Function, Inst, LoopForest, Reg, Target, UseKind, Width,
+};
+
+use crate::convert::{infer_kinds, RegKind};
+
+/// Result counts of the insertion phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InsertionStats {
+    /// Real extensions inserted before requiring uses.
+    pub inserted: usize,
+    /// Dummy extensions — always 0 from the insertion algorithms
+    /// themselves; dummies come from the separate [`insert_dummies`]
+    /// pass, which runs for every chain-based variant.
+    pub dummies: usize,
+}
+
+/// Run the simple insertion algorithm (real extensions before requiring
+/// uses; dummies are handled separately by [`insert_dummies`]).
+///
+/// `loops_only` implements the paper's compile-time guard: extensions
+/// are inserted only when the function contains a loop.
+///
+/// # Panics
+/// Panics if register kinds cannot be inferred.
+pub fn simple_insertion(f: &mut Function, target: Target, loops_only: bool) -> InsertionStats {
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(&cfg);
+    let loops = LoopForest::compute(&cfg, &dom);
+    let insert_real = !loops_only || loops.has_loops();
+    let kinds = infer_kinds(f).expect("register kinds must be consistent");
+    let avail = AvailableExt::compute_inherent(f, &cfg, target, Width::W32);
+    run_insertion(f, target, &kinds, &avail, insert_real, None)
+}
+
+/// Insert a dummy extension (`justext`) after every array access,
+/// asserting that the just-bounds-checked index is sign-extended —
+/// "unless an array index is overwritten immediately, as in `i = a[i]`".
+///
+/// Dummies are free compiler-internal markers (they cost no machine
+/// instruction and are removed when elimination finishes), and they are
+/// the *sound* carrier of loop-carried index facts: an index that
+/// survived a bounds check is a non-negative in-range value. They are
+/// therefore inserted whenever the UD/DU elimination runs, regardless of
+/// the `insert` feature.
+///
+/// # Panics
+/// Panics if register kinds cannot be inferred.
+pub fn insert_dummies(f: &mut Function, _target: Target) -> usize {
+    let kinds = infer_kinds(f).expect("register kinds must be consistent");
+    let mut dummies = 0;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let old = std::mem::take(&mut f.block_mut(b).insts);
+        let mut new: Vec<Inst> = Vec::with_capacity(old.len() + 4);
+        for inst in old {
+            if matches!(inst, Inst::Nop) {
+                continue;
+            }
+            let dummy = match inst {
+                Inst::ArrayLoad { dst, index, .. } if dst != index => Some(index),
+                Inst::ArrayStore { index, .. } => Some(index),
+                _ => None,
+            };
+            new.push(inst);
+            if let Some(idx) = dummy {
+                if kinds[idx.index()] == RegKind::Int32 {
+                    new.push(Inst::JustExtended { dst: idx, src: idx, from: Width::W32 });
+                    dummies += 1;
+                }
+            }
+        }
+        f.block_mut(b).insts = new;
+    }
+    dummies
+}
+
+/// Shared insertion engine; `may_reach` (when present) restricts real
+/// insertions to registers for which an existing extension reaches the
+/// use point (the PDE variant, see [`crate::pde`]).
+pub(crate) fn run_insertion(
+    f: &mut Function,
+    target: Target,
+    kinds: &[RegKind],
+    avail: &AvailableExt,
+    insert_real: bool,
+    may_reach: Option<&dyn Fn(sxe_ir::BlockId, usize, Reg) -> bool>,
+) -> InsertionStats {
+    let mut stats = InsertionStats::default();
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let old = std::mem::take(&mut f.block_mut(b).insts);
+        let mut new: Vec<Inst> = Vec::with_capacity(old.len() + 4);
+        for (orig_idx, inst) in old.into_iter().enumerate() {
+            if matches!(inst, Inst::Nop) {
+                continue;
+            }
+            if insert_real {
+                let mut done: Vec<Reg> = Vec::new();
+                for (r, kind) in classify_uses(&inst, Width::W32) {
+                    // Only *requiring* uses receive anticipatory
+                    // extensions (the paper's Figure 7(b) inserts (11)
+                    // before the i2d but nothing before a[i]): array
+                    // subscripts are the province of the §3 theorems, and
+                    // shadowing them with fresh in-loop extensions would
+                    // defeat the hottest-first elimination order.
+                    let needs = matches!(kind, UseKind::Required);
+                    if !needs || kinds[r.index()] != RegKind::Int32 || done.contains(&r) {
+                        continue;
+                    }
+                    if obviously_extended(&new, b, r, target, avail) {
+                        continue;
+                    }
+                    if let Some(reach) = may_reach {
+                        if !reach(b, orig_idx, r) {
+                            continue;
+                        }
+                    }
+                    new.push(Inst::Extend { dst: r, src: r, from: Width::W32 });
+                    stats.inserted += 1;
+                    done.push(r);
+                }
+            }
+            new.push(inst);
+        }
+        f.block_mut(b).insts = new;
+    }
+    stats
+}
+
+/// The paper's cheap "obviously sign-extended" check: scan backward
+/// within the (partially rebuilt) block for the most recent definition of
+/// `r`; if it is an extension, a dummy, or an unconditionally extended
+/// definition, the variable is obvious. Falls back to the block-entry
+/// facts when no local definition exists.
+fn obviously_extended(
+    built: &[Inst],
+    b: sxe_ir::BlockId,
+    r: Reg,
+    target: Target,
+    avail: &AvailableExt,
+) -> bool {
+    for inst in built.iter().rev() {
+        if inst.dst() == Some(r) {
+            return match inst {
+                Inst::Extend { from, .. } | Inst::JustExtended { from, .. } => {
+                    from.bits() <= 32
+                }
+                other => {
+                    def_facts(other, target, Width::W32, &mut |_| ExtFacts::NONE).sign_extended
+                }
+            };
+        }
+    }
+    avail.at_block_entry(b, r).sign_extended
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxe_ir::{parse_function, verify_function, BlockId};
+
+    /// The paper's Figure 7 shape: a loop accumulating `t`, with `(double) t`
+    /// after the loop.
+    const FIGURE7_LIKE: &str = "\
+func @f(i32, i32) -> f64 {
+b0:
+    br b1
+b1:
+    r2 = const.i32 1
+    r0 = sub.i32 r0, r2
+    r0 = extend.32 r0
+    condbr gt.i32 r0, r1, b1, b2
+b2:
+    r3 = i32tof64.f64 r0
+    ret r3
+}
+";
+
+    #[test]
+    fn inserts_before_required_use_after_loop() {
+        let mut f = parse_function(FIGURE7_LIKE).unwrap();
+        let stats = simple_insertion(&mut f, Target::Ia64, true);
+        assert_eq!(stats.inserted, 1, "one extension before the i2d");
+        verify_function(&f).unwrap();
+        let b2 = f.block(BlockId(2));
+        assert!(b2.insts[0].is_extend(Some(Width::W32)), "inserted at the top of b2");
+    }
+
+    #[test]
+    fn loops_only_guard() {
+        let mut f = parse_function(
+            "func @f(i32) -> f64 {\n\
+             b0:\n    r1 = add.i32 r0, r0\n    r2 = i32tof64.f64 r1\n    ret r2\n}\n",
+        )
+        .unwrap();
+        let stats = simple_insertion(&mut f, Target::Ia64, true);
+        assert_eq!(stats.inserted, 0, "no loop, no insertion");
+        let mut f2 = parse_function(
+            "func @f(i32) -> f64 {\n\
+             b0:\n    r1 = add.i32 r0, r0\n    r2 = i32tof64.f64 r1\n    ret r2\n}\n",
+        )
+        .unwrap();
+        let stats2 = simple_insertion(&mut f2, Target::Ia64, false);
+        assert_eq!(stats2.inserted, 1);
+    }
+
+    #[test]
+    fn obvious_extension_suppresses_insertion() {
+        // The value is extended by the immediately preceding instruction.
+        let mut f = parse_function(
+            "func @f(i32) -> f64 {\n\
+             b0:\n    r1 = add.i32 r0, r0\n    r1 = extend.32 r1\n    r2 = i32tof64.f64 r1\n    ret r2\n}\n",
+        )
+        .unwrap();
+        let stats = simple_insertion(&mut f, Target::Ia64, false);
+        assert_eq!(stats.inserted, 0);
+    }
+
+    #[test]
+    fn dummies_after_array_accesses() {
+        let mut f = parse_function(
+            "func @f(i32, i32) -> i32 {\n\
+             b0:\n    r2 = newarray.i32 r0\n    r3 = aload.i32 r2, r1\n    astore.i32 r2, r1, r3\n    ret r3\n}\n",
+        )
+        .unwrap();
+        let dummies = insert_dummies(&mut f, Target::Ia64);
+        assert_eq!(dummies, 2);
+        verify_function(&f).unwrap();
+        let b0 = f.block(BlockId(0));
+        assert!(matches!(b0.insts[2], Inst::JustExtended { dst: Reg(1), .. }));
+    }
+
+    #[test]
+    fn no_dummy_when_index_overwritten() {
+        // i = a[i]: the index register is the load destination.
+        let mut f = parse_function(
+            "func @f(i32, i32) -> i32 {\n\
+             b0:\n    r2 = newarray.i32 r0\n    r1 = aload.i32 r2, r1\n    ret r1\n}\n",
+        )
+        .unwrap();
+        assert_eq!(insert_dummies(&mut f, Target::Ia64), 0);
+    }
+
+    #[test]
+    fn no_insertion_before_array_index_use() {
+        // Array subscripts never receive anticipatory extensions — they
+        // belong to the §3 theorems. Only the `ret` of the zero-extended
+        // IA64 load result gets one.
+        let mut f = parse_function(
+            "func @f(i32, i32) -> i32 {\n\
+             b0:\n    br b1\n\
+             b1:\n    r2 = newarray.i32 r0\n    r3 = sub.i32 r1, r0\n    r4 = aload.i32 r2, r3\n    condbr gt.i32 r4, r0, b1, b2\n\
+             b2:\n    ret r4\n}\n",
+        )
+        .unwrap();
+        let stats = simple_insertion(&mut f, Target::Ia64, true);
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(insert_dummies(&mut f, Target::Ia64), 1);
+    }
+}

@@ -1,0 +1,259 @@
+//! Orchestration of Figure 5 step 3: insertion, order determination, and
+//! elimination, per configured [`Variant`].
+
+use std::time::{Duration, Instant};
+
+use sxe_analysis::{FlowRanges, Freq, UdDu};
+use sxe_ir::{Cfg, Function, Module};
+
+use crate::config::{SxeConfig, SxeStats};
+use crate::eliminate::{remove_dummies, run_elimination, ElimConfig};
+use crate::insertion::simple_insertion;
+use crate::order::{elimination_order, static_freq};
+use crate::pde::pde_insertion;
+
+/// Wall-clock breakdown of step 3, mirroring the paper's Table 3 split
+/// between "sign extension optimizations" and "UD/DU chain creation".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Step3Timing {
+    /// Time spent building the UD/DU chains.
+    pub chain_creation: Duration,
+    /// Time spent in the sign-extension optimization proper (insertion,
+    /// order determination, elimination, dummy removal).
+    pub sxe_opt: Duration,
+}
+
+impl Step3Timing {
+    /// Accumulate another function's timing.
+    pub fn merge(&mut self, o: Step3Timing) {
+        self.chain_creation += o.chain_creation;
+        self.sxe_opt += o.sxe_opt;
+    }
+}
+
+/// Run the sign-extension optimization (Fig 5 step 3) on one function
+/// that has already been converted to 64-bit form (step 1) and generally
+/// optimized (step 2).
+///
+/// `profile` optionally supplies measured per-block execution counts for
+/// order determination (the paper's interpreter profile); it must match
+/// the function's current block count or it is ignored.
+pub fn run_step3(f: &mut Function, config: &SxeConfig, profile: Option<&[u64]>) -> SxeStats {
+    run_step3_timed(f, config, profile).0
+}
+
+/// Like [`run_step3`], additionally reporting the Table 3 timing split.
+pub fn run_step3_timed(
+    f: &mut Function,
+    config: &SxeConfig,
+    profile: Option<&[u64]>,
+) -> (SxeStats, Step3Timing) {
+    let variant = config.variant;
+    let mut stats = SxeStats::default();
+    let mut timing = Step3Timing::default();
+
+    if variant.first_algorithm() {
+        let t0 = Instant::now();
+        stats.examined = f.count_extends(None);
+        stats.eliminated = crate::first_algorithm::run(f, &config.widths);
+        timing.sxe_opt = t0.elapsed();
+        return (stats, timing);
+    }
+    if !variant.uses_udu() {
+        return (stats, timing); // baseline / gen-use: no step-3 optimization
+    }
+
+    let t0 = Instant::now();
+    // Phase (3)-1: insertion. Dummy markers after array accesses carry
+    // the bounds-check facts and accompany every chain-based run; real
+    // anticipatory extensions depend on the `insert` feature.
+    stats.dummies = crate::insertion::insert_dummies(f, config.target);
+    if variant.insertion() {
+        let ins = if variant.pde_insertion() {
+            pde_insertion(f, config.target, true)
+        } else {
+            simple_insertion(f, config.target, true)
+        };
+        stats.inserted = ins.inserted;
+    }
+    timing.sxe_opt += t0.elapsed();
+
+    // Chains are built once, after insertion, and maintained
+    // incrementally through the eliminations.
+    let t_chain = Instant::now();
+    let cfg = Cfg::compute(f);
+    let mut udu = UdDu::compute(f, &cfg);
+    timing.chain_creation = t_chain.elapsed();
+    let t1 = Instant::now();
+    // Flow-sensitive interval analysis: intervals of low-32 values are
+    // unaffected by inserting/removing extensions, so one computation
+    // serves every elimination.
+    let flow = FlowRanges::compute(f, &cfg);
+
+    // Phase (3)-2: order determination.
+    let freq_storage: Option<Freq> = if variant.order_determination() {
+        match profile {
+            Some(counts) if config.use_profile && counts.len() == f.blocks.len() => {
+                Some(Freq::from_counts(counts))
+            }
+            _ => Some(static_freq(f, &cfg)),
+        }
+    } else {
+        None
+    };
+    let mut order = elimination_order(f, &cfg, freq_storage.as_ref());
+    order.retain(|&id| match f.inst(id) {
+        sxe_ir::Inst::Extend { from, .. } => config.widths.contains(from),
+        _ => false,
+    });
+
+    // Phase (3)-3: elimination.
+    let ec = ElimConfig {
+        target: config.target,
+        array_analysis: variant.array_analysis(),
+        max_array_len: config.max_array_len,
+    };
+    let res = run_elimination(f, &mut udu, &order, &ec, &flow);
+    stats.examined = res.examined;
+    stats.eliminated = res.eliminated;
+    stats.eliminated_via_array = res.via_array;
+
+    remove_dummies(f, &mut udu);
+    if config.eliminate_zext {
+        crate::zext::eliminate_zero_extensions(f, config.target);
+    }
+    f.compact();
+    timing.sxe_opt += t1.elapsed();
+    (stats, timing)
+}
+
+/// Per-function block-count profiles for a module.
+pub type ModuleProfile = Vec<Vec<u64>>;
+
+/// Run step 3 on every function of a module.
+pub fn run_step3_module(
+    m: &mut Module,
+    config: &SxeConfig,
+    profile: Option<&ModuleProfile>,
+) -> SxeStats {
+    let mut stats = SxeStats::default();
+    for (i, f) in m.functions.iter_mut().enumerate() {
+        let p = profile.and_then(|p| p.get(i)).map(Vec::as_slice);
+        stats.merge(run_step3(f, config, p));
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use crate::convert::{convert_function, GenStrategy};
+    use sxe_ir::{parse_function, verify_function, Target};
+
+    /// Paper Figure 3 / Figure 7 shaped kernel, pre-conversion:
+    /// a count-down loop over an array with a mask and a float sum after.
+    const KERNEL: &str = "\
+func @kernel(i32, i32) -> f64 {
+b0:
+    r2 = newarray.i32 r0
+    r3 = const.i32 0
+    br b1
+b1:
+    r4 = const.i32 1
+    r0 = sub.i32 r0, r4
+    r5 = aload.i32 r2, r0
+    r6 = const.i32 268435455
+    r5 = and.i32 r5, r6
+    r3 = add.i32 r3, r5
+    condbr gt.i32 r0, r1, b1, b2
+b2:
+    r7 = i32tof64.f64 r3
+    ret r7
+}
+";
+
+    fn converted() -> Function {
+        let mut f = parse_function(KERNEL).unwrap();
+        convert_function(&mut f, Target::Ia64, GenStrategy::AfterDef);
+        f
+    }
+
+    #[test]
+    fn all_variant_clears_the_loop() {
+        let mut f = converted();
+        let gen = f.count_extends(None);
+        assert!(gen >= 2, "conversion generated loop extensions");
+        let stats = run_step3(&mut f, &SxeConfig::for_variant(Variant::All), None);
+        verify_function(&f).unwrap();
+        assert!(stats.eliminated >= 2);
+        // The loop body (b1) must hold no extensions: the index is
+        // discharged by Theorem 4, the accumulator moved after the loop.
+        let in_loop = f
+            .block(sxe_ir::BlockId(1))
+            .insts
+            .iter()
+            .filter(|i| i.is_extend(None))
+            .count();
+        assert_eq!(in_loop, 0, "loop body clean:\n{f}");
+    }
+
+    #[test]
+    fn variant_ordering_on_kernel() {
+        // Static extension counts: all <= array <= basic <= baseline.
+        let count_for = |v: Variant| {
+            let mut f = converted();
+            run_step3(&mut f, &SxeConfig::for_variant(v), None);
+            f.count_extends(None)
+        };
+        let baseline = count_for(Variant::Baseline);
+        let basic = count_for(Variant::BasicUdDu);
+        let array = count_for(Variant::Array);
+        let all = count_for(Variant::All);
+        assert!(basic <= baseline);
+        assert!(array <= basic);
+        assert!(all <= array, "all={all} array={array}");
+    }
+
+    #[test]
+    fn baseline_is_untouched() {
+        let mut f = converted();
+        let before = f.count_extends(None);
+        let stats = run_step3(&mut f, &SxeConfig::for_variant(Variant::Baseline), None);
+        assert_eq!(stats.eliminated, 0);
+        assert_eq!(f.count_extends(None), before);
+    }
+
+    #[test]
+    fn first_algorithm_runs() {
+        let mut f = converted();
+        let before = f.count_extends(None);
+        let stats =
+            run_step3(&mut f, &SxeConfig::for_variant(Variant::FirstAlgorithm), None);
+        assert!(stats.eliminated > 0);
+        assert!(f.count_extends(None) < before);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn dummies_never_survive() {
+        for v in Variant::ALL {
+            let mut f = converted();
+            run_step3(&mut f, &SxeConfig::for_variant(v), None);
+            assert!(
+                !f.insts().any(|(_, i)| matches!(i, sxe_ir::Inst::JustExtended { .. })),
+                "{v} left dummies"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_accepted_when_lengths_match() {
+        let mut f = converted();
+        let counts = vec![1u64; f.blocks.len()];
+        let mut config = SxeConfig::for_variant(Variant::All);
+        config.use_profile = true;
+        let stats = run_step3(&mut f, &config, Some(&counts));
+        assert!(stats.eliminated > 0);
+    }
+}

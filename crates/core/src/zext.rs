@@ -1,0 +1,112 @@
+//! Zero-extension elimination — an extension beyond the paper.
+//!
+//! The paper closes by noting the algorithm "is also applicable for other
+//! languages requiring sign extensions"; the same machinery applies to
+//! *zero* extensions (C `unsigned`, Java `char`). A `zext_w(x)` is a
+//! no-op whenever bits `>= w` of `x` are already zero — precisely the
+//! `upper_zero` fact the [`AvailableExt`] analysis tracks at width `w`
+//! (e.g. an IA64 32-bit load, a masked value, or another zero
+//! extension).
+//!
+//! The pass is off by default (it is not part of the paper's evaluation)
+//! and is enabled with
+//! [`SxeConfig::eliminate_zext`](crate::SxeConfig::eliminate_zext).
+
+use sxe_analysis::AvailableExt;
+use sxe_ir::{Cfg, Function, Inst, Target, Ty, UnOp, Width};
+
+/// Replace provably redundant zero extensions with copies; returns the
+/// number rewritten.
+pub fn eliminate_zero_extensions(f: &mut Function, target: Target) -> usize {
+    let cfg = Cfg::compute(f);
+    let mut rewritten = 0;
+    for width in [Width::W8, Width::W16, Width::W32] {
+        let avail = AvailableExt::compute(f, &cfg, target, width);
+        for b in f.block_ids().collect::<Vec<_>>() {
+            if !cfg.is_reachable(b) {
+                continue;
+            }
+            let mut walker = avail.walk_block(f, b);
+            let mut replace: Vec<(usize, Inst)> = Vec::new();
+            for (i, inst) in f.block(b).insts.iter().enumerate() {
+                if let Inst::Un { op: UnOp::Zext(from), ty, dst, src } = *inst {
+                    if from == width && walker.facts(src).upper_zero {
+                        let copy_ty = if ty == Ty::F64 { Ty::I64 } else { ty };
+                        replace.push((i, Inst::Copy { dst, src, ty: copy_ty }));
+                    }
+                }
+                walker.step();
+            }
+            for (i, inst) in replace {
+                f.block_mut(b).insts[i] = inst;
+                rewritten += 1;
+            }
+        }
+    }
+    rewritten
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxe_ir::{parse_function, BlockId, InstId};
+
+    #[test]
+    fn zext_of_masked_value_removed() {
+        // x & 0xff already has zero bits above 8: zext8 is a no-op.
+        let mut f = parse_function(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = const.i32 255\n    r2 = and.i32 r0, r1\n    r3 = zext8.i32 r2\n    ret r3\n}\n",
+        )
+        .unwrap();
+        assert_eq!(eliminate_zero_extensions(&mut f, Target::Ia64), 1);
+        assert!(matches!(
+            f.inst(InstId::new(BlockId(0), 2)),
+            Inst::Copy { .. }
+        ));
+    }
+
+    #[test]
+    fn zext_of_unknown_value_kept() {
+        let mut f = parse_function(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = zext8.i32 r0\n    ret r1\n}\n",
+        )
+        .unwrap();
+        assert_eq!(eliminate_zero_extensions(&mut f, Target::Ia64), 0);
+    }
+
+    #[test]
+    fn zext32_after_ia64_load_removed_only_on_ia64() {
+        // An IA64 32-bit load is upper-zero; a PPC64 lwa is sign-extended
+        // (upper bits may be ones), so the zext32 must stay there.
+        let src = "func @f(i32) -> i64 {\n\
+             b0:\n    r1 = newarray.i32 r0\n    r2 = aload.i32 r1, r0\n    r3 = zext32.i64 r2\n    ret r3\n}\n";
+        let mut ia = parse_function(src).unwrap();
+        assert_eq!(eliminate_zero_extensions(&mut ia, Target::Ia64), 1);
+        let mut ppc = parse_function(src).unwrap();
+        assert_eq!(eliminate_zero_extensions(&mut ppc, Target::Ppc64), 0);
+    }
+
+    #[test]
+    fn chained_zexts_collapse() {
+        // zext16(zext16(x)): the second is redundant.
+        let mut f = parse_function(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = zext16.i32 r0\n    r2 = zext16.i32 r1\n    ret r2\n}\n",
+        )
+        .unwrap();
+        assert_eq!(eliminate_zero_extensions(&mut f, Target::Ia64), 1);
+    }
+
+    #[test]
+    fn flow_sensitive_across_blocks() {
+        let mut f = parse_function(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = const.i32 65535\n    r2 = and.i32 r0, r1\n    br b1\n\
+             b1:\n    r3 = zext16.i32 r2\n    ret r3\n}\n",
+        )
+        .unwrap();
+        assert_eq!(eliminate_zero_extensions(&mut f, Target::Ia64), 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Control-flow graph utilities: predecessor maps and block orderings.
+
+use crate::function::Function;
+use crate::inst::BlockId;
+
+/// Predecessor/successor maps plus depth-first orderings over a function's
+/// CFG, computed once and then queried.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+    /// Blocks in reverse postorder of a DFS from the entry. Unreachable
+    /// blocks are excluded.
+    rpo: Vec<BlockId>,
+    /// `rpo_index[b] == Some(i)` iff `rpo[i] == b`; `None` for unreachable
+    /// blocks.
+    rpo_index: Vec<Option<u32>>,
+}
+
+impl Cfg {
+    /// Compute the CFG of `f`.
+    #[must_use]
+    pub fn compute(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for b in f.block_ids() {
+            let ss = f.block(b).successors();
+            for s in &ss {
+                preds[s.index()].push(b);
+            }
+            succs[b.index()] = ss;
+        }
+
+        // Iterative postorder DFS from the entry.
+        let mut post: Vec<BlockId> = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        // Stack of (block, next successor index to visit).
+        let mut stack: Vec<(BlockId, usize)> = vec![(f.entry(), 0)];
+        visited[f.entry().index()] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let ss = &succs[b.index()];
+            if *i < ss.len() {
+                let next = ss[*i];
+                *i += 1;
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let mut rpo = post;
+        rpo.reverse();
+        let mut rpo_index = vec![None; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = Some(i as u32);
+        }
+        Cfg { preds, succs, rpo, rpo_index }
+    }
+
+    /// Predecessors of `b` (in no particular order).
+    #[must_use]
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Successors of `b`, in terminator order.
+    #[must_use]
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Blocks in reverse postorder (entry first); unreachable blocks are
+    /// omitted.
+    #[must_use]
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in the reverse postorder, or `None` if unreachable.
+    #[must_use]
+    pub fn rpo_index(&self, b: BlockId) -> Option<usize> {
+        self.rpo_index[b.index()].map(|i| i as usize)
+    }
+
+    /// Whether `b` is reachable from the entry.
+    #[must_use]
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.index()].is_some()
+    }
+
+    /// Number of blocks in the function (including unreachable ones).
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.preds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::{Cond, Ty};
+
+    /// entry -> (loop_head -> loop_body -> loop_head | exit)
+    fn loopy() -> Function {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I32], Some(Ty::I32));
+        let x = b.param(0);
+        let zero = b.iconst(Ty::I32, 0);
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(head);
+        b.switch_to(head);
+        b.cond_br(Cond::Gt, Ty::I32, x, zero, body, exit);
+        b.switch_to(body);
+        let one = b.iconst(Ty::I32, 1);
+        b.bin_to(crate::BinOp::Sub, Ty::I32, x, x, one);
+        b.br(head);
+        b.switch_to(exit);
+        b.ret(Some(x));
+        b.finish()
+    }
+
+    #[test]
+    fn preds_and_succs() {
+        let f = loopy();
+        let cfg = Cfg::compute(&f);
+        let (entry, head, body, exit) = (BlockId(0), BlockId(1), BlockId(2), BlockId(3));
+        assert_eq!(cfg.succs(entry), &[head]);
+        let mut hp = cfg.preds(head).to_vec();
+        hp.sort();
+        assert_eq!(hp, vec![entry, body]);
+        assert_eq!(cfg.preds(exit), &[head]);
+        assert_eq!(cfg.succs(head), &[body, exit]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let f = loopy();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.rpo()[0], BlockId(0));
+        assert_eq!(cfg.rpo().len(), 4);
+        // Entry precedes head precedes body and exit.
+        let idx = |b| cfg.rpo_index(b).unwrap();
+        assert!(idx(BlockId(0)) < idx(BlockId(1)));
+        assert!(idx(BlockId(1)) < idx(BlockId(2)));
+        assert!(idx(BlockId(1)) < idx(BlockId(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded() {
+        let mut f = loopy();
+        let dead = f.new_block();
+        f.block_mut(dead).insts.push(crate::Inst::Ret { value: None });
+        let cfg = Cfg::compute(&f);
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.rpo_index(dead), None);
+        assert_eq!(cfg.rpo().len(), 4);
+    }
+}

@@ -1,0 +1,152 @@
+//! Dominator tree computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::cfg::Cfg;
+use crate::inst::BlockId;
+
+/// Immediate-dominator tree for the reachable part of a function's CFG.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// `idom[b]` = immediate dominator of `b`; the entry's idom is itself;
+    /// `None` for unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Compute the dominator tree from a CFG.
+    #[must_use]
+    pub fn compute(cfg: &Cfg) -> DomTree {
+        let n = cfg.num_blocks();
+        let rpo = cfg.rpo();
+        let entry = rpo[0];
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            // Walk up the tree using RPO numbers as the ordering.
+            let num = |x: BlockId| cfg.rpo_index(x).expect("reachable");
+            while a != b {
+                while num(a) > num(b) {
+                    a = idom[a.index()].expect("processed");
+                }
+                while num(b) > num(a) {
+                    b = idom[b.index()].expect("processed");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue; // unprocessed or unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                let new_idom = new_idom.expect("reachable block has a processed pred in RPO");
+                if idom[b.index()] != Some(new_idom) {
+                    idom[b.index()] = Some(new_idom);
+                    changed = true;
+                }
+            }
+        }
+        DomTree { idom, entry }
+    }
+
+    /// Immediate dominator of `b`; `None` for the entry and for unreachable
+    /// blocks.
+    #[must_use]
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            None
+        } else {
+            self.idom[b.index()]
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexively).
+    ///
+    /// Returns `false` if either block is unreachable.
+    #[must_use]
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[a.index()].is_none() || self.idom[b.index()].is_none() {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            cur = self.idom[cur.index()].expect("reachable");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::{Cond, Ty};
+    use crate::Function;
+
+    /// Classic diamond with a loop on one arm.
+    ///
+    /// ```text
+    /// entry -> a -> {b, c}; b -> d; c -> c (self loop) -> d; d -> ret
+    /// ```
+    fn build() -> Function {
+        let mut fb = FunctionBuilder::new("f", vec![Ty::I32], None);
+        let x = fb.param(0);
+        let zero = fb.iconst(Ty::I32, 0);
+        let a = fb.new_block();
+        let b = fb.new_block();
+        let c = fb.new_block();
+        let d = fb.new_block();
+        fb.br(a);
+        fb.switch_to(a);
+        fb.cond_br(Cond::Lt, Ty::I32, x, zero, b, c);
+        fb.switch_to(b);
+        fb.br(d);
+        fb.switch_to(c);
+        fb.cond_br(Cond::Gt, Ty::I32, x, zero, c, d);
+        fb.switch_to(d);
+        fb.ret(None);
+        fb.finish()
+    }
+
+    #[test]
+    fn idoms() {
+        let f = build();
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&cfg);
+        let (entry, a, b, c, d) = (BlockId(0), BlockId(1), BlockId(2), BlockId(3), BlockId(4));
+        assert_eq!(dom.idom(entry), None);
+        assert_eq!(dom.idom(a), Some(entry));
+        assert_eq!(dom.idom(b), Some(a));
+        assert_eq!(dom.idom(c), Some(a));
+        assert_eq!(dom.idom(d), Some(a)); // join point
+    }
+
+    #[test]
+    fn dominates_relation() {
+        let f = build();
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&cfg);
+        let (entry, a, b, d) = (BlockId(0), BlockId(1), BlockId(2), BlockId(4));
+        assert!(dom.dominates(entry, d));
+        assert!(dom.dominates(a, d));
+        assert!(!dom.dominates(b, d));
+        assert!(dom.dominates(d, d));
+        assert!(!dom.dominates(d, a));
+    }
+}

@@ -1,0 +1,184 @@
+//! Concrete evaluation of operations on raw 64-bit register values.
+//!
+//! This is the *single* implementation of the machine's arithmetic,
+//! shared by the VM interpreter and by compile-time constant folding, so
+//! the two can never disagree about the (deliberately modelled) garbage
+//! upper bits of 32-bit results.
+
+use crate::types::{Cond, Ty, Width};
+use crate::BinOp;
+
+/// Evaluate an integer binary op at width `ty` on raw register values.
+///
+/// 32-bit operations are performed as full 64-bit operations: the low 32
+/// bits of the result equal the true 32-bit result; the upper 32 bits are
+/// whatever the 64-bit operation produces. Returns `None` for division by
+/// zero (a trap at run time; not folded at compile time).
+#[must_use]
+pub fn int_bin(op: BinOp, a: i64, b: i64, ty: Ty) -> Option<i64> {
+    let w32 = ty != Ty::I64;
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => {
+            let s = if w32 { b & 31 } else { b & 63 };
+            a.wrapping_shl(s as u32)
+        }
+        BinOp::Shr => {
+            let s = if w32 { b & 31 } else { b & 63 };
+            a.wrapping_shr(s as u32)
+        }
+        BinOp::Shru => {
+            if w32 {
+                // IA64 extr.u: extract the low 32 bits, then shift.
+                (((a as u32) >> (b & 31)) as u64) as i64
+            } else {
+                ((a as u64) >> (b & 63)) as i64
+            }
+        }
+    })
+}
+
+/// Evaluate a float binary op. Non-arithmetic ops (bitwise on floats) are
+/// not representable in well-formed IR and return `None`.
+#[must_use]
+pub fn f64_bin(op: BinOp, x: f64, y: f64) -> Option<f64> {
+    Some(match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        BinOp::Div => x / y,
+        BinOp::Rem => x % y,
+        _ => return None,
+    })
+}
+
+/// Evaluate an integer comparison at width `ty` on raw register values.
+///
+/// A 32-bit compare (`cmp4`) reads only the low 32 bits: signed
+/// conditions interpret them as `i32`, unsigned as `u32`. A 64-bit
+/// compare reads the full registers.
+#[must_use]
+pub fn int_cond(cond: Cond, ty: Ty, a: i64, b: i64) -> bool {
+    match ty {
+        Ty::I64 => cond.eval_i64(a, b),
+        _ => {
+            let (x, y) = match cond {
+                Cond::Ult | Cond::Ule | Cond::Ugt | Cond::Uge => {
+                    ((a as u32) as i64, (b as u32) as i64)
+                }
+                _ => (a as i32 as i64, b as i32 as i64),
+            };
+            cond.eval_i64(x, y)
+        }
+    }
+}
+
+/// Java `d2i`: NaN → 0, otherwise truncate toward zero with saturation.
+/// The result is sign-extended.
+#[must_use]
+pub fn d2i(v: f64) -> i64 {
+    if v.is_nan() {
+        0
+    } else if v >= i32::MAX as f64 {
+        i32::MAX as i64
+    } else if v <= i32::MIN as f64 {
+        i32::MIN as i64
+    } else {
+        v as i32 as i64
+    }
+}
+
+/// Java `d2l`: NaN → 0, saturating.
+#[must_use]
+pub fn d2l(v: f64) -> i64 {
+    if v.is_nan() {
+        0
+    } else if v >= i64::MAX as f64 {
+        i64::MAX
+    } else if v <= i64::MIN as f64 {
+        i64::MIN
+    } else {
+        v as i64
+    }
+}
+
+/// Evaluate a unary integer conversion/extension helper used by folding.
+#[must_use]
+pub fn zext(w: Width, v: i64) -> i64 {
+    w.zero_extend(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add32_keeps_raw_upper_bits() {
+        // 0x7fffffff + 1 as a 64-bit add: +2^31, NOT sign-extended.
+        let r = int_bin(BinOp::Add, i32::MAX as i64, 1, Ty::I32).unwrap();
+        assert_eq!(r, 0x8000_0000);
+        assert_ne!(r, r as i32 as i64);
+    }
+
+    #[test]
+    fn div_by_zero_is_none() {
+        assert_eq!(int_bin(BinOp::Div, 1, 0, Ty::I32), None);
+        assert_eq!(int_bin(BinOp::Rem, 1, 0, Ty::I64), None);
+    }
+
+    #[test]
+    fn int_min_div_minus_one() {
+        // On sign-extended inputs the 64-bit divide gives +2^31; the low
+        // 32 bits are INT_MIN, matching Java's wrapping semantics.
+        let r = int_bin(BinOp::Div, i32::MIN as i64, -1, Ty::I32).unwrap();
+        assert_eq!(r, 0x8000_0000);
+        assert_eq!(r as i32, i32::MIN);
+    }
+
+    #[test]
+    fn shift_masking() {
+        assert_eq!(int_bin(BinOp::Shl, 1, 33, Ty::I32).unwrap(), 2); // 33 & 31 = 1
+        assert_eq!(int_bin(BinOp::Shl, 1, 33, Ty::I64).unwrap(), 1 << 33);
+        assert_eq!(int_bin(BinOp::Shru, -1, 28, Ty::I32).unwrap(), 0xF);
+    }
+
+    #[test]
+    fn cmp32_vs_cmp64() {
+        // Raw +2^31: as a 32-bit compare it is INT_MIN (negative).
+        let v = 0x8000_0000i64;
+        assert!(int_cond(Cond::Lt, Ty::I32, v, 0));
+        assert!(!int_cond(Cond::Lt, Ty::I64, v, 0));
+        assert!(int_cond(Cond::Ugt, Ty::I32, v, 1));
+    }
+
+    #[test]
+    fn d2i_saturates() {
+        assert_eq!(d2i(f64::NAN), 0);
+        assert_eq!(d2i(1e10), i32::MAX as i64);
+        assert_eq!(d2i(-1e10), i32::MIN as i64);
+        assert_eq!(d2i(-3.7), -3);
+    }
+
+    #[test]
+    fn f64_bitwise_is_none() {
+        assert!(f64_bin(BinOp::And, 1.0, 2.0).is_none());
+        assert_eq!(f64_bin(BinOp::Add, 1.0, 2.0), Some(3.0));
+    }
+}

@@ -1,0 +1,276 @@
+//! Natural-loop discovery and loop-nesting depth.
+//!
+//! The order-determination phase (paper §2.2) estimates block execution
+//! frequency "from both the loop nesting level of B and the execution
+//! frequency of B within its acyclic region"; this module supplies the loop
+//! nesting structure.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::inst::BlockId;
+
+/// One natural loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// The loop header (target of the back edges).
+    pub header: BlockId,
+    /// All blocks in the loop body, including the header.
+    pub blocks: BTreeSet<BlockId>,
+    /// Sources of the back edges into `header`.
+    pub latches: Vec<BlockId>,
+    /// Index of the innermost enclosing loop in
+    /// [`LoopForest::loops`], if any.
+    pub parent: Option<usize>,
+    /// Nesting depth: 1 for outermost loops.
+    pub depth: u32,
+}
+
+/// All natural loops of a function, with per-block nesting depths.
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    /// The loops, in no particular order except that parents precede
+    /// children is **not** guaranteed; use [`Loop::parent`].
+    pub loops: Vec<Loop>,
+    depth: Vec<u32>,
+    innermost: Vec<Option<usize>>,
+}
+
+impl LoopForest {
+    /// Discover the natural loops of the CFG.
+    ///
+    /// Back edges are edges `t -> h` where `h` dominates `t`; the natural
+    /// loop of a header is the union of the natural loops of all its back
+    /// edges. Irreducible cycles (none are produced by the builder-based
+    /// front ends here) are ignored.
+    #[must_use]
+    pub fn compute(cfg: &Cfg, dom: &DomTree) -> LoopForest {
+        let n = cfg.num_blocks();
+        // Gather back edges grouped by header.
+        let mut headers: Vec<BlockId> = Vec::new();
+        let mut latches_of: Vec<Vec<BlockId>> = Vec::new();
+        for &b in cfg.rpo() {
+            for &s in cfg.succs(b) {
+                if dom.dominates(s, b) {
+                    match headers.iter().position(|&h| h == s) {
+                        Some(i) => latches_of[i].push(b),
+                        None => {
+                            headers.push(s);
+                            latches_of.push(vec![b]);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Natural loop body: header + all blocks that reach a latch without
+        // passing through the header (walk predecessors backward).
+        let mut loops: Vec<Loop> = Vec::new();
+        for (h, latches) in headers.iter().zip(&latches_of) {
+            let mut blocks: BTreeSet<BlockId> = BTreeSet::new();
+            blocks.insert(*h);
+            let mut stack: Vec<BlockId> = Vec::new();
+            for &l in latches {
+                if blocks.insert(l) {
+                    stack.push(l);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in cfg.preds(b) {
+                    if cfg.is_reachable(p) && blocks.insert(p) {
+                        stack.push(p);
+                    }
+                }
+            }
+            loops.push(Loop {
+                header: *h,
+                blocks,
+                latches: latches.clone(),
+                parent: None,
+                depth: 0,
+            });
+        }
+
+        // Parent: the smallest other loop strictly containing this loop's
+        // header whose block set is a superset.
+        let containing: Vec<Option<usize>> = (0..loops.len())
+            .map(|i| {
+                let mut best: Option<usize> = None;
+                for (j, other) in loops.iter().enumerate() {
+                    if i != j
+                        && other.blocks.contains(&loops[i].header)
+                        && other.header != loops[i].header
+                        && other.blocks.is_superset(&loops[i].blocks)
+                    {
+                        best = match best {
+                            None => Some(j),
+                            Some(b) if loops[j].blocks.len() < loops[b].blocks.len() => Some(j),
+                            Some(b) => Some(b),
+                        };
+                    }
+                }
+                best
+            })
+            .collect();
+        for (i, p) in containing.iter().enumerate() {
+            loops[i].parent = *p;
+        }
+        // Depth via parent chains.
+        for i in 0..loops.len() {
+            let mut d = 1;
+            let mut cur = loops[i].parent;
+            while let Some(p) = cur {
+                d += 1;
+                cur = loops[p].parent;
+            }
+            loops[i].depth = d;
+        }
+
+        // Per-block depth and innermost loop.
+        let mut depth = vec![0u32; n];
+        let mut innermost: Vec<Option<usize>> = vec![None; n];
+        for (i, l) in loops.iter().enumerate() {
+            for &b in &l.blocks {
+                if l.depth > depth[b.index()] {
+                    depth[b.index()] = l.depth;
+                    innermost[b.index()] = Some(i);
+                }
+            }
+        }
+        LoopForest { loops, depth, innermost }
+    }
+
+    /// Loop-nesting depth of block `b` (0 outside all loops).
+    #[must_use]
+    pub fn depth(&self, b: BlockId) -> u32 {
+        self.depth[b.index()]
+    }
+
+    /// Index into [`LoopForest::loops`] of the innermost loop containing
+    /// `b`, if any.
+    #[must_use]
+    pub fn innermost(&self, b: BlockId) -> Option<usize> {
+        self.innermost[b.index()]
+    }
+
+    /// Whether the function contains any loop (insertion is applied "only
+    /// to those methods which include a loop", paper §2.1).
+    #[must_use]
+    pub fn has_loops(&self) -> bool {
+        !self.loops.is_empty()
+    }
+
+    /// Whether block `b` is a loop header.
+    #[must_use]
+    pub fn is_header(&self, b: BlockId) -> bool {
+        self.loops.iter().any(|l| l.header == b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::{Cond, Ty};
+    use crate::{BinOp, Function};
+
+    /// Two nested loops:
+    /// entry -> outer_head; outer_head -> {inner_head, exit};
+    /// inner_head -> {inner_body, outer_latch}; inner_body -> inner_head;
+    /// outer_latch -> outer_head.
+    fn nested() -> Function {
+        let mut fb = FunctionBuilder::new("f", vec![Ty::I32, Ty::I32], None);
+        let i = fb.param(0);
+        let j = fb.param(1);
+        let zero = fb.iconst(Ty::I32, 0);
+        let oh = fb.new_block();
+        let ih = fb.new_block();
+        let ib = fb.new_block();
+        let ol = fb.new_block();
+        let exit = fb.new_block();
+        fb.br(oh);
+        fb.switch_to(oh);
+        fb.cond_br(Cond::Gt, Ty::I32, i, zero, ih, exit);
+        fb.switch_to(ih);
+        fb.cond_br(Cond::Gt, Ty::I32, j, zero, ib, ol);
+        fb.switch_to(ib);
+        let one = fb.iconst(Ty::I32, 1);
+        fb.bin_to(BinOp::Sub, Ty::I32, j, j, one);
+        fb.br(ih);
+        fb.switch_to(ol);
+        let one2 = fb.iconst(Ty::I32, 1);
+        fb.bin_to(BinOp::Sub, Ty::I32, i, i, one2);
+        fb.br(oh);
+        fb.switch_to(exit);
+        fb.ret(None);
+        fb.finish()
+    }
+
+    #[test]
+    fn nested_loop_depths() {
+        let f = nested();
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&cfg);
+        let lf = LoopForest::compute(&cfg, &dom);
+        assert!(lf.has_loops());
+        assert_eq!(lf.loops.len(), 2);
+        let (entry, oh, ih, ib, ol, exit) = (
+            BlockId(0),
+            BlockId(1),
+            BlockId(2),
+            BlockId(3),
+            BlockId(4),
+            BlockId(5),
+        );
+        assert_eq!(lf.depth(entry), 0);
+        assert_eq!(lf.depth(oh), 1);
+        assert_eq!(lf.depth(ih), 2);
+        assert_eq!(lf.depth(ib), 2);
+        assert_eq!(lf.depth(ol), 1);
+        assert_eq!(lf.depth(exit), 0);
+        assert!(lf.is_header(oh));
+        assert!(lf.is_header(ih));
+        assert!(!lf.is_header(ib));
+
+        let inner_idx = lf.innermost(ib).unwrap();
+        assert_eq!(lf.loops[inner_idx].header, ih);
+        assert_eq!(lf.loops[inner_idx].parent.map(|p| lf.loops[p].header), Some(oh));
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let mut fb = FunctionBuilder::new("g", vec![], None);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&cfg);
+        let lf = LoopForest::compute(&cfg, &dom);
+        assert!(!lf.has_loops());
+        assert_eq!(lf.depth(BlockId(0)), 0);
+    }
+
+    #[test]
+    fn self_loop() {
+        let mut fb = FunctionBuilder::new("h", vec![Ty::I32], None);
+        let x = fb.param(0);
+        let zero = fb.iconst(Ty::I32, 0);
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.br(body);
+        fb.switch_to(body);
+        let one = fb.iconst(Ty::I32, 1);
+        fb.bin_to(BinOp::Sub, Ty::I32, x, x, one);
+        fb.cond_br(Cond::Gt, Ty::I32, x, zero, body, exit);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&cfg);
+        let lf = LoopForest::compute(&cfg, &dom);
+        assert_eq!(lf.loops.len(), 1);
+        assert_eq!(lf.loops[0].header, body);
+        assert_eq!(lf.loops[0].latches, vec![body]);
+        assert_eq!(lf.depth(body), 1);
+    }
+}

@@ -1,0 +1,356 @@
+//! Scalar types, extension widths, comparison conditions, and targets.
+
+use std::fmt;
+
+/// Scalar type of a value, an operation, or an array element.
+///
+/// The IR models a 64-bit machine: every integer register is physically
+/// 64 bits wide, and `Ty` describes the *program-level* type an instruction
+/// operates at. Operations at [`Ty::I32`] produce results whose low 32 bits
+/// are meaningful and whose upper 32 bits are unspecified unless an
+/// [`extend`](crate::Inst::Extend) guarantees otherwise — this is the
+/// central premise of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Ty {
+    /// Signed 8-bit integer (Java `byte`).
+    I8,
+    /// Signed 16-bit integer (Java `short`).
+    I16,
+    /// Signed 32-bit integer (Java `int`).
+    I32,
+    /// Signed 64-bit integer (Java `long`).
+    I64,
+    /// IEEE-754 double (Java `double`).
+    F64,
+}
+
+impl Ty {
+    /// Size of one value of this type in bytes, as laid out in arrays.
+    #[must_use]
+    pub fn size_bytes(self) -> u32 {
+        match self {
+            Ty::I8 => 1,
+            Ty::I16 => 2,
+            Ty::I32 => 4,
+            Ty::I64 | Ty::F64 => 8,
+        }
+    }
+
+    /// Whether this is an integer type.
+    #[must_use]
+    pub fn is_int(self) -> bool {
+        !matches!(self, Ty::F64)
+    }
+
+    /// Whether a value of this type occupies fewer bits than a 64-bit
+    /// register and therefore needs widening on a 64-bit architecture.
+    #[must_use]
+    pub fn is_narrow_int(self) -> bool {
+        matches!(self, Ty::I8 | Ty::I16 | Ty::I32)
+    }
+
+    /// The extension width for a narrow integer type, if any.
+    #[must_use]
+    pub fn width(self) -> Option<Width> {
+        match self {
+            Ty::I8 => Some(Width::W8),
+            Ty::I16 => Some(Width::W16),
+            Ty::I32 => Some(Width::W32),
+            Ty::I64 | Ty::F64 => None,
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::I8 => "i8",
+            Ty::I16 => "i16",
+            Ty::I32 => "i32",
+            Ty::I64 => "i64",
+            Ty::F64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Source width of a sign (or zero) extension: the number of low bits that
+/// are extended into the full 64-bit register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Width {
+    /// Extend from the low 8 bits.
+    W8,
+    /// Extend from the low 16 bits.
+    W16,
+    /// Extend from the low 32 bits (the case the paper's evaluation counts).
+    W32,
+}
+
+impl Width {
+    /// Number of bits this width covers.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        match self {
+            Width::W8 => 8,
+            Width::W16 => 16,
+            Width::W32 => 32,
+        }
+    }
+
+    /// Sign-extend the low `self.bits()` bits of `v` to a full `i64`.
+    #[must_use]
+    pub fn sign_extend(self, v: i64) -> i64 {
+        match self {
+            Width::W8 => v as i8 as i64,
+            Width::W16 => v as i16 as i64,
+            Width::W32 => v as i32 as i64,
+        }
+    }
+
+    /// Zero-extend the low `self.bits()` bits of `v` to a full `i64`.
+    #[must_use]
+    pub fn zero_extend(self, v: i64) -> i64 {
+        match self {
+            Width::W8 => (v as u8) as i64,
+            Width::W16 => (v as u16) as i64,
+            Width::W32 => (v as u32) as i64,
+        }
+    }
+
+    /// The narrow integer type corresponding to this width.
+    #[must_use]
+    pub fn ty(self) -> Ty {
+        match self {
+            Width::W8 => Ty::I8,
+            Width::W16 => Ty::I16,
+            Width::W32 => Ty::I32,
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bits())
+    }
+}
+
+/// Comparison condition for [`Setcc`](crate::Inst::Setcc) and
+/// [`CondBr`](crate::Inst::CondBr).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less than.
+    Lt,
+    /// Signed less than or equal.
+    Le,
+    /// Signed greater than.
+    Gt,
+    /// Signed greater than or equal.
+    Ge,
+    /// Unsigned less than.
+    Ult,
+    /// Unsigned less than or equal.
+    Ule,
+    /// Unsigned greater than.
+    Ugt,
+    /// Unsigned greater than or equal.
+    Uge,
+}
+
+impl Cond {
+    /// The condition with both operands swapped (`a < b` ⇔ `b > a`).
+    #[must_use]
+    pub fn swapped(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Eq,
+            Cond::Ne => Cond::Ne,
+            Cond::Lt => Cond::Gt,
+            Cond::Le => Cond::Ge,
+            Cond::Gt => Cond::Lt,
+            Cond::Ge => Cond::Le,
+            Cond::Ult => Cond::Ugt,
+            Cond::Ule => Cond::Uge,
+            Cond::Ugt => Cond::Ult,
+            Cond::Uge => Cond::Ule,
+        }
+    }
+
+    /// The logical negation of the condition (`a < b` ⇔ `!(a >= b)`).
+    #[must_use]
+    pub fn negated(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+            Cond::Ult => Cond::Uge,
+            Cond::Ule => Cond::Ugt,
+            Cond::Ugt => Cond::Ule,
+            Cond::Uge => Cond::Ult,
+        }
+    }
+
+    /// Evaluate the condition on two signed 64-bit values.
+    #[must_use]
+    pub fn eval_i64(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::Ge => a >= b,
+            Cond::Ult => (a as u64) < (b as u64),
+            Cond::Ule => (a as u64) <= (b as u64),
+            Cond::Ugt => (a as u64) > (b as u64),
+            Cond::Uge => (a as u64) >= (b as u64),
+        }
+    }
+
+    /// Evaluate the condition on two doubles.
+    ///
+    /// Every ordered comparison with a NaN operand is false; `Ne` is true.
+    /// Unsigned variants are not meaningful for floats and compare like
+    /// their signed counterparts.
+    #[must_use]
+    pub fn eval_f64(self, a: f64, b: f64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt | Cond::Ult => a < b,
+            Cond::Le | Cond::Ule => a <= b,
+            Cond::Gt | Cond::Ugt => a > b,
+            Cond::Ge | Cond::Uge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+            Cond::Ult => "ult",
+            Cond::Ule => "ule",
+            Cond::Ugt => "ugt",
+            Cond::Uge => "uge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Target 64-bit architecture flavour.
+///
+/// The two flavours differ exactly where the paper says they do:
+///
+/// * [`Target::Ia64`] zero-extends 32-bit memory reads (no *implicit sign
+///   extension*), so a loaded `int` has its upper 32 bits cleared but is not
+///   sign-extended.
+/// * [`Target::Ppc64`] has the `lwa` load-word-algebraic instruction, so a
+///   loaded `int` arrives sign-extended.
+///
+/// Both targets have a 32-bit compare that ignores the upper halves of its
+/// operands, so array bounds checks never require an extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Target {
+    /// Intel Itanium: zero-extending 32-bit loads, explicit `sxt4`.
+    #[default]
+    Ia64,
+    /// PowerPC 64: sign-extending `lwa` loads, explicit `exts*`.
+    Ppc64,
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Ia64 => f.write_str("ia64"),
+            Target::Ppc64 => f.write_str("ppc64"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ty_sizes() {
+        assert_eq!(Ty::I8.size_bytes(), 1);
+        assert_eq!(Ty::I16.size_bytes(), 2);
+        assert_eq!(Ty::I32.size_bytes(), 4);
+        assert_eq!(Ty::I64.size_bytes(), 8);
+        assert_eq!(Ty::F64.size_bytes(), 8);
+    }
+
+    #[test]
+    fn narrow_widths() {
+        assert_eq!(Ty::I8.width(), Some(Width::W8));
+        assert_eq!(Ty::I32.width(), Some(Width::W32));
+        assert_eq!(Ty::I64.width(), None);
+        assert!(Ty::I32.is_narrow_int());
+        assert!(!Ty::I64.is_narrow_int());
+        assert!(!Ty::F64.is_int());
+    }
+
+    #[test]
+    fn sign_extension_semantics() {
+        assert_eq!(Width::W32.sign_extend(0x0000_0000_8000_0000), i32::MIN as i64);
+        assert_eq!(Width::W32.sign_extend(0x1234_5678_0000_0001), 1);
+        assert_eq!(Width::W16.sign_extend(0xFFFF), -1);
+        assert_eq!(Width::W8.sign_extend(0x80), -128);
+        assert_eq!(Width::W8.sign_extend(0x7F), 127);
+    }
+
+    #[test]
+    fn zero_extension_semantics() {
+        assert_eq!(Width::W32.zero_extend(-1), 0xFFFF_FFFF);
+        assert_eq!(Width::W16.zero_extend(-1), 0xFFFF);
+        assert_eq!(Width::W8.zero_extend(-1), 0xFF);
+    }
+
+    #[test]
+    fn cond_swap_negate() {
+        for c in [
+            Cond::Eq,
+            Cond::Ne,
+            Cond::Lt,
+            Cond::Le,
+            Cond::Gt,
+            Cond::Ge,
+            Cond::Ult,
+            Cond::Ule,
+            Cond::Ugt,
+            Cond::Uge,
+        ] {
+            assert_eq!(c.swapped().swapped(), c);
+            assert_eq!(c.negated().negated(), c);
+            // Exhaustive semantic check on a few value pairs.
+            for (a, b) in [(0i64, 0i64), (1, 2), (-1, 1), (i64::MIN, i64::MAX)] {
+                assert_eq!(c.eval_i64(a, b), c.swapped().eval_i64(b, a));
+                assert_eq!(c.eval_i64(a, b), !c.negated().eval_i64(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn cond_unsigned() {
+        assert!(Cond::Ult.eval_i64(1, -1)); // -1 is u64::MAX
+        assert!(!Cond::Lt.eval_i64(1, -1));
+    }
+
+    #[test]
+    fn cond_float_nan() {
+        assert!(!Cond::Lt.eval_f64(f64::NAN, 1.0));
+        assert!(!Cond::Eq.eval_f64(f64::NAN, f64::NAN));
+        assert!(Cond::Ne.eval_f64(f64::NAN, f64::NAN));
+    }
+}

@@ -1,0 +1,204 @@
+//! IR well-formedness verification.
+
+use std::fmt;
+
+use crate::function::{Function, InstId, Module};
+use crate::inst::Inst;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function name.
+    pub function: String,
+    /// Offending instruction, if the error is instruction-local.
+    pub at: Option<InstId>,
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.at {
+            Some(at) => write!(f, "{}: at {}: {}", self.function, at, self.message),
+            None => write!(f, "{}: {}", self.function, self.message),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Check the structural invariants of a function:
+///
+/// * every block ends with exactly one terminator, and terminators appear
+///   nowhere else;
+/// * all branch targets are valid block ids;
+/// * all registers are below `reg_count`;
+/// * `ret` carries a value iff the function has a return type.
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
+    let fail = |at: Option<InstId>, message: String| VerifyError {
+        function: f.name.clone(),
+        at,
+        message,
+    };
+    if f.blocks.is_empty() {
+        return Err(fail(None, "function has no blocks".into()));
+    }
+    for b in f.block_ids() {
+        let blk = f.block(b);
+        let Some(term) = blk.insts.last() else {
+            return Err(fail(None, format!("block {b} is empty")));
+        };
+        if !term.is_terminator() {
+            return Err(fail(
+                Some(InstId::new(b, blk.insts.len() - 1)),
+                format!("block {b} does not end with a terminator"),
+            ));
+        }
+        for (i, inst) in blk.insts.iter().enumerate() {
+            let at = InstId::new(b, i);
+            if i + 1 != blk.insts.len() && inst.is_terminator() {
+                return Err(fail(Some(at), "terminator in the middle of a block".into()));
+            }
+            for t in inst.successors() {
+                if t.index() >= f.blocks.len() {
+                    return Err(fail(Some(at), format!("branch to missing block {t}")));
+                }
+            }
+            for r in inst.uses() {
+                if r.0 >= f.reg_count {
+                    return Err(fail(Some(at), format!("use of unallocated register {r}")));
+                }
+            }
+            if let Some(d) = inst.dst() {
+                if d.0 >= f.reg_count {
+                    return Err(fail(Some(at), format!("def of unallocated register {d}")));
+                }
+            }
+            if let Inst::Ret { value } = inst {
+                match (value, f.ret) {
+                    (Some(_), None) => {
+                        return Err(fail(Some(at), "ret with value in void function".into()))
+                    }
+                    (None, Some(_)) => {
+                        return Err(fail(Some(at), "ret without value in non-void function".into()))
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verify every function of a module, plus call-site arity against the
+/// callee signatures.
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    for (_, f) in m.iter() {
+        verify_function(f)?;
+        for (at, inst) in f.insts() {
+            if let Inst::Call { dst, func, args } = inst {
+                if func.index() >= m.functions.len() {
+                    return Err(VerifyError {
+                        function: f.name.clone(),
+                        at: Some(at),
+                        message: format!("call to missing function {func}"),
+                    });
+                }
+                let callee = m.function(*func);
+                if args.len() != callee.params.len() {
+                    return Err(VerifyError {
+                        function: f.name.clone(),
+                        at: Some(at),
+                        message: format!(
+                            "call to @{} passes {} args, expected {}",
+                            callee.name,
+                            args.len(),
+                            callee.params.len()
+                        ),
+                    });
+                }
+                if dst.is_some() != callee.ret.is_some() {
+                    return Err(VerifyError {
+                        function: f.name.clone(),
+                        at: Some(at),
+                        message: format!(
+                            "call result mismatch with @{} (returns {:?})",
+                            callee.name, callee.ret
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BlockId, Reg};
+    use crate::types::Ty;
+
+    #[test]
+    fn good_function_verifies() {
+        let mut b = FunctionBuilder::new("ok", vec![Ty::I32], Some(Ty::I32));
+        let p = b.param(0);
+        b.ret(Some(p));
+        assert!(verify_function(&b.finish()).is_ok());
+    }
+
+    #[test]
+    fn missing_terminator() {
+        let mut f = Function::new("bad", vec![], None);
+        f.block_mut(BlockId(0)).insts.push(Inst::Nop);
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message.contains("terminator"));
+    }
+
+    #[test]
+    fn branch_to_missing_block() {
+        let mut f = Function::new("bad", vec![], None);
+        f.block_mut(BlockId(0)).insts.push(Inst::Br { target: BlockId(9) });
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message.contains("missing block"));
+    }
+
+    #[test]
+    fn unallocated_register() {
+        let mut f = Function::new("bad", vec![], Some(Ty::I32));
+        f.block_mut(BlockId(0)).insts.push(Inst::Ret { value: Some(Reg(5)) });
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message.contains("unallocated"));
+    }
+
+    #[test]
+    fn ret_arity() {
+        let mut f = Function::new("bad", vec![], None);
+        f.reg_count = 1;
+        f.block_mut(BlockId(0)).insts.push(Inst::Ret { value: Some(Reg(0)) });
+        assert!(verify_function(&f).unwrap_err().message.contains("void"));
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        use crate::Module;
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("callee", vec![Ty::I32, Ty::I32], None);
+        b.ret(None);
+        let callee = m.add_function(b.finish());
+        let mut b = FunctionBuilder::new("caller", vec![Ty::I32], None);
+        let p = b.param(0);
+        b.call(callee, vec![p], false);
+        b.ret(None);
+        m.add_function(b.finish());
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("expected 2"));
+    }
+}

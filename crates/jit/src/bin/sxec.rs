@@ -1,0 +1,180 @@
+//! `sxec` — compile textual IR files through the sign-extension
+//! elimination pipeline.
+//!
+//! ```text
+//! sxec [options] <input.sxe>
+//!   --variant <name>     baseline|gen-use|first|basic|insert|order|
+//!                        insert-order|array|array-insert|array-order|
+//!                        all-pde|all          (default: all)
+//!   --target <t>         ia64|ppc64           (default: ia64)
+//!   --max-array-len <n>  Theorem 4 bound      (default: 2147483647)
+//!   --run <entry>        run entry() after compiling and print the result
+//!   --arg <n>            argument for --run (repeatable)
+//!   --stats              print elimination statistics
+//!   --no-emit            suppress printing the compiled module
+//! ```
+//!
+//! Reads the module, compiles it, prints the optimized IR to stdout.
+
+use std::process::ExitCode;
+
+use sxe_core::Variant;
+use sxe_ir::Target;
+use sxe_jit::Compiler;
+use sxe_vm::Machine;
+
+fn parse_variant(s: &str) -> Option<Variant> {
+    Some(match s {
+        "baseline" => Variant::Baseline,
+        "gen-use" => Variant::GenUse,
+        "first" => Variant::FirstAlgorithm,
+        "basic" => Variant::BasicUdDu,
+        "insert" => Variant::Insert,
+        "order" => Variant::Order,
+        "insert-order" => Variant::InsertOrder,
+        "array" => Variant::Array,
+        "array-insert" => Variant::ArrayInsert,
+        "array-order" => Variant::ArrayOrder,
+        "all-pde" => Variant::AllPde,
+        "all" => Variant::All,
+        _ => return None,
+    })
+}
+
+struct Options {
+    input: String,
+    variant: Variant,
+    target: Target,
+    max_array_len: u32,
+    run: Option<String>,
+    args: Vec<i64>,
+    stats: bool,
+    emit: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: sxec [--variant V] [--target ia64|ppc64] [--max-array-len N] \
+     [--run ENTRY] [--arg N]... [--stats] [--no-emit] <input.sxe>"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        input: String::new(),
+        variant: Variant::All,
+        target: Target::Ia64,
+        max_array_len: 0x7fff_ffff,
+        run: None,
+        args: Vec::new(),
+        stats: false,
+        emit: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--variant" => {
+                let v = it.next().ok_or("--variant needs a value")?;
+                opts.variant =
+                    parse_variant(&v).ok_or_else(|| format!("unknown variant `{v}`"))?;
+            }
+            "--target" => {
+                opts.target = match it.next().as_deref() {
+                    Some("ia64") => Target::Ia64,
+                    Some("ppc64") => Target::Ppc64,
+                    other => return Err(format!("unknown target {other:?}")),
+                };
+            }
+            "--max-array-len" => {
+                opts.max_array_len = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--max-array-len needs a number")?;
+            }
+            "--run" => opts.run = Some(it.next().ok_or("--run needs an entry name")?),
+            "--arg" => {
+                opts.args.push(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--arg needs an integer")?,
+                );
+            }
+            "--stats" => opts.stats = true,
+            "--no-emit" => opts.emit = false,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if !other.starts_with('-') && opts.input.is_empty() => {
+                opts.input = other.to_string();
+            }
+            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+        }
+    }
+    if opts.input.is_empty() {
+        return Err(usage().to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&opts.input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sxec: cannot read {}: {e}", opts.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let module = match sxe_ir::parse_module(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("sxec: parse error in {}: {e}", opts.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = sxe_ir::verify_module(&module) {
+        eprintln!("sxec: invalid module: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut compiler = Compiler::for_variant(opts.variant).with_target(opts.target);
+    compiler.sxe.max_array_len = opts.max_array_len;
+    let compiled = compiler.compile(&module);
+
+    if opts.emit {
+        print!("{}", compiled.module);
+    }
+    if opts.stats {
+        let s = compiled.stats;
+        eprintln!(
+            "sxec: generated {} extensions, inserted {}, examined {}, \
+             eliminated {} ({} via array theorems); {} remain",
+            s.generated,
+            s.inserted,
+            s.examined,
+            s.eliminated,
+            s.eliminated_via_array,
+            compiled.module.count_extends(None)
+        );
+    }
+    if let Some(entry) = opts.run {
+        let mut vm = Machine::new(&compiled.module, opts.target);
+        match vm.run(&entry, &opts.args) {
+            Ok(out) => {
+                eprintln!(
+                    "sxec: {entry}(...) = {:?}   [{} insts, {} extends executed]",
+                    out.ret,
+                    vm.counters.insts,
+                    vm.counters.extend_count(None)
+                );
+            }
+            Err(t) => {
+                eprintln!("sxec: {entry} trapped: {t}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

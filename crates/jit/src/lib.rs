@@ -1,0 +1,348 @@
+//! # sxe-jit — the Figure 5 compilation pipeline
+//!
+//! Drives the three steps of the paper's flow diagram over a module
+//! written in 32-bit form:
+//!
+//! 1. conversion for a 64-bit architecture ([`sxe_core::convert`]);
+//! 2. general optimizations ([`sxe_opt`]);
+//! 3. elimination and movement of sign extensions ([`sxe_core::run_step3`]).
+//!
+//! The compiler measures per-phase wall-clock time (the paper's Table 3
+//! breakdown) and supports the paper's combined interpreter + dynamic
+//! compiler mode: [`Compiler::compile_profiled`] interprets the
+//! pre-step-3 code once to collect block frequencies, then feeds them to
+//! order determination.
+//!
+//! ```
+//! use sxe_ir::parse_module;
+//! use sxe_jit::Compiler;
+//! use sxe_core::Variant;
+//!
+//! // i = x & 0xff is provably sign-extended: the generated extension
+//! // before the i2d conversion is eliminated.
+//! let source = parse_module(
+//!     "func @main(i32) -> f64 {\nb0:\n    r1 = const.i32 255\n    r2 = and.i32 r0, r1\n    r3 = i32tof64.f64 r2\n    ret r3\n}\n",
+//! )?;
+//! let compiled = Compiler::for_variant(Variant::All).compile(&source);
+//! assert_eq!(compiled.module.count_extends(None), 0);
+//! # Ok::<(), sxe_ir::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::time::{Duration, Instant};
+
+use sxe_core::{GenStrategy, SxeConfig, SxeStats, Step3Timing, Variant};
+use sxe_ir::{Module, Target};
+use sxe_opt::GeneralOpts;
+use sxe_vm::Machine;
+
+/// The compilation pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    /// Step 3 configuration (variant, target, widths, array bound).
+    pub sxe: SxeConfig,
+    /// Step 2 configuration.
+    pub general: GeneralOpts,
+    /// Verify the module before and after compilation (cheap; on by
+    /// default).
+    pub verify: bool,
+}
+
+impl Compiler {
+    /// A compiler running the full paper pipeline for `variant` on IA64.
+    #[must_use]
+    pub fn for_variant(variant: Variant) -> Compiler {
+        Compiler {
+            sxe: SxeConfig::for_variant(variant),
+            general: GeneralOpts::default(),
+            verify: true,
+        }
+    }
+
+    /// Override the target architecture.
+    #[must_use]
+    pub fn with_target(mut self, target: Target) -> Compiler {
+        self.sxe.target = target;
+        self
+    }
+
+    /// Compile `source` (32-bit-form IR).
+    ///
+    /// # Panics
+    /// Panics if verification fails — the input or an optimizer is broken.
+    #[must_use]
+    pub fn compile(&self, source: &Module) -> Compiled {
+        self.compile_inner(source, None)
+    }
+
+    /// Compile with interpreter-collected profile guidance: the module is
+    /// converted and generally optimized, executed once in the VM with
+    /// block profiling (the paper's interpreter stage), and then step 3
+    /// runs with the measured frequencies.
+    ///
+    /// The profiling run executes `entry(args)`; a trapped profiling run
+    /// simply yields no profile.
+    ///
+    /// # Panics
+    /// Panics if verification fails or `entry` does not exist.
+    #[must_use]
+    pub fn compile_profiled(&self, source: &Module, entry: &str, args: &[i64]) -> Compiled {
+        self.compile_inner(source, Some((entry, args)))
+    }
+
+    fn compile_inner(&self, source: &Module, profile_run: Option<(&str, &[i64])>) -> Compiled {
+        if self.verify {
+            sxe_ir::verify_module(source).expect("input module must verify");
+        }
+        let mut module = source.clone();
+        let mut times = PhaseTimes::default();
+
+        // Step 1: conversion for a 64-bit architecture.
+        let strategy = if self.sxe.variant.gen_use() {
+            GenStrategy::BeforeUse
+        } else {
+            GenStrategy::AfterDef
+        };
+        let t = Instant::now();
+        let generated = sxe_core::convert_module(&mut module, self.sxe.target, strategy);
+        times.conversion = t.elapsed();
+
+        // Step 2: general optimizations.
+        let t = Instant::now();
+        let _opt_stats = sxe_opt::run_module(&mut module, &self.general);
+        times.general_opts = t.elapsed();
+
+        // Optional interpreter stage: profile the pre-step-3 code.
+        let mut use_profile = self.sxe.use_profile;
+        let profile: Option<sxe_core::ModuleProfile> = profile_run.and_then(|(entry, args)| {
+            let mut vm = Machine::new(&module, self.sxe.target);
+            vm.enable_profile();
+            let ok = vm.run(entry, args).is_ok();
+            ok.then(|| {
+                (0..module.functions.len())
+                    .map(|i| {
+                        vm.profile_counts(sxe_ir::FuncId(i as u32))
+                            .expect("profiling enabled")
+                            .to_vec()
+                    })
+                    .collect()
+            })
+        });
+        if profile.is_some() {
+            use_profile = true;
+        }
+
+        // Step 3: elimination and movement of sign extensions.
+        let mut config = self.sxe.clone();
+        config.use_profile = use_profile;
+        let mut stats = SxeStats::default();
+        let mut step3 = Step3Timing::default();
+        let t = Instant::now();
+        for (i, f) in module.functions.iter_mut().enumerate() {
+            let p = profile.as_ref().and_then(|p| p.get(i)).map(Vec::as_slice);
+            let (s, tm) = sxe_core::run_step3_timed(f, &config, p);
+            stats.merge(s);
+            step3.merge(tm);
+        }
+        let step3_total = t.elapsed();
+        times.chain_creation = step3.chain_creation;
+        times.sxe_opt = step3.sxe_opt;
+        times.step3_overhead =
+            step3_total.saturating_sub(step3.chain_creation + step3.sxe_opt);
+
+        if self.verify {
+            sxe_ir::verify_module(&module).expect("compiled module must verify");
+        }
+        stats.generated = generated;
+        Compiled { module, stats, times }
+    }
+}
+
+/// Per-phase compile-time breakdown (the quantities behind Table 3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimes {
+    /// Step 1: 64-bit conversion.
+    pub conversion: Duration,
+    /// Step 2: general optimizations.
+    pub general_opts: Duration,
+    /// UD/DU chain creation inside step 3 (reported separately in Table 3
+    /// because the chains serve other optimizations too).
+    pub chain_creation: Duration,
+    /// The sign-extension optimizations proper (insertion, ordering,
+    /// elimination).
+    pub sxe_opt: Duration,
+    /// Step-3 bookkeeping not attributed to either bucket.
+    pub step3_overhead: Duration,
+}
+
+impl PhaseTimes {
+    /// Total compilation time.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.conversion
+            + self.general_opts
+            + self.chain_creation
+            + self.sxe_opt
+            + self.step3_overhead
+    }
+
+    /// Everything that is neither the sign-extension optimizations nor
+    /// chain creation ("Others" in Table 3).
+    #[must_use]
+    pub fn others(&self) -> Duration {
+        self.conversion + self.general_opts + self.step3_overhead
+    }
+
+    /// Accumulate another compilation's times.
+    pub fn merge(&mut self, o: PhaseTimes) {
+        self.conversion += o.conversion;
+        self.general_opts += o.general_opts;
+        self.chain_creation += o.chain_creation;
+        self.sxe_opt += o.sxe_opt;
+        self.step3_overhead += o.step3_overhead;
+    }
+}
+
+/// Result of a compilation.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The optimized 64-bit module, ready for the VM.
+    pub module: Module,
+    /// Static sign-extension statistics.
+    pub stats: SxeStats,
+    /// Phase timing.
+    pub times: PhaseTimes,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxe_ir::parse_module;
+
+    const LOOPY: &str = "\
+func @main(i32) -> f64 {
+b0:
+    r1 = newarray.i32 r0
+    r2 = const.i32 0
+    br b1
+b1:
+    r3 = const.i32 1
+    r0 = sub.i32 r0, r3
+    r4 = aload.i32 r1, r0
+    r2 = add.i32 r2, r4
+    condbr gt.i32 r0, r3, b1, b2
+b2:
+    r5 = i32tof64.f64 r2
+    ret r5
+}
+";
+
+    #[test]
+    fn pipeline_end_to_end() {
+        let src = parse_module(LOOPY).unwrap();
+        let base = Compiler::for_variant(Variant::Baseline).compile(&src);
+        let all = Compiler::for_variant(Variant::All).compile(&src);
+        assert!(base.module.count_extends(None) > all.module.count_extends(None));
+        assert!(all.stats.eliminated > 0);
+        assert!(all.times.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn all_variants_compile_and_agree_dynamically() {
+        let src = parse_module(LOOPY).unwrap();
+        let mut reference: Option<(Option<i64>, u64)> = None;
+        for v in Variant::ALL {
+            let c = Compiler::for_variant(v).compile(&src);
+            let mut vm = Machine::new(&c.module, Target::Ia64);
+            let out = vm.run("main", &[40]).expect("no trap");
+            let key = (out.ret, out.heap_checksum);
+            match &reference {
+                None => reference = Some(key),
+                Some(r) => assert_eq!(*r, key, "variant {v} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_counts_ordered() {
+        let src = parse_module(LOOPY).unwrap();
+        let count = |v: Variant| {
+            let c = Compiler::for_variant(v).compile(&src);
+            let mut vm = Machine::new(&c.module, Target::Ia64);
+            vm.run("main", &[200]).expect("no trap");
+            vm.counters.extend_count(None)
+        };
+        let baseline = count(Variant::Baseline);
+        let first = count(Variant::FirstAlgorithm);
+        let all = count(Variant::All);
+        assert!(first <= baseline);
+        assert!(all <= first);
+        // Figure 8(b): exactly one extension survives, placed after the
+        // loop — it executes once regardless of the trip count.
+        assert_eq!(all, 1, "one extension outside the loop");
+    }
+
+    #[test]
+    fn profiled_compile_works() {
+        let src = parse_module(LOOPY).unwrap();
+        let c = Compiler::for_variant(Variant::All).compile_profiled(&src, "main", &[40]);
+        let mut vm = Machine::new(&c.module, Target::Ia64);
+        let out = vm.run("main", &[40]).expect("no trap");
+        assert!(out.ret.is_some());
+    }
+
+    #[test]
+    fn zext_elimination_option() {
+        // zext32 of an IA64 load is redundant; the option removes it.
+        let src = parse_module(
+            "func @main(i32) -> i64 {\n\
+             b0:\n    r1 = newarray.i32 r0\n    r4 = const.i32 0\n    r2 = aload.i32 r1, r4\n    r3 = zext32.i64 r2\n    ret r3\n}\n",
+        )
+        .unwrap();
+        let count_zext = |m: &sxe_ir::Module| {
+            m.iter()
+                .flat_map(|(_, f)| f.insts().map(|(_, i)| i.clone()).collect::<Vec<_>>())
+                .filter(|i| matches!(i, sxe_ir::Inst::Un { op: sxe_ir::UnOp::Zext(_), .. }))
+                .count()
+        };
+        let plain = Compiler::for_variant(Variant::All).compile(&src);
+        assert_eq!(count_zext(&plain.module), 1);
+        let mut with = Compiler::for_variant(Variant::All);
+        with.sxe.eliminate_zext = true;
+        let optimized = with.compile(&src);
+        assert_eq!(count_zext(&optimized.module), 0);
+        // Behaviour preserved.
+        let run = |m: &sxe_ir::Module| {
+            let mut vm = Machine::new(m, Target::Ia64);
+            vm.run("main", &[2]).expect("no trap").ret
+        };
+        assert_eq!(run(&plain.module), run(&optimized.module));
+    }
+
+    #[test]
+    fn general_opts_can_be_disabled() {
+        let src = parse_module(LOOPY).unwrap();
+        let mut c = Compiler::for_variant(Variant::All);
+        c.general = sxe_opt::GeneralOpts::none();
+        let compiled = c.compile(&src);
+        let mut vm = Machine::new(&compiled.module, Target::Ia64);
+        let out = vm.run("main", &[40]).expect("no trap");
+        let reference = Compiler::for_variant(Variant::All).compile(&src);
+        let mut vm2 = Machine::new(&reference.module, Target::Ia64);
+        assert_eq!(out.ret, vm2.run("main", &[40]).expect("no trap").ret);
+    }
+
+    #[test]
+    fn ppc64_needs_fewer_extensions_than_ia64() {
+        // PPC64's lwa sign-extends loads, so the baseline itself has
+        // fewer extensions.
+        let src = parse_module(LOOPY).unwrap();
+        let ia = Compiler::for_variant(Variant::Baseline).compile(&src);
+        let ppc = Compiler::for_variant(Variant::Baseline)
+            .with_target(Target::Ppc64)
+            .compile(&src);
+        assert!(ppc.module.count_extends(None) < ia.module.count_extends(None));
+    }
+}

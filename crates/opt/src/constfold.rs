@@ -1,0 +1,241 @@
+//! Block-local constant folding and constant branch folding.
+//!
+//! Uses [`sxe_ir::eval`] — the same arithmetic as the VM — so folded
+//! constants carry *exactly* the raw 64-bit bit patterns the unoptimized
+//! code would have computed, including the modelled garbage upper bits of
+//! 32-bit results.
+//!
+//! Folding a sign extension of a constant is the paper's step-2 example:
+//! "when a constant is propagated as the source operand of a sign
+//! extension, the sign extension will be changed to a copy instruction by
+//! constant folding".
+
+use std::collections::HashMap;
+
+use sxe_ir::{eval, Function, Inst, Reg, Ty, UnOp};
+
+/// Fold constants in every block of `f`; returns the number of
+/// instructions rewritten.
+pub fn run(f: &mut Function) -> usize {
+    let mut changed = 0;
+    for b in 0..f.blocks.len() {
+        let mut consts: HashMap<Reg, i64> = HashMap::new();
+        let insts = &mut f.blocks[b].insts;
+        for inst in insts.iter_mut() {
+            let get = |consts: &HashMap<Reg, i64>, r: Reg| consts.get(&r).copied();
+            let mut folded: Option<(Reg, i64, Ty)> = None;
+            let mut folded_f: Option<(Reg, f64)> = None;
+            match *inst {
+                Inst::Const { dst, value, .. } => {
+                    consts.insert(dst, value);
+                    continue;
+                }
+                Inst::ConstF { dst, value } => {
+                    consts.insert(dst, value.to_bits() as i64);
+                    continue;
+                }
+                Inst::Copy { dst, src, .. } => {
+                    // Keep the copy (copy propagation's job) but learn the
+                    // constant.
+                    match get(&consts, src) {
+                        Some(v) => {
+                            consts.insert(dst, v);
+                        }
+                        None => {
+                            consts.remove(&dst);
+                        }
+                    }
+                    continue;
+                }
+                Inst::Extend { dst, src, from } => {
+                    if let Some(v) = get(&consts, src) {
+                        folded = Some((dst, from.sign_extend(v), from.ty()));
+                    }
+                }
+                Inst::Un { op, ty, dst, src } => {
+                    if let Some(v) = get(&consts, src) {
+                        match op {
+                            UnOp::Neg if ty != Ty::F64 => {
+                                folded = Some((dst, v.wrapping_neg(), ty));
+                            }
+                            UnOp::Not if ty != Ty::F64 => folded = Some((dst, !v, ty)),
+                            UnOp::Zext(w) => folded = Some((dst, eval::zext(w, v), ty)),
+                            UnOp::I32ToF64 | UnOp::I64ToF64 => {
+                                folded_f = Some((dst, v as f64));
+                            }
+                            UnOp::F64ToI32 => {
+                                folded = Some((dst, eval::d2i(f64::from_bits(v as u64)), Ty::I32));
+                            }
+                            UnOp::F64ToI64 => {
+                                folded = Some((dst, eval::d2l(f64::from_bits(v as u64)), Ty::I64));
+                            }
+                            UnOp::FNeg => folded_f = Some((dst, -f64::from_bits(v as u64))),
+                            UnOp::FAbs => {
+                                folded_f = Some((dst, f64::from_bits(v as u64).abs()));
+                            }
+                            UnOp::FSqrt => {
+                                folded_f = Some((dst, f64::from_bits(v as u64).sqrt()));
+                            }
+                            UnOp::Neg | UnOp::Not => {}
+                        }
+                    }
+                }
+                Inst::Bin { op, ty, dst, lhs, rhs } => {
+                    if let (Some(a), Some(b)) = (get(&consts, lhs), get(&consts, rhs)) {
+                        if ty == Ty::F64 {
+                            if let Some(r) =
+                                eval::f64_bin(op, f64::from_bits(a as u64), f64::from_bits(b as u64))
+                            {
+                                folded_f = Some((dst, r));
+                            }
+                        } else if let Some(v) = eval::int_bin(op, a, b, ty) {
+                            // Division by zero is not folded: the trap is
+                            // observable behaviour.
+                            folded = Some((dst, v, ty));
+                        }
+                    }
+                }
+                Inst::Setcc { cond, ty, dst, lhs, rhs } => {
+                    if let (Some(a), Some(b)) = (get(&consts, lhs), get(&consts, rhs)) {
+                        let t = if ty == Ty::F64 {
+                            cond.eval_f64(f64::from_bits(a as u64), f64::from_bits(b as u64))
+                        } else {
+                            eval::int_cond(cond, ty, a, b)
+                        };
+                        folded = Some((dst, t as i64, Ty::I32));
+                    }
+                }
+                Inst::CondBr { cond, ty, lhs, rhs, then_bb, else_bb } => {
+                    if let (Some(a), Some(b)) = (get(&consts, lhs), get(&consts, rhs)) {
+                        let t = if ty == Ty::F64 {
+                            cond.eval_f64(f64::from_bits(a as u64), f64::from_bits(b as u64))
+                        } else {
+                            eval::int_cond(cond, ty, a, b)
+                        };
+                        *inst = Inst::Br { target: if t { then_bb } else { else_bb } };
+                        changed += 1;
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+            if let Some((dst, value, ty)) = folded {
+                *inst = Inst::Const { dst, value, ty };
+                consts.insert(dst, value);
+                changed += 1;
+            } else if let Some((dst, value)) = folded_f {
+                *inst = Inst::ConstF { dst, value };
+                consts.insert(dst, value.to_bits() as i64);
+                changed += 1;
+            } else if let Some(d) = inst.dst() {
+                consts.remove(&d);
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxe_ir::{parse_function, BlockId};
+
+    fn fold(src: &str) -> (Function, usize) {
+        let mut f = parse_function(src).unwrap();
+        let n = run(&mut f);
+        (f, n)
+    }
+
+    #[test]
+    fn folds_extend_of_constant() {
+        let (f, n) = fold(
+            "func @f() -> i32 {\n\
+             b0:\n    r0 = const.i32 -7\n    r0 = extend.32 r0\n    ret r0\n}\n",
+        );
+        assert_eq!(n, 1);
+        assert_eq!(f.count_extends(None), 0);
+        assert!(matches!(f.inst(sxe_ir::InstId::new(BlockId(0), 1)), Inst::Const { value: -7, .. }));
+    }
+
+    #[test]
+    fn folds_arithmetic_with_raw_bits() {
+        let (f, n) = fold(
+            "func @f() -> i32 {\n\
+             b0:\n    r0 = const.i32 2147483647\n    r1 = const.i32 1\n    r2 = add.i32 r0, r1\n    ret r2\n}\n",
+        );
+        assert_eq!(n, 1);
+        // The folded constant keeps the raw 64-bit sum (not sign-extended),
+        // matching what the machine would compute.
+        match f.inst(sxe_ir::InstId::new(BlockId(0), 2)) {
+            Inst::Const { value, .. } => assert_eq!(*value, 0x8000_0000),
+            other => panic!("expected const, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn does_not_fold_div_by_zero() {
+        let (f, n) = fold(
+            "func @f() -> i32 {\n\
+             b0:\n    r0 = const.i32 5\n    r1 = const.i32 0\n    r2 = div.i32 r0, r1\n    ret r2\n}\n",
+        );
+        assert_eq!(n, 0);
+        assert!(matches!(
+            f.inst(sxe_ir::InstId::new(BlockId(0), 2)),
+            Inst::Bin { .. }
+        ));
+    }
+
+    #[test]
+    fn folds_branches() {
+        let (f, n) = fold(
+            "func @f() -> i32 {\n\
+             b0:\n    r0 = const.i32 1\n    r1 = const.i32 2\n    condbr lt.i32 r0, r1, b1, b2\n\
+             b1:\n    ret r0\n\
+             b2:\n    ret r1\n}\n",
+        );
+        assert_eq!(n, 1);
+        assert!(matches!(
+            f.inst(sxe_ir::InstId::new(BlockId(0), 2)),
+            Inst::Br { target: BlockId(1) }
+        ));
+    }
+
+    #[test]
+    fn state_resets_across_blocks() {
+        // r0's constness in b0 must not leak into b2 (reached from two
+        // different defs of r0).
+        let (_, n) = fold(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = const.i32 4\n    condbr lt.i32 r0, r1, b1, b2\n\
+             b1:\n    r1 = add.i32 r0, r0\n    br b2\n\
+             b2:\n    r2 = add.i32 r1, r1\n    ret r2\n}\n",
+        );
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn folds_setcc_and_float() {
+        let (f, n) = fold(
+            "func @f() -> f64 {\n\
+             b0:\n    r0 = constf 2.0\n    r1 = constf 3.0\n    r2 = mul.f64 r0, r1\n    ret r2\n}\n",
+        );
+        assert_eq!(n, 1);
+        match f.inst(sxe_ir::InstId::new(BlockId(0), 2)) {
+            Inst::ConstF { value, .. } => assert_eq!(*value, 6.0),
+            other => panic!("expected constf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constant_through_copy() {
+        let (f, n) = fold(
+            "func @f() -> i32 {\n\
+             b0:\n    r0 = const.i32 21\n    r1 = copy.i32 r0\n    r2 = add.i32 r1, r1\n    ret r2\n}\n",
+        );
+        assert_eq!(n, 1);
+        match f.inst(sxe_ir::InstId::new(BlockId(0), 2)) {
+            Inst::Const { value, .. } => assert_eq!(*value, 42),
+            other => panic!("expected const, got {other:?}"),
+        }
+    }
+}

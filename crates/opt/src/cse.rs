@@ -1,0 +1,159 @@
+//! Block-local common-subexpression elimination.
+//!
+//! The paper applies CSE/PRE to sign extensions in step 2 ("Sign extension
+//! is also applied to common sub-expression elimination"); this local CSE
+//! turns a repeated `extend` (or any pure expression) over unchanged
+//! operands into a copy.
+
+use std::collections::HashMap;
+
+use sxe_ir::{BinOp, Cond, Function, Inst, Reg, Ty, UnOp, Width};
+
+/// A hashable key describing a pure computation over specific registers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ExprKey {
+    Bin(BinOp, Ty, Reg, Reg),
+    Un(UnOp, Ty, Reg),
+    Setcc(Cond, Ty, Reg, Reg),
+    Extend(Width, Reg),
+    Const(Ty, i64),
+    ConstF(u64),
+}
+
+fn key_of(inst: &Inst) -> Option<(ExprKey, Reg)> {
+    match *inst {
+        Inst::Bin { op, ty, dst, lhs, rhs } if !op.may_trap() => {
+            // Canonicalize commutative operand order.
+            let (a, b) = if op.is_commutative() && rhs < lhs { (rhs, lhs) } else { (lhs, rhs) };
+            Some((ExprKey::Bin(op, ty, a, b), dst))
+        }
+        Inst::Un { op, ty, dst, src } => Some((ExprKey::Un(op, ty, src), dst)),
+        Inst::Setcc { cond, ty, dst, lhs, rhs } => {
+            Some((ExprKey::Setcc(cond, ty, lhs, rhs), dst))
+        }
+        Inst::Extend { dst, src, from } => Some((ExprKey::Extend(from, src), dst)),
+        Inst::Const { dst, value, ty } => Some((ExprKey::Const(ty, value), dst)),
+        Inst::ConstF { dst, value } => Some((ExprKey::ConstF(value.to_bits()), dst)),
+        _ => None,
+    }
+}
+
+fn key_operands(k: &ExprKey) -> Vec<Reg> {
+    match *k {
+        ExprKey::Bin(_, _, a, b) | ExprKey::Setcc(_, _, a, b) => vec![a, b],
+        ExprKey::Un(_, _, a) | ExprKey::Extend(_, a) => vec![a],
+        ExprKey::Const(..) | ExprKey::ConstF(..) => Vec::new(),
+    }
+}
+
+/// Run local CSE; returns the number of instructions replaced by copies.
+pub fn run(f: &mut Function) -> usize {
+    let mut changed = 0;
+    for b in 0..f.blocks.len() {
+        let mut available: HashMap<ExprKey, Reg> = HashMap::new();
+        for inst in f.blocks[b].insts.iter_mut() {
+            if matches!(inst, Inst::Nop) {
+                continue;
+            }
+            let keyed = key_of(inst);
+            if let Some((ref key, dst)) = keyed {
+                if let Some(&holder) = available.get(key) {
+                    if holder != dst {
+                        let ty = match *key {
+                            ExprKey::Bin(_, ty, ..)
+                            | ExprKey::Un(_, ty, _)
+                            | ExprKey::Const(ty, _) => ty,
+                            ExprKey::Setcc(..) => Ty::I32,
+                            ExprKey::Extend(..) => Ty::I64,
+                            ExprKey::ConstF(_) => Ty::F64,
+                        };
+                        *inst = Inst::Copy { dst, src: holder, ty };
+                        changed += 1;
+                    }
+                }
+            }
+            // Invalidate everything involving the defined register, then
+            // record the new expression.
+            if let Some(d) = inst.dst() {
+                available.retain(|k, &mut holder| holder != d && !key_operands(k).contains(&d));
+            }
+            if let Some((key, dst)) = key_of(inst) {
+                available.entry(key).or_insert(dst);
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxe_ir::{parse_function, BlockId, InstId};
+
+    #[test]
+    fn duplicate_extend_becomes_copy() {
+        let mut f = parse_function(
+            "func @f(i32) -> i64 {\n\
+             b0:\n    r1 = extend.32 r0\n    r2 = extend.32 r0\n    r3 = add.i64 r1, r2\n    ret r3\n}\n",
+        )
+        .unwrap();
+        assert_eq!(run(&mut f), 1);
+        assert_eq!(f.count_extends(None), 1);
+        assert!(matches!(
+            f.inst(InstId::new(BlockId(0), 1)),
+            Inst::Copy { src: Reg(1), .. }
+        ));
+    }
+
+    #[test]
+    fn redefined_operand_blocks_cse() {
+        let mut f = parse_function(
+            "func @f(i32) -> i64 {\n\
+             b0:\n    r1 = extend.32 r0\n    r0 = add.i32 r0, r0\n    r2 = extend.32 r0\n    ret r2\n}\n",
+        )
+        .unwrap();
+        assert_eq!(run(&mut f), 0);
+    }
+
+    #[test]
+    fn in_place_extend_not_csed() {
+        // r0 = extend(r0) twice: the first redefines r0, so the second's
+        // operand differs.
+        let mut f = parse_function(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r0 = extend.32 r0\n    r0 = extend.32 r0\n    ret r0\n}\n",
+        )
+        .unwrap();
+        assert_eq!(run(&mut f), 0);
+    }
+
+    #[test]
+    fn commutative_canonicalization() {
+        let mut f = parse_function(
+            "func @f(i32, i32) -> i32 {\n\
+             b0:\n    r2 = add.i32 r0, r1\n    r3 = add.i32 r1, r0\n    r4 = sub.i32 r2, r3\n    ret r4\n}\n",
+        )
+        .unwrap();
+        assert_eq!(run(&mut f), 1);
+    }
+
+    #[test]
+    fn div_never_csed() {
+        let mut f = parse_function(
+            "func @f(i32, i32) -> i32 {\n\
+             b0:\n    r2 = div.i32 r0, r1\n    r3 = div.i32 r0, r1\n    r4 = add.i32 r2, r3\n    ret r4\n}\n",
+        )
+        .unwrap();
+        assert_eq!(run(&mut f), 0);
+    }
+
+    #[test]
+    fn duplicate_constants_merged() {
+        let mut f = parse_function(
+            "func @f() -> i32 {\n\
+             b0:\n    r0 = const.i32 7\n    r1 = const.i32 7\n    r2 = add.i32 r0, r1\n    ret r2\n}\n",
+        )
+        .unwrap();
+        assert_eq!(run(&mut f), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! The general-optimization pipeline (paper Figure 5, step 2).
+
+use sxe_ir::{Function, Module};
+
+/// Which general optimizations to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneralOpts {
+    /// Expand small leaf callees before the scalar passes (module-level;
+    /// ignored by [`run_function`]).
+    pub inline: Option<crate::inline::InlineOpts>,
+    /// Block-local copy propagation.
+    pub copyprop: bool,
+    /// Constant and branch folding.
+    pub constfold: bool,
+    /// Algebraic simplification.
+    pub simplify: bool,
+    /// Local common-subexpression elimination.
+    pub cse: bool,
+    /// Loop-invariant code motion (the step-2 PRE effect on extensions).
+    pub licm: bool,
+    /// Dead-code elimination.
+    pub dce: bool,
+    /// Maximum pipeline repetitions.
+    pub max_iters: usize,
+}
+
+impl Default for GeneralOpts {
+    fn default() -> GeneralOpts {
+        GeneralOpts {
+            inline: Some(crate::inline::InlineOpts::default()),
+            copyprop: true,
+            constfold: true,
+            simplify: true,
+            cse: true,
+            licm: true,
+            dce: true,
+            max_iters: 3,
+        }
+    }
+}
+
+impl GeneralOpts {
+    /// All optimizations disabled (identity pipeline).
+    #[must_use]
+    pub fn none() -> GeneralOpts {
+        GeneralOpts {
+            inline: None,
+            copyprop: false,
+            constfold: false,
+            simplify: false,
+            cse: false,
+            licm: false,
+            dce: false,
+            max_iters: 0,
+        }
+    }
+}
+
+/// Counts of rewrites performed per pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Call sites inlined.
+    pub inline: usize,
+    /// Operands rewritten by copy propagation.
+    pub copyprop: usize,
+    /// Instructions folded to constants / branches folded.
+    pub constfold: usize,
+    /// Instructions simplified algebraically.
+    pub simplify: usize,
+    /// Instructions replaced by copies (CSE).
+    pub cse: usize,
+    /// Instructions hoisted out of loops.
+    pub licm: usize,
+    /// Instructions deleted as dead.
+    pub dce: usize,
+}
+
+impl OptStats {
+    /// Total rewrites across all passes.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.inline
+            + self.copyprop
+            + self.constfold
+            + self.simplify
+            + self.cse
+            + self.licm
+            + self.dce
+    }
+
+    /// Accumulate another round's stats.
+    pub fn merge(&mut self, o: OptStats) {
+        self.inline += o.inline;
+        self.copyprop += o.copyprop;
+        self.constfold += o.constfold;
+        self.simplify += o.simplify;
+        self.cse += o.cse;
+        self.licm += o.licm;
+        self.dce += o.dce;
+    }
+}
+
+/// Optimize one function.
+pub fn run_function(f: &mut Function, opts: &GeneralOpts) -> OptStats {
+    let mut stats = OptStats::default();
+    for _ in 0..opts.max_iters {
+        let mut round = OptStats::default();
+        if opts.copyprop {
+            round.copyprop = crate::copyprop::run(f);
+        }
+        if opts.constfold {
+            round.constfold = crate::constfold::run(f);
+        }
+        if opts.simplify {
+            round.simplify = crate::simplify::run(f);
+        }
+        if opts.cse {
+            round.cse = crate::cse::run(f);
+        }
+        if opts.licm {
+            round.licm = crate::licm::run(f);
+        }
+        if opts.dce {
+            round.dce = crate::dce::run(f);
+        }
+        let progress = round.total();
+        stats.merge(round);
+        if progress == 0 {
+            break;
+        }
+    }
+    f.compact();
+    stats
+}
+
+/// Optimize every function of a module (inlining first, when enabled).
+pub fn run_module(m: &mut Module, opts: &GeneralOpts) -> OptStats {
+    let mut stats = OptStats::default();
+    if let Some(inline_opts) = &opts.inline {
+        stats.inline = crate::inline::run_module(m, inline_opts);
+    }
+    for f in &mut m.functions {
+        stats.merge(run_function(f, opts));
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxe_ir::{parse_function, verify_function};
+
+    #[test]
+    fn pipeline_composes() {
+        // copy -> const -> fold -> dead: everything collapses.
+        let mut f = parse_function(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = const.i32 21\n    r2 = copy.i32 r1\n    r3 = add.i32 r2, r2\n    r4 = extend.32 r3\n    ret r4\n}\n",
+        )
+        .unwrap();
+        let stats = run_function(&mut f, &GeneralOpts::default());
+        assert!(stats.total() > 0);
+        verify_function(&f).unwrap();
+        assert_eq!(f.count_extends(None), 0, "extend of a constant folds away");
+        // Result is just `const 42; ret`.
+        assert!(f.inst_count() <= 2);
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let src = "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = const.i32 21\n    r2 = add.i32 r1, r1\n    ret r2\n}\n";
+        let mut f = parse_function(src).unwrap();
+        let g = f.clone();
+        let stats = run_function(&mut f, &GeneralOpts::none());
+        assert_eq!(stats.total(), 0);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn loop_invariant_extend_moves_out() {
+        let mut f = parse_function(
+            "func @f(i32, i64) -> i64 {\n\
+             b0:\n    br b1\n\
+             b1:\n    r2 = extend.32 r0\n    r1 = add.i64 r1, r2\n    r3 = const.i64 1\n    r1 = sub.i64 r1, r3\n    condbr gt.i64 r1, r3, b1, b2\n\
+             b2:\n    ret r1\n}\n",
+        )
+        .unwrap();
+        let stats = run_function(&mut f, &GeneralOpts::default());
+        assert!(stats.licm >= 1);
+        verify_function(&f).unwrap();
+    }
+}

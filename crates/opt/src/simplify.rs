@@ -1,0 +1,185 @@
+//! Algebraic simplifications (strength reduction to copies/constants).
+//!
+//! All rewrites preserve the *raw 64-bit* semantics of the machine model,
+//! not just the low 32 bits: e.g. `x + 0` at width 32 is a full 64-bit
+//! add of zero, so replacing it with a full-register copy is exact.
+
+use std::collections::HashMap;
+
+use sxe_ir::{BinOp, Function, Inst, Reg, Ty};
+
+/// Apply algebraic identities in every block; returns the number of
+/// instructions rewritten.
+pub fn run(f: &mut Function) -> usize {
+    let mut changed = 0;
+    for b in 0..f.blocks.len() {
+        let mut consts: HashMap<Reg, i64> = HashMap::new();
+        for inst in f.blocks[b].insts.iter_mut() {
+            let get = |consts: &HashMap<Reg, i64>, r: Reg| consts.get(&r).copied();
+            let rewrite: Option<Inst> = match *inst {
+                Inst::Const { dst, value, .. } => {
+                    consts.insert(dst, value);
+                    None
+                }
+                Inst::Bin { op, ty, dst, lhs, rhs } if ty != Ty::F64 => {
+                    let lc = get(&consts, lhs);
+                    let rc = get(&consts, rhs);
+                    match op {
+                        // x + 0 and 0 + x: the 64-bit add of a zero
+                        // register is an exact register copy.
+                        BinOp::Add if rc == Some(0) => {
+                            Some(Inst::Copy { dst, src: lhs, ty })
+                        }
+                        BinOp::Add if lc == Some(0) => {
+                            Some(Inst::Copy { dst, src: rhs, ty })
+                        }
+                        BinOp::Sub if rc == Some(0) => {
+                            Some(Inst::Copy { dst, src: lhs, ty })
+                        }
+                        // x - x == 0 and x ^ x == 0 exactly (raw bits).
+                        BinOp::Sub | BinOp::Xor if lhs == rhs => {
+                            Some(Inst::Const { dst, value: 0, ty })
+                        }
+                        BinOp::Mul if rc == Some(1) => {
+                            Some(Inst::Copy { dst, src: lhs, ty })
+                        }
+                        BinOp::Mul if lc == Some(1) => {
+                            Some(Inst::Copy { dst, src: rhs, ty })
+                        }
+                        // x * 0 == 0 exactly.
+                        BinOp::Mul if rc == Some(0) || lc == Some(0) => {
+                            Some(Inst::Const { dst, value: 0, ty })
+                        }
+                        // x & -1 (all 64 bits set) and x | 0: exact.
+                        BinOp::And if rc == Some(-1) => {
+                            Some(Inst::Copy { dst, src: lhs, ty })
+                        }
+                        BinOp::And if lc == Some(-1) => {
+                            Some(Inst::Copy { dst, src: rhs, ty })
+                        }
+                        BinOp::And | BinOp::Or if lhs == rhs => {
+                            Some(Inst::Copy { dst, src: lhs, ty })
+                        }
+                        BinOp::And if rc == Some(0) || lc == Some(0) => {
+                            Some(Inst::Const { dst, value: 0, ty })
+                        }
+                        BinOp::Or | BinOp::Xor if rc == Some(0) => {
+                            Some(Inst::Copy { dst, src: lhs, ty })
+                        }
+                        BinOp::Or | BinOp::Xor if lc == Some(0) => {
+                            Some(Inst::Copy { dst, src: rhs, ty })
+                        }
+                        // Shifts by zero are full-register identities.
+                        BinOp::Shl | BinOp::Shr if rc == Some(0) => {
+                            Some(Inst::Copy { dst, src: lhs, ty })
+                        }
+                        // shru.32 by 0 still extracts the low 32 bits
+                        // (zero-extends), so it is NOT an identity at
+                        // width 32; it is at width 64.
+                        BinOp::Shru if rc == Some(0) && ty == Ty::I64 => {
+                            Some(Inst::Copy { dst, src: lhs, ty })
+                        }
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            if let Some(new_inst) = rewrite {
+                *inst = new_inst;
+                changed += 1;
+            }
+            if let Some(d) = inst.dst() {
+                if !matches!(inst, Inst::Const { .. }) {
+                    consts.remove(&d);
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxe_ir::{parse_function, BlockId, InstId};
+
+    fn simplified(src: &str, idx: usize) -> Inst {
+        let mut f = parse_function(src).unwrap();
+        run(&mut f);
+        f.inst(InstId::new(BlockId(0), idx)).clone()
+    }
+
+    #[test]
+    fn add_zero_becomes_copy() {
+        let i = simplified(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = const.i32 0\n    r2 = add.i32 r0, r1\n    ret r2\n}\n",
+            1,
+        );
+        assert!(matches!(i, Inst::Copy { src: Reg(0), .. }));
+    }
+
+    #[test]
+    fn xor_self_becomes_zero() {
+        let i = simplified(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = xor.i32 r0, r0\n    ret r1\n}\n",
+            0,
+        );
+        assert!(matches!(i, Inst::Const { value: 0, .. }));
+    }
+
+    #[test]
+    fn mul_one_and_zero() {
+        let i = simplified(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = const.i32 1\n    r2 = mul.i32 r0, r1\n    ret r2\n}\n",
+            1,
+        );
+        assert!(matches!(i, Inst::Copy { src: Reg(0), .. }));
+        let i = simplified(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = const.i32 0\n    r2 = mul.i32 r1, r0\n    ret r2\n}\n",
+            1,
+        );
+        assert!(matches!(i, Inst::Const { value: 0, .. }));
+    }
+
+    #[test]
+    fn shru32_by_zero_not_identity() {
+        // shru.i32 by 0 zero-extends the low 32 bits — not a plain copy.
+        let i = simplified(
+            "func @f(i32) -> i64 {\n\
+             b0:\n    r1 = const.i32 0\n    r2 = shru.i32 r0, r1\n    ret r2\n}\n",
+            1,
+        );
+        assert!(matches!(i, Inst::Bin { op: BinOp::Shru, .. }));
+        let i = simplified(
+            "func @f(i64) -> i64 {\n\
+             b0:\n    r1 = const.i64 0\n    r2 = shru.i64 r0, r1\n    ret r2\n}\n",
+            1,
+        );
+        assert!(matches!(i, Inst::Copy { .. }));
+    }
+
+    #[test]
+    fn and_minus_one_is_copy() {
+        let i = simplified(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = const.i32 -1\n    r2 = and.i32 r0, r1\n    ret r2\n}\n",
+            1,
+        );
+        assert!(matches!(i, Inst::Copy { src: Reg(0), .. }));
+    }
+
+    #[test]
+    fn float_untouched() {
+        let mut f = parse_function(
+            "func @f(f64) -> f64 {\n\
+             b0:\n    r1 = constf 0.0\n    r2 = add.f64 r0, r1\n    ret r2\n}\n",
+        )
+        .unwrap();
+        // x + 0.0 is NOT an identity for floats (-0.0 + 0.0 == +0.0).
+        assert_eq!(run(&mut f), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! A simple in-order cycle cost model, used to estimate the run-time
+//! effect of sign-extension elimination (paper Figures 13–14).
+//!
+//! The paper measured wall-clock speedup on an 800 MHz Itanium. We model
+//! that machine's *relative* latencies: the absolute numbers do not
+//! matter, only that removing `sxt4` instructions from dependence chains
+//! in hot loops shortens execution proportionally to their dynamic count.
+
+use sxe_ir::{BinOp, Inst, Ty, UnOp};
+
+/// Cost in cycle units of one executed instruction. An ALU op is
+/// [`ALU_COST`] units.
+#[must_use]
+pub fn cost_of(inst: &Inst) -> u64 {
+    match inst {
+        Inst::Nop => 0,
+        // sxt4 is a plain ALU op — its cost is occupancy in the
+        // dependence chain, which is exactly what elimination removes.
+        Inst::Extend { .. } => ALU_COST,
+        Inst::JustExtended { .. } => 0, // pseudo-instruction
+        Inst::Const { .. } | Inst::ConstF { .. } | Inst::Copy { .. } => ALU_COST,
+        Inst::Un { op, .. } => match op {
+            UnOp::Neg | UnOp::Not | UnOp::Zext(_) => ALU_COST,
+            UnOp::I32ToF64 | UnOp::I64ToF64 | UnOp::F64ToI32 | UnOp::F64ToI64 => FP_CONV_COST,
+            UnOp::FNeg | UnOp::FAbs => FP_COST,
+            UnOp::FSqrt => FP_SQRT_COST,
+        },
+        Inst::Bin { op, ty, .. } => match (op, ty) {
+            (BinOp::Div | BinOp::Rem, Ty::F64) => FP_DIV_COST,
+            (BinOp::Div | BinOp::Rem, _) => INT_DIV_COST,
+            (_, Ty::F64) => FP_COST,
+            (BinOp::Mul, _) => MUL_COST,
+            _ => ALU_COST,
+        },
+        Inst::Setcc { .. } => ALU_COST,
+        Inst::NewArray { .. } => ALLOC_COST,
+        Inst::ArrayLen { .. } => ALU_COST,
+        // Bounds check (compare + branch) + address arithmetic + access.
+        Inst::ArrayLoad { .. } => MEM_COST,
+        Inst::ArrayStore { .. } => MEM_COST,
+        Inst::Call { .. } => CALL_COST,
+        Inst::Br { .. } => BRANCH_COST,
+        Inst::CondBr { .. } => BRANCH_COST,
+        Inst::Ret { .. } => BRANCH_COST,
+    }
+}
+
+/// Single-cycle ALU operation (add, and, sxt4, …).
+pub const ALU_COST: u64 = 10;
+/// Integer multiply.
+pub const MUL_COST: u64 = 30;
+/// Integer divide (software sequence on Itanium: very expensive).
+pub const INT_DIV_COST: u64 = 360;
+/// Float arithmetic.
+pub const FP_COST: u64 = 40;
+/// Float divide.
+pub const FP_DIV_COST: u64 = 320;
+/// Float square root.
+pub const FP_SQRT_COST: u64 = 320;
+/// Int/float conversions.
+pub const FP_CONV_COST: u64 = 60;
+/// Array load/store including bounds check and address computation.
+pub const MEM_COST: u64 = 25;
+/// Branch (predicted-taken average).
+pub const BRANCH_COST: u64 = 12;
+/// Call/return linkage overhead.
+pub const CALL_COST: u64 = 60;
+/// Array allocation (per call, excluding per-element zeroing).
+pub const ALLOC_COST: u64 = 200;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxe_ir::{Reg, Width};
+
+    #[test]
+    fn extend_costs_one_alu_slot() {
+        let e = Inst::Extend { dst: Reg(0), src: Reg(0), from: Width::W32 };
+        assert_eq!(cost_of(&e), ALU_COST);
+        let d = Inst::JustExtended { dst: Reg(0), src: Reg(0), from: Width::W32 };
+        assert_eq!(cost_of(&d), 0);
+    }
+
+    #[test]
+    fn relative_order() {
+        let add = Inst::Bin { op: BinOp::Add, ty: Ty::I32, dst: Reg(0), lhs: Reg(0), rhs: Reg(0) };
+        let div = Inst::Bin { op: BinOp::Div, ty: Ty::I32, dst: Reg(0), lhs: Reg(0), rhs: Reg(0) };
+        let fadd = Inst::Bin { op: BinOp::Add, ty: Ty::F64, dst: Reg(0), lhs: Reg(0), rhs: Reg(0) };
+        assert!(cost_of(&add) < cost_of(&fadd));
+        assert!(cost_of(&fadd) < cost_of(&div));
+    }
+}

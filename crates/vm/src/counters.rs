@@ -1,0 +1,127 @@
+//! Dynamic execution counters — the quantities the paper's Tables 1 and 2
+//! report.
+
+use std::collections::BTreeMap;
+
+use sxe_ir::{Inst, Width};
+
+/// Dynamic instruction counts accumulated during execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Total executed instructions (excluding `nop` tombstones).
+    pub insts: u64,
+    /// Executed explicit sign extensions by source width `[8, 16, 32]`.
+    /// `extends[2]` is the "dynamic count of 32-bit sign extensions" of
+    /// Tables 1–2.
+    pub extends: [u64; 3],
+    /// Executed instructions per mnemonic.
+    pub per_op: BTreeMap<&'static str, u64>,
+    /// Accumulated cost-model cycles (see [`crate::cost`]).
+    pub cycles: u64,
+}
+
+impl Counters {
+    /// Create zeroed counters.
+    #[must_use]
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Record the execution of `inst` costing `cycles`.
+    pub fn record(&mut self, inst: &Inst, cycles: u64) {
+        self.insts += 1;
+        self.cycles += cycles;
+        if let Inst::Extend { from, .. } = inst {
+            self.extends[width_index(*from)] += 1;
+        }
+        *self.per_op.entry(mnemonic(inst)).or_insert(0) += 1;
+    }
+
+    /// Dynamic count of sign extensions of the given width (`None` sums
+    /// all widths).
+    #[must_use]
+    pub fn extend_count(&self, width: Option<Width>) -> u64 {
+        match width {
+            Some(w) => self.extends[width_index(w)],
+            None => self.extends.iter().sum(),
+        }
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        self.insts += other.insts;
+        self.cycles += other.cycles;
+        for (a, b) in self.extends.iter_mut().zip(other.extends) {
+            *a += b;
+        }
+        for (k, v) in &other.per_op {
+            *self.per_op.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+fn width_index(w: Width) -> usize {
+    match w {
+        Width::W8 => 0,
+        Width::W16 => 1,
+        Width::W32 => 2,
+    }
+}
+
+/// A short mnemonic for per-op statistics.
+#[must_use]
+pub fn mnemonic(inst: &Inst) -> &'static str {
+    match inst {
+        Inst::Nop => "nop",
+        Inst::Const { .. } => "const",
+        Inst::ConstF { .. } => "constf",
+        Inst::Copy { .. } => "copy",
+        Inst::Un { .. } => "un",
+        Inst::Bin { .. } => "bin",
+        Inst::Setcc { .. } => "set",
+        Inst::Extend { .. } => "extend",
+        Inst::JustExtended { .. } => "justext",
+        Inst::NewArray { .. } => "newarray",
+        Inst::ArrayLen { .. } => "len",
+        Inst::ArrayLoad { .. } => "aload",
+        Inst::ArrayStore { .. } => "astore",
+        Inst::Call { .. } => "call",
+        Inst::Br { .. } => "br",
+        Inst::CondBr { .. } => "condbr",
+        Inst::Ret { .. } => "ret",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxe_ir::Reg;
+
+    #[test]
+    fn records_extends_by_width() {
+        let mut c = Counters::new();
+        let e32 = Inst::Extend { dst: Reg(0), src: Reg(0), from: Width::W32 };
+        let e8 = Inst::Extend { dst: Reg(0), src: Reg(0), from: Width::W8 };
+        c.record(&e32, 1);
+        c.record(&e32, 1);
+        c.record(&e8, 1);
+        assert_eq!(c.extend_count(Some(Width::W32)), 2);
+        assert_eq!(c.extend_count(Some(Width::W8)), 1);
+        assert_eq!(c.extend_count(None), 3);
+        assert_eq!(c.insts, 3);
+        assert_eq!(c.per_op["extend"], 3);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = Counters::new();
+        let mut b = Counters::new();
+        let i = Inst::Br { target: sxe_ir::BlockId(0) };
+        a.record(&i, 2);
+        b.record(&i, 3);
+        a.merge(&b);
+        assert_eq!(a.insts, 2);
+        assert_eq!(a.cycles, 5);
+        assert_eq!(a.per_op["br"], 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! VM execution errors.
+
+use std::fmt;
+
+use sxe_ir::{FuncId, InstId, TrapKind};
+
+/// A run-time trap, with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trap {
+    /// What went wrong.
+    pub kind: TrapKind,
+    /// Function in which the trap occurred.
+    pub func: FuncId,
+    /// Instruction that trapped.
+    pub at: InstId,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trap in {} at {}: {}", self.func, self.at, self.kind)
+    }
+}
+
+impl std::error::Error for Trap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxe_ir::BlockId;
+
+    #[test]
+    fn display_mentions_kind() {
+        let t = Trap {
+            kind: TrapKind::IndexOutOfBounds,
+            func: FuncId(0),
+            at: InstId::new(BlockId(2), 5),
+        };
+        let s = t.to_string();
+        assert!(s.contains("index out of bounds"));
+        assert!(s.contains("b2:5"));
+    }
+}

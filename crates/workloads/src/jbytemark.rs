@@ -1,0 +1,12 @@
+//! The ten jBYTEmark-style kernels (paper Table 1 / Figures 11 and 13).
+
+pub mod assignment;
+pub mod bitfield;
+pub mod fourier;
+pub mod fp_emulation;
+pub mod huffman;
+pub mod idea;
+pub mod lu_decomposition;
+pub mod neural_net;
+pub mod numeric_sort;
+pub mod string_sort;

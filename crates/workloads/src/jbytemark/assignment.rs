@@ -1,0 +1,90 @@
+//! Assignment: a greedy solver for the assignment problem over an
+//! `n × n` cost matrix stored row-major in one `i32` array. The
+//! `i*n + j` flattened indexing is the canonical Theorem 2 pattern.
+
+use sxe_ir::{BinOp, Cond, FunctionBuilder, Module, Ty};
+
+use crate::dsl::{add, alloc_filled, c32, for_range, if_then, mul_c};
+
+/// Build the kernel; `size` is the matrix dimension `n`.
+#[must_use]
+pub fn build(size: u32) -> Module {
+    let n = size as i64;
+    let mut m = Module::new();
+
+    let mut fb = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+    let nn = c32(&mut fb, n * n);
+    let cost = alloc_filled(&mut fb, Ty::I32, nn, 0xA551, 0x3FFF);
+    let nreg = c32(&mut fb, n);
+    let taken = fb.new_array(Ty::I32, nreg); // column -> 1 if assigned
+    let assign = fb.new_array(Ty::I32, nreg); // row -> column
+    let zero = c32(&mut fb, 0);
+    let total = fb.new_reg();
+    fb.copy_to(Ty::I32, total, zero);
+
+    // Greedy row scan: each row picks its cheapest unassigned column.
+    for_range(&mut fb, zero, nreg, |fb, row| {
+        let base = mul_c(fb, row, n);
+        let best_col = fb.new_reg();
+        let best_val = fb.new_reg();
+        let minus1 = c32(fb, -1);
+        let big = c32(fb, 0x7FFF_FFFF);
+        fb.copy_to(Ty::I32, best_col, minus1);
+        fb.copy_to(Ty::I32, best_val, big);
+        let z = c32(fb, 0);
+        for_range(fb, z, nreg, |fb, col| {
+            let t = fb.array_load(Ty::I32, taken, col);
+            let z2 = c32(fb, 0);
+            if_then(fb, Cond::Eq, t, z2, |fb| {
+                let idx = add(fb, base, col);
+                let c = fb.array_load(Ty::I32, cost, idx);
+                if_then(fb, Cond::Lt, c, best_val, |fb| {
+                    fb.copy_to(Ty::I32, best_val, c);
+                    fb.copy_to(Ty::I32, best_col, col);
+                });
+            });
+        });
+        let one = c32(fb, 1);
+        fb.array_store(Ty::I32, taken, best_col, one);
+        fb.array_store(Ty::I32, assign, row, best_col);
+        let nt = add(fb, total, best_val);
+        fb.copy_to(Ty::I32, total, nt);
+    });
+
+    // Improvement sweep: try pairwise swaps that lower the total cost
+    // (2-opt), a second pass of nested-loop matrix indexing.
+    for_range(&mut fb, zero, nreg, |fb, r1| {
+        let z = c32(fb, 0);
+        for_range(fb, z, nreg, |fb, r2| {
+            if_then(fb, Cond::Ne, r1, r2, |fb| {
+                let c1 = fb.array_load(Ty::I32, assign, r1);
+                let c2 = fb.array_load(Ty::I32, assign, r2);
+                let b1 = mul_c(fb, r1, n);
+                let b2 = mul_c(fb, r2, n);
+                let i11 = add(fb, b1, c1);
+                let i12 = add(fb, b1, c2);
+                let i21 = add(fb, b2, c1);
+                let i22 = add(fb, b2, c2);
+                let v11 = fb.array_load(Ty::I32, cost, i11);
+                let v12 = fb.array_load(Ty::I32, cost, i12);
+                let v21 = fb.array_load(Ty::I32, cost, i21);
+                let v22 = fb.array_load(Ty::I32, cost, i22);
+                let cur = add(fb, v11, v22);
+                let alt = add(fb, v12, v21);
+                if_then(fb, Cond::Lt, alt, cur, |fb| {
+                    fb.array_store(Ty::I32, assign, r1, c2);
+                    fb.array_store(Ty::I32, assign, r2, c1);
+                    let saved = fb.bin(BinOp::Sub, Ty::I32, cur, alt);
+                    let nt = fb.bin(BinOp::Sub, Ty::I32, total, saved);
+                    fb.copy_to(Ty::I32, total, nt);
+                });
+            });
+        });
+    });
+
+    let h = crate::dsl::checksum_i32(&mut fb, assign);
+    let out = fb.bin(BinOp::Xor, Ty::I32, h, total);
+    fb.ret(Some(out));
+    m.add_function(fb.finish());
+    m
+}

@@ -1,0 +1,78 @@
+//! Fourier: numerical integration of DFT coefficients with `f64`
+//! arithmetic (sin/cos via rotation recurrences). Float-dominated with
+//! very few integer operations, so the absolute number of sign
+//! extensions is tiny — as in Table 1, where Fourier's baseline count is
+//! two orders of magnitude below the other benchmarks'.
+
+use sxe_ir::{BinOp, FunctionBuilder, Module, Ty, UnOp};
+
+use crate::dsl::{c32, for_range};
+
+/// Build the kernel; `size` is the number of coefficients.
+#[must_use]
+pub fn build(size: u32) -> Module {
+    let n = size as i64;
+    let mut m = Module::new();
+
+    let mut fb = FunctionBuilder::new("main", vec![], Some(Ty::F64));
+    let nreg = c32(&mut fb, n);
+    let coeffs = fb.new_array(Ty::F64, nreg);
+    let zero = c32(&mut fb, 0);
+    let steps = c32(&mut fb, 64);
+    // dtheta for the innermost rotation; cos/sin seeds for step 2π/64.
+    let cd = fb.fconst(0.995_184_726_672_196_9); // cos(2π/64)
+    let sd = fb.fconst(0.098_017_140_329_560_6); // sin(2π/64)
+    for_range(&mut fb, zero, nreg, |fb, k| {
+        // Integrate f(x) = x·cos(kθ) over one period with the trapezoid
+        // rule, using a rotation recurrence instead of calling cos.
+        let c = fb.new_reg();
+        let s = fb.new_reg();
+        let one_f = fb.fconst(1.0);
+        let zero_f = fb.fconst(0.0);
+        fb.copy_to(Ty::F64, c, one_f);
+        fb.copy_to(Ty::F64, s, zero_f);
+        let acc = fb.new_reg();
+        fb.copy_to(Ty::F64, acc, zero_f);
+        // Frequency scaling: x = (k+1) as double (an i2d — the few
+        // required extensions of this benchmark).
+        let one = c32(fb, 1);
+        let k1 = fb.bin(BinOp::Add, Ty::I32, k, one);
+        let freq = fb.un(UnOp::I32ToF64, Ty::F64, k1);
+        // x advances by `freq` per step — like the original benchmark's
+        // numeric integration, the loop body is pure float math.
+        let x = fb.new_reg();
+        let x0 = fb.fconst(0.0);
+        fb.copy_to(Ty::F64, x, x0);
+        let z = c32(fb, 0);
+        for_range(fb, z, steps, |fb, _t| {
+            let term = fb.bin(BinOp::Mul, Ty::F64, x, c);
+            let nacc = fb.bin(BinOp::Add, Ty::F64, acc, term);
+            fb.copy_to(Ty::F64, acc, nacc);
+            // (c, s) <- (c·cd − s·sd, s·cd + c·sd)
+            let ccd = fb.bin(BinOp::Mul, Ty::F64, c, cd);
+            let ssd = fb.bin(BinOp::Mul, Ty::F64, s, sd);
+            let nc = fb.bin(BinOp::Sub, Ty::F64, ccd, ssd);
+            let scd = fb.bin(BinOp::Mul, Ty::F64, s, cd);
+            let csd = fb.bin(BinOp::Mul, Ty::F64, c, sd);
+            let ns = fb.bin(BinOp::Add, Ty::F64, scd, csd);
+            fb.copy_to(Ty::F64, c, nc);
+            fb.copy_to(Ty::F64, s, ns);
+            let nx = fb.bin(BinOp::Add, Ty::F64, x, freq);
+            fb.copy_to(Ty::F64, x, nx);
+        });
+        fb.array_store(Ty::F64, coeffs, k, acc);
+    });
+    // Sum of |coefficients| as the result.
+    let total = fb.new_reg();
+    let zf = fb.fconst(0.0);
+    fb.copy_to(Ty::F64, total, zf);
+    for_range(&mut fb, zero, nreg, |fb, k| {
+        let v = fb.array_load(Ty::F64, coeffs, k);
+        let av = fb.un(UnOp::FAbs, Ty::F64, v);
+        let nt = fb.bin(BinOp::Add, Ty::F64, total, av);
+        fb.copy_to(Ty::F64, total, nt);
+    });
+    fb.ret(Some(total));
+    m.add_function(fb.finish());
+    m
+}

@@ -1,0 +1,113 @@
+//! Huffman: frequency counting, code assignment, and bit-packed encoding
+//! of a byte stream. The encode loop is nothing but byte loads, table
+//! lookups, shifts, and masks in a hot loop — the benchmark with the
+//! largest speedup in the paper's Figure 13.
+
+use sxe_ir::{BinOp, Cond, FunctionBuilder, Module, Ty};
+
+use crate::dsl::{
+    add, alloc_filled, and_c, c32, for_range, if_then, mul_c, shl_c, shru_c,
+};
+
+/// Build the kernel; `size` is the input length in bytes.
+#[must_use]
+pub fn build(size: u32) -> Module {
+    let n = size as i64;
+    let mut m = Module::new();
+
+    let mut fb = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+    let nreg = c32(&mut fb, n);
+    let input = alloc_filled(&mut fb, Ty::I8, nreg, 0x48FF, 0x3F);
+    let nsym = c32(&mut fb, 64);
+    let freq = fb.new_array(Ty::I32, nsym);
+    let zero = c32(&mut fb, 0);
+    let one = c32(&mut fb, 1);
+
+    // Pass 1: frequency count (byte load -> table index).
+    for_range(&mut fb, zero, nreg, |fb, i| {
+        let b = fb.array_load(Ty::I8, input, i);
+        let sym = and_c(fb, b, 0x3F);
+        let f = fb.array_load(Ty::I32, freq, sym);
+        let nf = add(fb, f, one);
+        fb.array_store(Ty::I32, freq, sym, nf);
+    });
+
+    // Pass 2: assign code lengths by frequency rank — more frequent
+    // symbols get shorter codes (a canonical-Huffman-flavoured scheme
+    // with lengths 2..=12 derived from the rank's bit position).
+    let lens = fb.new_array(Ty::I32, nsym);
+    let codes = fb.new_array(Ty::I32, nsym);
+    for_range(&mut fb, zero, nsym, |fb, s| {
+        let f = fb.array_load(Ty::I32, freq, s);
+        // rank = number of symbols strictly more frequent.
+        let rank = fb.new_reg();
+        let z = c32(fb, 0);
+        fb.copy_to(Ty::I32, rank, z);
+        let ns = c32(fb, 64);
+        for_range(fb, z, ns, |fb, t| {
+            let g = fb.array_load(Ty::I32, freq, t);
+            if_then(fb, Cond::Gt, g, f, |fb| {
+                let o = c32(fb, 1);
+                fb.bin_to(BinOp::Add, Ty::I32, rank, rank, o);
+            });
+        });
+        // len = 2 + floor(rank / 8), capped at 9 bits.
+        let r8 = shru_c(fb, rank, 3);
+        let two = c32(fb, 2);
+        let len = add(fb, r8, two);
+        let len_reg = fb.new_reg();
+        fb.copy_to(Ty::I32, len_reg, len);
+        let cap = c32(fb, 9);
+        if_then(fb, Cond::Gt, len_reg, cap, |fb| {
+            let c = c32(fb, 9);
+            fb.copy_to(Ty::I32, len_reg, c);
+        });
+        fb.array_store(Ty::I32, lens, s, len_reg);
+        // code = symbol bits scrambled with the rank.
+        let sr = shl_c(fb, rank, 3);
+        let code = fb.bin(BinOp::Xor, Ty::I32, sr, s);
+        let mask_m = c32(fb, 0x1FF);
+        let code9 = fb.bin(BinOp::And, Ty::I32, code, mask_m);
+        fb.array_store(Ty::I32, codes, s, code9);
+    });
+
+    // Pass 3: encode into a bit-packed i32 output buffer.
+    let out_words = c32(&mut fb, n / 2 + 4);
+    let out = fb.new_array(Ty::I32, out_words);
+    let bitpos = fb.new_reg();
+    fb.copy_to(Ty::I32, bitpos, zero);
+    for_range(&mut fb, zero, nreg, |fb, i| {
+        let b = fb.array_load(Ty::I8, input, i);
+        let sym = and_c(fb, b, 0x3F);
+        let code = fb.array_load(Ty::I32, codes, sym);
+        let len = fb.array_load(Ty::I32, lens, sym);
+        let word = shru_c(fb, bitpos, 5);
+        let bit = and_c(fb, bitpos, 31);
+        let cur = fb.array_load(Ty::I32, out, word);
+        let shifted = fb.bin(BinOp::Shl, Ty::I32, code, bit);
+        let merged = fb.bin(BinOp::Or, Ty::I32, cur, shifted);
+        fb.array_store(Ty::I32, out, word, merged);
+        // Spill into the next word when the code straddles the boundary.
+        let end = add(fb, bit, len);
+        let limit = c32(fb, 32);
+        if_then(fb, Cond::Gt, end, limit, |fb| {
+            let one_l = c32(fb, 1);
+            let w2 = fb.bin(BinOp::Add, Ty::I32, word, one_l);
+            let sub = c32(fb, 32);
+            let back = fb.bin(BinOp::Sub, Ty::I32, sub, bit);
+            let hi = fb.bin(BinOp::Shru, Ty::I32, code, back);
+            let cur2 = fb.array_load(Ty::I32, out, w2);
+            let merged2 = fb.bin(BinOp::Or, Ty::I32, cur2, hi);
+            fb.array_store(Ty::I32, out, w2, merged2);
+        });
+        let np = add(fb, bitpos, len);
+        fb.copy_to(Ty::I32, bitpos, np);
+    });
+
+    let h = crate::dsl::checksum_i32(&mut fb, out);
+    let h2 = mul_c(&mut fb, h, 7);
+    let outv = fb.bin(BinOp::Xor, Ty::I32, h2, bitpos);
+    fb.ret(Some(outv));
+    m.add_function(fb.finish());
+    m
+}

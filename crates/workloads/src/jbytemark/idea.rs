@@ -1,0 +1,113 @@
+//! IDEA: the International Data Encryption Algorithm's round function
+//! over 16-bit subblocks. Multiplication modulo 65537 needs 64-bit
+//! intermediate math (Java uses `long` here too); everything else is
+//! `& 0xffff` masks — extensions after the masks are all redundant.
+
+use sxe_ir::{BinOp, FunctionBuilder, Module, Ty, UnOp};
+
+use crate::dsl::{add, alloc_filled, and_c, c32, for_range, if_then};
+
+/// Build the kernel; `size` is the number of 4-subblock groups encrypted.
+#[must_use]
+pub fn build(size: u32) -> Module {
+    let n = (size as i64) * 4; // total 16-bit subblocks
+    let mut m = Module::new();
+
+    // mulmod(a, b) -> (a*b) mod 65537 with the IDEA 0 == 2^16 convention.
+    let mut fb = FunctionBuilder::new("mulmod", vec![Ty::I32, Ty::I32], Some(Ty::I32));
+    let a = fb.param(0);
+    let b = fb.param(1);
+    let av = fb.new_reg();
+    let bv = fb.new_reg();
+    let a16 = and_c(&mut fb, a, 0xFFFF);
+    let b16 = and_c(&mut fb, b, 0xFFFF);
+    fb.copy_to(Ty::I32, av, a16);
+    fb.copy_to(Ty::I32, bv, b16);
+    let zero = c32(&mut fb, 0);
+    if_then(&mut fb, sxe_ir::Cond::Eq, av, zero, |fb| {
+        let x = c32(fb, 0x1_0000);
+        fb.copy_to(Ty::I32, av, x);
+    });
+    if_then(&mut fb, sxe_ir::Cond::Eq, bv, zero, |fb| {
+        let x = c32(fb, 0x1_0000);
+        fb.copy_to(Ty::I32, bv, x);
+    });
+    // 64-bit multiply and modulo (the i32 operands are non-negative).
+    let aw = fb.un(UnOp::Zext(sxe_ir::Width::W32), Ty::I64, av);
+    let bw = fb.un(UnOp::Zext(sxe_ir::Width::W32), Ty::I64, bv);
+    let prod = fb.bin(BinOp::Mul, Ty::I64, aw, bw);
+    let modulus = fb.iconst(Ty::I64, 65_537);
+    let r = fb.bin(BinOp::Rem, Ty::I64, prod, modulus);
+    // Back to the 16-bit domain (65536 maps to 0).
+    let r32 = and_c(&mut fb, r, 0xFFFF);
+    fb.ret(Some(r32));
+    let mulmod = m.add_function(fb.finish());
+
+    // main(): rounds of the IDEA mixing structure over an i16 array.
+    let mut fb = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+    let nreg = c32(&mut fb, n);
+    let data = alloc_filled(&mut fb, Ty::I16, nreg, 0x1DEA, 0xFFFF);
+    let keys = alloc_filled(&mut fb, Ty::I16, nreg, 0x6E75, 0xFFFF);
+    let zero = c32(&mut fb, 0);
+    let groups = c32(&mut fb, n / 4);
+    for_range(&mut fb, zero, groups, |fb, g| {
+        let base = crate::dsl::shl_c(fb, g, 2);
+        let one = c32(fb, 1);
+        let two = c32(fb, 2);
+        let three = c32(fb, 3);
+        let i0 = base;
+        let i1 = add(fb, base, one);
+        let i2 = add(fb, base, two);
+        let i3 = add(fb, base, three);
+        // Load subblocks as unsigned 16-bit values (i16 loads
+        // sign-extend; mask like Java's `& 0xffff`).
+        let x0s = fb.array_load(Ty::I16, data, i0);
+        let x0 = and_c(fb, x0s, 0xFFFF);
+        let x1s = fb.array_load(Ty::I16, data, i1);
+        let x1 = and_c(fb, x1s, 0xFFFF);
+        let x2s = fb.array_load(Ty::I16, data, i2);
+        let x2 = and_c(fb, x2s, 0xFFFF);
+        let x3s = fb.array_load(Ty::I16, data, i3);
+        let x3 = and_c(fb, x3s, 0xFFFF);
+        let k0s = fb.array_load(Ty::I16, keys, i0);
+        let k0 = and_c(fb, k0s, 0xFFFF);
+        let k1s = fb.array_load(Ty::I16, keys, i1);
+        let k1 = and_c(fb, k1s, 0xFFFF);
+        let k2s = fb.array_load(Ty::I16, keys, i2);
+        let k2 = and_c(fb, k2s, 0xFFFF);
+        let k3s = fb.array_load(Ty::I16, keys, i3);
+        let k3 = and_c(fb, k3s, 0xFFFF);
+        // One IDEA half-round.
+        let y0 = fb.call(mulmod, vec![x0, k0], true).expect("result");
+        let t1 = add(fb, x1, k1);
+        let y1 = and_c(fb, t1, 0xFFFF);
+        let t2 = add(fb, x2, k2);
+        let y2 = and_c(fb, t2, 0xFFFF);
+        let y3 = fb.call(mulmod, vec![x3, k3], true).expect("result");
+        // MA structure.
+        let e0 = fb.bin(BinOp::Xor, Ty::I32, y0, y2);
+        let e1 = fb.bin(BinOp::Xor, Ty::I32, y1, y3);
+        let p = fb.call(mulmod, vec![e0, e1], true).expect("result");
+        let q0 = fb.bin(BinOp::Xor, Ty::I32, y0, p);
+        let q1 = fb.bin(BinOp::Xor, Ty::I32, y1, p);
+        let q2 = fb.bin(BinOp::Xor, Ty::I32, y2, p);
+        let q3 = fb.bin(BinOp::Xor, Ty::I32, y3, p);
+        fb.array_store(Ty::I16, data, i0, q0);
+        fb.array_store(Ty::I16, data, i1, q1);
+        fb.array_store(Ty::I16, data, i2, q2);
+        fb.array_store(Ty::I16, data, i3, q3);
+    });
+    // Checksum the ciphertext.
+    let h = fb.new_reg();
+    fb.copy_to(Ty::I32, h, zero);
+    for_range(&mut fb, zero, nreg, |fb, i| {
+        let v = fb.array_load(Ty::I16, data, i);
+        let u = and_c(fb, v, 0xFFFF);
+        let h31 = crate::dsl::mul_c(fb, h, 31);
+        let nh = add(fb, h31, u);
+        fb.copy_to(Ty::I32, h, nh);
+    });
+    fb.ret(Some(h));
+    m.add_function(fb.finish());
+    m
+}

@@ -1,0 +1,99 @@
+//! Neural Net: forward and backward passes of a tiny fully-connected
+//! network in `f64`, with integer loops only for indexing. Like the
+//! original benchmark, nearly all remaining extensions sit on required
+//! `i2d` conversions — Table 1 shows ~98.8% remaining for every
+//! non-array variant and ~0.25% once array elimination kicks in.
+
+use sxe_ir::{BinOp, FunctionBuilder, Module, Ty, UnOp};
+
+use crate::dsl::{add, c32, for_range, mul_c};
+
+/// Build the kernel; `size` is the hidden-layer width.
+#[must_use]
+pub fn build(size: u32) -> Module {
+    let hidden = size as i64;
+    let inputs = 16i64;
+    let mut m = Module::new();
+
+    let mut fb = FunctionBuilder::new("main", vec![], Some(Ty::F64));
+    let nin = c32(&mut fb, inputs);
+    let nhid = c32(&mut fb, hidden);
+    let wlen = c32(&mut fb, inputs * hidden);
+    let w1 = fb.new_array(Ty::F64, wlen);
+    let invec = fb.new_array(Ty::F64, nin);
+    let hid = fb.new_array(Ty::F64, nhid);
+    let zero = c32(&mut fb, 0);
+
+    // Deterministic initialization: w[i] = frac-ish((i*37 % 101) - 50)/50.
+    let fifty = fb.fconst(50.0);
+    for_range(&mut fb, zero, wlen, |fb, i| {
+        let a = mul_c(fb, i, 37);
+        let hundred1 = c32(fb, 101);
+        let r = fb.bin(BinOp::Rem, Ty::I32, a, hundred1);
+        let fifty_c = c_fifty(fb);
+        let r50 = crate::dsl::sub(fb, r, fifty_c);
+        let rf = fb.un(UnOp::I32ToF64, Ty::F64, r50);
+        let v = fb.bin(BinOp::Div, Ty::F64, rf, fifty);
+        fb.array_store(Ty::F64, w1, i, v);
+    });
+    for_range(&mut fb, zero, nin, |fb, i| {
+        let a = mul_c(fb, i, 13);
+        let hundred1 = c32(fb, 101);
+        let r = fb.bin(BinOp::Rem, Ty::I32, a, hundred1);
+        let rf = fb.un(UnOp::I32ToF64, Ty::F64, r);
+        let hundred = fb.fconst(101.0);
+        let v = fb.bin(BinOp::Div, Ty::F64, rf, hundred);
+        fb.array_store(Ty::F64, invec, i, v);
+    });
+
+    // Epochs of forward passes with a rational activation
+    // act(x) = x / (1 + |x|).
+    let epochs = c32(&mut fb, 8);
+    let err = fb.new_reg();
+    let zf = fb.fconst(0.0);
+    fb.copy_to(Ty::F64, err, zf);
+    for_range(&mut fb, zero, epochs, |fb, _e| {
+        let z = c32(fb, 0);
+        for_range(fb, z, nhid, |fb, j| {
+            let acc = fb.new_reg();
+            let zf2 = fb.fconst(0.0);
+            fb.copy_to(Ty::F64, acc, zf2);
+            let base = mul_c(fb, j, inputs);
+            let z2 = c32(fb, 0);
+            for_range(fb, z2, nin, |fb, i| {
+                let idx = add(fb, base, i);
+                let wv = fb.array_load(Ty::F64, w1, idx);
+                let iv = fb.array_load(Ty::F64, invec, i);
+                let p = fb.bin(BinOp::Mul, Ty::F64, wv, iv);
+                let na = fb.bin(BinOp::Add, Ty::F64, acc, p);
+                fb.copy_to(Ty::F64, acc, na);
+            });
+            let a = fb.un(UnOp::FAbs, Ty::F64, acc);
+            let one_f = fb.fconst(1.0);
+            let denom = fb.bin(BinOp::Add, Ty::F64, a, one_f);
+            let act = fb.bin(BinOp::Div, Ty::F64, acc, denom);
+            fb.array_store(Ty::F64, hid, j, act);
+        });
+        // "Error" = sum of hidden activations; nudge the first weights.
+        let z3 = c32(fb, 0);
+        for_range(fb, z3, nhid, |fb, j| {
+            let hv = fb.array_load(Ty::F64, hid, j);
+            let ne = fb.bin(BinOp::Add, Ty::F64, err, hv);
+            fb.copy_to(Ty::F64, err, ne);
+            let lr = fb.fconst(0.001);
+            let dw = fb.bin(BinOp::Mul, Ty::F64, hv, lr);
+            let base = mul_c(fb, j, inputs);
+            let wv = fb.array_load(Ty::F64, w1, base);
+            let nw = fb.bin(BinOp::Sub, Ty::F64, wv, dw);
+            fb.array_store(Ty::F64, w1, base, nw);
+        });
+    });
+    fb.ret(Some(err));
+    m.add_function(fb.finish());
+    m
+}
+
+/// Helper: the constant 50 (kept out of line to appease closure borrows).
+fn c_fifty(fb: &mut FunctionBuilder) -> sxe_ir::Reg {
+    c32(fb, 50)
+}

@@ -1,0 +1,94 @@
+//! Numeric Sort: heapsort over an `i32` array (jBYTEmark's integer-sort
+//! kernel). Dominated by index arithmetic (`2*root + 1`) and compares —
+//! prime Theorem 2/4 territory.
+
+use sxe_ir::{BinOp, Cond, FunctionBuilder, Module, Ty};
+
+use crate::dsl::{add_c, alloc_filled, c32, checksum_i32, for_range_down, if_then, shl_c};
+
+/// Build the kernel; `size` is the element count.
+#[must_use]
+pub fn build(size: u32) -> Module {
+    let n = size as i64;
+    let mut m = Module::new();
+
+    // siftdown(a, start, end): restore the heap property below `start`.
+    let mut fb = FunctionBuilder::new("siftdown", vec![Ty::I64, Ty::I32, Ty::I32], None);
+    let a = fb.param(0);
+    let start = fb.param(1);
+    let end = fb.param(2);
+    let root = fb.new_reg();
+    fb.copy_to(Ty::I32, root, start);
+    let head = fb.new_block();
+    let cont = fb.new_block();
+    let exit = fb.new_block();
+    fb.br(head);
+    fb.switch_to(head);
+    let child = fb.new_reg();
+    let two_r = shl_c(&mut fb, root, 1);
+    let c1 = add_c(&mut fb, two_r, 1);
+    fb.copy_to(Ty::I32, child, c1);
+    fb.cond_br(Cond::Lt, Ty::I32, child, end, cont, exit);
+    fb.switch_to(cont);
+    // Prefer the larger child.
+    let c2 = add_c(&mut fb, child, 1);
+    if_then(&mut fb, Cond::Lt, c2, end, |fb| {
+        let v1 = fb.array_load(Ty::I32, a, child);
+        let v2 = fb.array_load(Ty::I32, a, c2);
+        if_then(fb, Cond::Lt, v1, v2, |fb| {
+            fb.copy_to(Ty::I32, child, c2);
+        });
+    });
+    let vr = fb.array_load(Ty::I32, a, root);
+    let vc = fb.array_load(Ty::I32, a, child);
+    let swap_bb = fb.new_block();
+    fb.cond_br(Cond::Lt, Ty::I32, vr, vc, swap_bb, exit);
+    fb.switch_to(swap_bb);
+    fb.array_store(Ty::I32, a, root, vc);
+    fb.array_store(Ty::I32, a, child, vr);
+    fb.copy_to(Ty::I32, root, child);
+    fb.br(head);
+    fb.switch_to(exit);
+    fb.ret(None);
+    let siftdown = m.add_function(fb.finish());
+
+    // main(): fill, heapify, sort, checksum (with a sortedness probe).
+    let mut fb = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+    let nreg = c32(&mut fb, n);
+    let a = alloc_filled(&mut fb, Ty::I32, nreg, 0x5EED, 0xF_FFFF);
+    // Heapify.
+    let hstart = c32(&mut fb, n / 2 - 1);
+    let minus1 = c32(&mut fb, -1);
+    for_range_down(&mut fb, hstart, minus1, |fb, i| {
+        fb.call(siftdown, vec![a, i, nreg], false);
+    });
+    // Pop the heap.
+    let top = c32(&mut fb, n - 1);
+    let zero = c32(&mut fb, 0);
+    for_range_down(&mut fb, top, zero, |fb, e| {
+        let v0 = fb.array_load(Ty::I32, a, zero);
+        let ve = fb.array_load(Ty::I32, a, e);
+        fb.array_store(Ty::I32, a, zero, ve);
+        fb.array_store(Ty::I32, a, e, v0);
+        fb.call(siftdown, vec![a, zero, e], false);
+    });
+    // Count inversions (must be zero) and fold into the checksum.
+    let inversions = fb.new_reg();
+    fb.copy_to(Ty::I32, inversions, zero);
+    let one = c32(&mut fb, 1);
+    let last = c32(&mut fb, n - 1);
+    crate::dsl::for_range(&mut fb, zero, last, |fb, i| {
+        let v = fb.array_load(Ty::I32, a, i);
+        let ip = fb.bin(BinOp::Add, Ty::I32, i, one);
+        let w = fb.array_load(Ty::I32, a, ip);
+        if_then(fb, Cond::Gt, v, w, |fb| {
+            let n2 = fb.bin(BinOp::Add, Ty::I32, inversions, one);
+            fb.copy_to(Ty::I32, inversions, n2);
+        });
+    });
+    let h = checksum_i32(&mut fb, a);
+    let mixed = fb.bin(BinOp::Xor, Ty::I32, h, inversions);
+    fb.ret(Some(mixed));
+    m.add_function(fb.finish());
+    m
+}

@@ -1,0 +1,112 @@
+//! String Sort: insertion sort of fixed-stride byte strings by
+//! lexicographic order. Exercises `i8` array traffic (sign-extending
+//! byte loads) and two-level index arithmetic (`idx * STRIDE + k`).
+
+use sxe_ir::{BinOp, Cond, FunctionBuilder, Module, Ty};
+
+use crate::dsl::{add, alloc_filled, c32, for_range, mul_c};
+
+/// Bytes per string.
+const STRIDE: i64 = 16;
+
+/// Build the kernel; `size` is the string count.
+#[must_use]
+pub fn build(size: u32) -> Module {
+    let n = size as i64;
+    let mut m = Module::new();
+
+    // compare(data, p, q) -> i32: lexicographic compare of the strings at
+    // slots p and q; negative/zero/positive like String.compareTo.
+    let mut fb = FunctionBuilder::new("compare", vec![Ty::I64, Ty::I32, Ty::I32], Some(Ty::I32));
+    let data = fb.param(0);
+    let p = fb.param(1);
+    let q = fb.param(2);
+    let base_p = mul_c(&mut fb, p, STRIDE);
+    let base_q = mul_c(&mut fb, q, STRIDE);
+    let result = fb.new_reg();
+    let zero = c32(&mut fb, 0);
+    fb.copy_to(Ty::I32, result, zero);
+    let k = fb.new_reg();
+    fb.copy_to(Ty::I32, k, zero);
+    let stride = c32(&mut fb, STRIDE);
+    let head = fb.new_block();
+    let body = fb.new_block();
+    let differs = fb.new_block();
+    let next = fb.new_block();
+    let exit = fb.new_block();
+    fb.br(head);
+    fb.switch_to(head);
+    fb.cond_br(Cond::Lt, Ty::I32, k, stride, body, exit);
+    fb.switch_to(body);
+    let ip = add(&mut fb, base_p, k);
+    let iq = add(&mut fb, base_q, k);
+    let cp = fb.array_load(Ty::I8, data, ip);
+    let cq = fb.array_load(Ty::I8, data, iq);
+    fb.cond_br(Cond::Ne, Ty::I32, cp, cq, differs, next);
+    fb.switch_to(differs);
+    let diff = fb.bin(BinOp::Sub, Ty::I32, cp, cq);
+    fb.copy_to(Ty::I32, result, diff);
+    fb.br(exit);
+    fb.switch_to(next);
+    let one = c32(&mut fb, 1);
+    fb.bin_to(BinOp::Add, Ty::I32, k, k, one);
+    fb.br(head);
+    fb.switch_to(exit);
+    fb.ret(Some(result));
+    let compare = m.add_function(fb.finish());
+
+    // swap(data, p, q): exchange two string slots byte by byte.
+    let mut fb = FunctionBuilder::new("swap", vec![Ty::I64, Ty::I32, Ty::I32], None);
+    let data = fb.param(0);
+    let p = fb.param(1);
+    let q = fb.param(2);
+    let base_p = mul_c(&mut fb, p, STRIDE);
+    let base_q = mul_c(&mut fb, q, STRIDE);
+    let zero = c32(&mut fb, 0);
+    let stride = c32(&mut fb, STRIDE);
+    for_range(&mut fb, zero, stride, |fb, k| {
+        let ip = add(fb, base_p, k);
+        let iq = add(fb, base_q, k);
+        let cp = fb.array_load(Ty::I8, data, ip);
+        let cq = fb.array_load(Ty::I8, data, iq);
+        fb.array_store(Ty::I8, data, ip, cq);
+        fb.array_store(Ty::I8, data, iq, cp);
+    });
+    fb.ret(None);
+    let swap = m.add_function(fb.finish());
+
+    // main(): fill N strings with LCG bytes, selection-sort them, then
+    // checksum the data in order.
+    let mut fb = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+    let total = c32(&mut fb, n * STRIDE);
+    let data = alloc_filled(&mut fb, Ty::I8, total, 0xBEEF, 0x7F);
+    let zero = c32(&mut fb, 0);
+    let nreg = c32(&mut fb, n);
+    let n_minus_1 = c32(&mut fb, n - 1);
+    for_range(&mut fb, zero, n_minus_1, |fb, i| {
+        let best = fb.new_reg();
+        fb.copy_to(Ty::I32, best, i);
+        let one = c32(fb, 1);
+        let j0 = fb.bin(BinOp::Add, Ty::I32, i, one);
+        for_range(fb, j0, nreg, |fb, j| {
+            let c = fb.call(compare, vec![data, j, best], true).expect("result");
+            let z = c32(fb, 0);
+            crate::dsl::if_then(fb, Cond::Lt, c, z, |fb| {
+                fb.copy_to(Ty::I32, best, j);
+            });
+        });
+        fb.call(swap, vec![data, i, best], false);
+    });
+    // Rolling checksum over the sorted bytes.
+    let h = fb.new_reg();
+    fb.copy_to(Ty::I32, h, zero);
+    for_range(&mut fb, zero, total, |fb, i| {
+        let b = fb.array_load(Ty::I8, data, i);
+        let h31 = mul_c(fb, h, 31);
+        let nh = add(fb, h31, b);
+        fb.copy_to(Ty::I32, h, nh);
+    });
+    fb.ret(Some(h));
+    m.add_function(fb.finish());
+    m
+}

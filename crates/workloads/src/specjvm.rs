@@ -1,0 +1,9 @@
+//! The seven SPECjvm98-style kernels (paper Table 2 / Figures 12 and 14).
+
+pub mod compress;
+pub mod db;
+pub mod jack;
+pub mod javac;
+pub mod jess;
+pub mod mpegaudio;
+pub mod mtrt;

@@ -1,0 +1,132 @@
+//! `compress`: an LZW compressor in the style of SPECjvm98's 201.compress
+//! (itself derived from Unix compress). Hash-table probing with shifted
+//! codes and byte input — the per-iteration mix of masks, shifts, and
+//! array accesses that gives this benchmark one of the largest dynamic
+//! extension counts and the biggest measured speedup (Figure 14).
+
+use sxe_ir::{BinOp, Cond, FunctionBuilder, Module, Ty};
+
+use crate::dsl::{
+    add, alloc_filled, and_c, c32, for_range, if_else, if_then, shl_c,
+};
+
+const HASH_BITS: i64 = 13;
+const TABLE_SIZE: i64 = 1 << HASH_BITS;
+
+/// Build the kernel; `size` is the input length in bytes.
+#[must_use]
+pub fn build(size: u32) -> Module {
+    let n = size as i64;
+    let mut m = Module::new();
+
+    let mut fb = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+    let nreg = c32(&mut fb, n);
+    // Input with a small alphabet so the dictionary actually hits.
+    let input = alloc_filled(&mut fb, Ty::I8, nreg, 0xC0DE, 0x0F);
+    let tsize = c32(&mut fb, TABLE_SIZE);
+    let hash_key = fb.new_array(Ty::I32, tsize); // packed (prefix<<8)|char, -1 = empty
+    let hash_code = fb.new_array(Ty::I32, tsize);
+    let out = fb.new_array(Ty::I32, nreg);
+    let zero = c32(&mut fb, 0);
+    let minus1 = c32(&mut fb, -1);
+    // Clear the table to "empty".
+    for_range(&mut fb, zero, tsize, |fb, i| {
+        fb.array_store(Ty::I32, hash_key, i, minus1);
+    });
+
+    let next_code = fb.new_reg();
+    let first_code = c32(&mut fb, 256);
+    fb.copy_to(Ty::I32, next_code, first_code);
+    let out_len = fb.new_reg();
+    fb.copy_to(Ty::I32, out_len, zero);
+    let w = fb.new_reg(); // current prefix code
+    let b0 = fb.array_load(Ty::I8, input, zero);
+    let w0 = and_c(&mut fb, b0, 0xFF);
+    fb.copy_to(Ty::I32, w, w0);
+
+    let one = c32(&mut fb, 1);
+    for_range(&mut fb, one, nreg, |fb, i| {
+        let b = fb.array_load(Ty::I8, input, i);
+        let c = and_c(fb, b, 0xFF);
+        // key = (w << 8) | c
+        let wsh = shl_c(fb, w, 8);
+        let key = fb.bin(BinOp::Or, Ty::I32, wsh, c);
+        // h = ((w << 4) ^ c) & (TABLE_SIZE-1), linear probing.
+        let wh = shl_c(fb, w, 4);
+        let hx = fb.bin(BinOp::Xor, Ty::I32, wh, c);
+        let h = fb.new_reg();
+        let h0 = and_c(fb, hx, TABLE_SIZE - 1);
+        fb.copy_to(Ty::I32, h, h0);
+        let found = fb.new_reg();
+        let m1 = c32(fb, -1);
+        fb.copy_to(Ty::I32, found, m1);
+        // Probe until an empty slot or a key match.
+        let head = fb.new_block();
+        let check = fb.new_block();
+        let matched = fb.new_block();
+        let advance = fb.new_block();
+        let done = fb.new_block();
+        fb.br(head);
+        fb.switch_to(head);
+        let slot_key = fb.array_load(Ty::I32, hash_key, h);
+        let empty = c32(fb, -1);
+        fb.cond_br(Cond::Eq, Ty::I32, slot_key, empty, done, check);
+        fb.switch_to(check);
+        fb.cond_br(Cond::Eq, Ty::I32, slot_key, key, matched, advance);
+        fb.switch_to(matched);
+        let code = fb.array_load(Ty::I32, hash_code, h);
+        fb.copy_to(Ty::I32, found, code);
+        fb.br(done);
+        fb.switch_to(advance);
+        let o = c32(fb, 1);
+        let h1 = fb.bin(BinOp::Add, Ty::I32, h, o);
+        let hm = and_c(fb, h1, TABLE_SIZE - 1);
+        fb.copy_to(Ty::I32, h, hm);
+        fb.br(head);
+        fb.switch_to(done);
+
+        let m2 = c32(fb, -1);
+        if_else(
+            fb,
+            Cond::Ne,
+            found,
+            m2,
+            |fb| {
+                // In dictionary: extend the prefix.
+                fb.copy_to(Ty::I32, w, found);
+            },
+            |fb| {
+                // Emit w, add (w,c) to the dictionary, restart at c.
+                fb.array_store(Ty::I32, out, out_len, w);
+                let o = c32(fb, 1);
+                fb.bin_to(BinOp::Add, Ty::I32, out_len, out_len, o);
+                let cap = c32(fb, TABLE_SIZE - 1);
+                if_then(fb, Cond::Lt, next_code, cap, |fb| {
+                    fb.array_store(Ty::I32, hash_key, h, key);
+                    fb.array_store(Ty::I32, hash_code, h, next_code);
+                    let o2 = c32(fb, 1);
+                    fb.bin_to(BinOp::Add, Ty::I32, next_code, next_code, o2);
+                });
+                fb.copy_to(Ty::I32, w, c);
+            },
+        );
+    });
+    // Flush the final prefix.
+    fb.array_store(Ty::I32, out, out_len, w);
+    let one2 = c32(&mut fb, 1);
+    fb.bin_to(BinOp::Add, Ty::I32, out_len, out_len, one2);
+
+    // Checksum the emitted codes.
+    let h = fb.new_reg();
+    fb.copy_to(Ty::I32, h, zero);
+    for_range(&mut fb, zero, out_len, |fb, i| {
+        let v = fb.array_load(Ty::I32, out, i);
+        let h31 = crate::dsl::mul_c(fb, h, 31);
+        let nh = add(fb, h31, v);
+        fb.copy_to(Ty::I32, h, nh);
+    });
+    let mixed = fb.bin(BinOp::Xor, Ty::I32, h, out_len);
+    fb.ret(Some(mixed));
+    m.add_function(fb.finish());
+    m
+}

@@ -1,0 +1,120 @@
+//! `db`: an in-memory database in the style of SPECjvm98's 209.db —
+//! scans, field comparisons, and a shellsort over fixed-width records
+//! stored in a flat `i32` array.
+
+use sxe_ir::{BinOp, Cond, FunctionBuilder, Module, Ty};
+
+use crate::dsl::{add, alloc_filled, c32, for_range, if_then, mul_c};
+
+const FIELDS: i64 = 4;
+
+/// Build the kernel; `size` is the record count.
+#[must_use]
+pub fn build(size: u32) -> Module {
+    let n = size as i64;
+    let mut m = Module::new();
+
+    // field(db, rec, f) -> value
+    let mut fb = FunctionBuilder::new("field", vec![Ty::I64, Ty::I32, Ty::I32], Some(Ty::I32));
+    let db = fb.param(0);
+    let rec = fb.param(1);
+    let f = fb.param(2);
+    let base = mul_c(&mut fb, rec, FIELDS);
+    let idx = add(&mut fb, base, f);
+    let v = fb.array_load(Ty::I32, db, idx);
+    fb.ret(Some(v));
+    let field = m.add_function(fb.finish());
+
+    // main()
+    let mut fb = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+    let total = c32(&mut fb, n * FIELDS);
+    let db = alloc_filled(&mut fb, Ty::I32, total, 0xDBDB, 0xFFFF);
+    let nreg = c32(&mut fb, n);
+    let zero = c32(&mut fb, 0);
+    let result = fb.new_reg();
+    fb.copy_to(Ty::I32, result, zero);
+
+    // Query 1: count records where field0 < field1.
+    let zero_f = c32(&mut fb, 0);
+    let one_f = c32(&mut fb, 1);
+    for_range(&mut fb, zero, nreg, |fb, r| {
+        let a = fb.call(field, vec![db, r, zero_f], true).expect("result");
+        let b = fb.call(field, vec![db, r, one_f], true).expect("result");
+        if_then(fb, Cond::Lt, a, b, |fb| {
+            let o = c32(fb, 1);
+            fb.bin_to(BinOp::Add, Ty::I32, result, result, o);
+        });
+    });
+
+    // Query 2: shellsort record order by field 2 (order kept in an index
+    // array, like db's Vector of records).
+    let order = fb.new_array(Ty::I32, nreg);
+    for_range(&mut fb, zero, nreg, |fb, i| {
+        fb.array_store(Ty::I32, order, i, i);
+    });
+    let gap = fb.new_reg();
+    let half_n = c32(&mut fb, n / 2);
+    fb.copy_to(Ty::I32, gap, half_n);
+    let gap_head = fb.new_block();
+    let gap_body = fb.new_block();
+    let gap_exit = fb.new_block();
+    fb.br(gap_head);
+    fb.switch_to(gap_head);
+    fb.cond_br(Cond::Gt, Ty::I32, gap, zero, gap_body, gap_exit);
+    fb.switch_to(gap_body);
+    for_range(&mut fb, gap, nreg, |fb, i| {
+        // Insertion within the gap sequence.
+        let j = fb.new_reg();
+        fb.copy_to(Ty::I32, j, i);
+        let head = fb.new_block();
+        let cmp_bb = fb.new_block();
+        let swap_bb = fb.new_block();
+        let exit = fb.new_block();
+        fb.br(head);
+        fb.switch_to(head);
+        fb.cond_br(Cond::Ge, Ty::I32, j, gap, cmp_bb, exit);
+        fb.switch_to(cmp_bb);
+        let jm = fb.bin(BinOp::Sub, Ty::I32, j, gap);
+        let rj = fb.array_load(Ty::I32, order, j);
+        let rjm = fb.array_load(Ty::I32, order, jm);
+        let two = c32(fb, 2);
+        let vj = fb.call(field, vec![db, rj, two], true).expect("result");
+        let vjm = fb.call(field, vec![db, rjm, two], true).expect("result");
+        fb.cond_br(Cond::Lt, Ty::I32, vj, vjm, swap_bb, exit);
+        fb.switch_to(swap_bb);
+        fb.array_store(Ty::I32, order, j, rjm);
+        fb.array_store(Ty::I32, order, jm, rj);
+        fb.copy_to(Ty::I32, j, jm);
+        fb.br(head);
+        fb.switch_to(exit);
+    });
+    let two2 = c32(&mut fb, 2);
+    let ng = fb.bin(BinOp::Div, Ty::I32, gap, two2);
+    fb.copy_to(Ty::I32, gap, ng);
+    fb.br(gap_head);
+    fb.switch_to(gap_exit);
+
+    // Query 3: range scan over the sorted order (median band).
+    let lo = c32(&mut fb, 0x4000);
+    let hi = c32(&mut fb, 0xC000);
+    let band = fb.new_reg();
+    fb.copy_to(Ty::I32, band, zero);
+    for_range(&mut fb, zero, nreg, |fb, i| {
+        let r = fb.array_load(Ty::I32, order, i);
+        let two = c32(fb, 2);
+        let v = fb.call(field, vec![db, r, two], true).expect("result");
+        if_then(fb, Cond::Ge, v, lo, |fb| {
+            if_then(fb, Cond::Lt, v, hi, |fb| {
+                let o = c32(fb, 1);
+                fb.bin_to(BinOp::Add, Ty::I32, band, band, o);
+            });
+        });
+    });
+
+    let h = crate::dsl::checksum_i32(&mut fb, order);
+    let x1 = fb.bin(BinOp::Xor, Ty::I32, h, result);
+    let x2 = fb.bin(BinOp::Xor, Ty::I32, x1, band);
+    fb.ret(Some(x2));
+    m.add_function(fb.finish());
+    m
+}

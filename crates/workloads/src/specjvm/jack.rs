@@ -1,0 +1,82 @@
+//! `jack`: a table-driven lexer in the style of SPECjvm98's 228.jack
+//! (a parser generator) — a character-class lookup and a state-machine
+//! transition table drive tokenization of a byte stream.
+
+use sxe_ir::{BinOp, Cond, FunctionBuilder, Module, Ty};
+
+use crate::dsl::{add, alloc_filled, and_c, c32, for_range, if_then, mul_c, shl_c};
+
+const STATES: i64 = 8;
+const CLASSES: i64 = 8;
+
+/// Build the kernel; `size` is the input length in bytes.
+#[must_use]
+pub fn build(size: u32) -> Module {
+    let n = size as i64;
+    let mut m = Module::new();
+
+    let mut fb = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+    let nreg = c32(&mut fb, n);
+    let input = alloc_filled(&mut fb, Ty::I8, nreg, 0x1ACC, 0x7F);
+    let zero = c32(&mut fb, 0);
+
+    // Character-class table: 128 entries, class = f(c) deterministic.
+    let csize = c32(&mut fb, 128);
+    let classes = fb.new_array(Ty::I32, csize);
+    for_range(&mut fb, zero, csize, |fb, c| {
+        let k = mul_c(fb, c, 11);
+        let sh = crate::dsl::shru_c(fb, k, 2);
+        let cls = and_c(fb, sh, CLASSES - 1);
+        fb.array_store(Ty::I32, classes, c, cls);
+    });
+    // Transition table: next = trans[state*CLASSES + class].
+    let tsize = c32(&mut fb, STATES * CLASSES);
+    let trans = fb.new_array(Ty::I32, tsize);
+    for_range(&mut fb, zero, tsize, |fb, i| {
+        let k = mul_c(fb, i, 5);
+        let three = c_three(fb);
+        let bumped = add(fb, k, three);
+        let nxt = and_c(fb, bumped, STATES - 1);
+        fb.array_store(Ty::I32, trans, i, nxt);
+    });
+    // Token-accept mask: states 0 and 3 emit a token.
+    let token_count = fb.new_reg();
+    fb.copy_to(Ty::I32, token_count, zero);
+    let token_hash = fb.new_reg();
+    fb.copy_to(Ty::I32, token_hash, zero);
+
+    let state = fb.new_reg();
+    fb.copy_to(Ty::I32, state, zero);
+    for_range(&mut fb, zero, nreg, |fb, i| {
+        let b = fb.array_load(Ty::I8, input, i);
+        let c = and_c(fb, b, 0x7F);
+        let cls = fb.array_load(Ty::I32, classes, c);
+        let base = shl_c(fb, state, 3); // state * CLASSES
+        let ti = fb.bin(BinOp::Or, Ty::I32, base, cls);
+        let nxt = fb.array_load(Ty::I32, trans, ti);
+        fb.copy_to(Ty::I32, state, nxt);
+        let three = c32(fb, 3);
+        let z = c32(fb, 0);
+        if_then(fb, Cond::Eq, state, z, |fb| {
+            let o = c32(fb, 1);
+            fb.bin_to(BinOp::Add, Ty::I32, token_count, token_count, o);
+            let h31 = mul_c(fb, token_hash, 31);
+            let nh = add(fb, h31, c);
+            fb.copy_to(Ty::I32, token_hash, nh);
+        });
+        if_then(fb, Cond::Eq, state, three, |fb| {
+            let h17 = mul_c(fb, token_hash, 17);
+            let nh = fb.bin(BinOp::Xor, Ty::I32, h17, cls);
+            fb.copy_to(Ty::I32, token_hash, nh);
+        });
+    });
+
+    let out = fb.bin(BinOp::Xor, Ty::I32, token_hash, token_count);
+    fb.ret(Some(out));
+    m.add_function(fb.finish());
+    m
+}
+
+fn c_three(fb: &mut FunctionBuilder) -> sxe_ir::Reg {
+    c32(fb, 3)
+}

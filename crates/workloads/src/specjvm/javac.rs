@@ -1,0 +1,137 @@
+//! `javac`: symbol-table hashing in the style of SPECjvm98's 213.javac —
+//! polynomial string hashing over identifier bytes and open-addressing
+//! insertion/lookup with linear probing.
+
+use sxe_ir::{BinOp, Cond, FunctionBuilder, Module, Ty};
+
+use crate::dsl::{add, alloc_filled, and_c, c32, for_range, mul_c};
+
+const IDENT_LEN: i64 = 8;
+const TABLE_BITS: i64 = 12;
+const TABLE_SIZE: i64 = 1 << TABLE_BITS;
+
+/// Build the kernel; `size` is the identifier count.
+#[must_use]
+pub fn build(size: u32) -> Module {
+    let n = size as i64;
+    let mut m = Module::new();
+
+    // hash(data, ident) -> h: Java's 31-based polynomial hash of the
+    // identifier's bytes.
+    let mut fb = FunctionBuilder::new("hash", vec![Ty::I64, Ty::I32], Some(Ty::I32));
+    let data = fb.param(0);
+    let ident = fb.param(1);
+    let base = mul_c(&mut fb, ident, IDENT_LEN);
+    let h = fb.new_reg();
+    let zero = c32(&mut fb, 0);
+    fb.copy_to(Ty::I32, h, zero);
+    let len = c32(&mut fb, IDENT_LEN);
+    for_range(&mut fb, zero, len, |fb, k| {
+        let idx = add(fb, base, k);
+        let c = fb.array_load(Ty::I8, data, idx);
+        let h31 = mul_c(fb, h, 31);
+        let nh = add(fb, h31, c);
+        fb.copy_to(Ty::I32, h, nh);
+    });
+    fb.ret(Some(h));
+    let hash = m.add_function(fb.finish());
+
+    // main(): intern all identifiers, then look each one up again.
+    let mut fb = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+    let total = c32(&mut fb, n * IDENT_LEN);
+    // A small alphabet forces duplicate identifiers (reuse on lookup).
+    let data = alloc_filled(&mut fb, Ty::I8, total, 0x7A7A, 0x3);
+    let tsize = c32(&mut fb, TABLE_SIZE);
+    let slots = fb.new_array(Ty::I32, tsize); // stored hash+1, 0 = empty
+    let zero = c32(&mut fb, 0);
+    let nreg = c32(&mut fb, n);
+    let inserts = fb.new_reg();
+    let collisions = fb.new_reg();
+    fb.copy_to(Ty::I32, inserts, zero);
+    fb.copy_to(Ty::I32, collisions, zero);
+
+    for_range(&mut fb, zero, nreg, |fb, ident| {
+        let hv = fb.call(hash, vec![data, ident], true).expect("result");
+        let key = fb.new_reg();
+        let k0 = and_c(fb, hv, 0x7FFF_FFFE);
+        let one = c32(fb, 1);
+        let k1 = add(fb, k0, one); // never 0
+        fb.copy_to(Ty::I32, key, k1);
+        let slot = fb.new_reg();
+        let s0 = and_c(fb, hv, TABLE_SIZE - 1);
+        fb.copy_to(Ty::I32, slot, s0);
+        // Probe for the key or an empty slot.
+        let head = fb.new_block();
+        let occupied = fb.new_block();
+        let advance = fb.new_block();
+        let insert = fb.new_block();
+        let done = fb.new_block();
+        fb.br(head);
+        fb.switch_to(head);
+        let cur = fb.array_load(Ty::I32, slots, slot);
+        let z = c32(fb, 0);
+        fb.cond_br(Cond::Eq, Ty::I32, cur, z, insert, occupied);
+        fb.switch_to(occupied);
+        fb.cond_br(Cond::Eq, Ty::I32, cur, key, done, advance);
+        fb.switch_to(advance);
+        let o = c32(fb, 1);
+        let s1 = fb.bin(BinOp::Add, Ty::I32, slot, o);
+        let sm = and_c(fb, s1, TABLE_SIZE - 1);
+        fb.copy_to(Ty::I32, slot, sm);
+        fb.bin_to(BinOp::Add, Ty::I32, collisions, collisions, o);
+        fb.br(head);
+        fb.switch_to(insert);
+        fb.array_store(Ty::I32, slots, slot, key);
+        let o2 = c32(fb, 1);
+        fb.bin_to(BinOp::Add, Ty::I32, inserts, inserts, o2);
+        fb.br(done);
+        fb.switch_to(done);
+    });
+
+    // Lookup pass: every identifier must be found.
+    let found = fb.new_reg();
+    fb.copy_to(Ty::I32, found, zero);
+    for_range(&mut fb, zero, nreg, |fb, ident| {
+        let hv = fb.call(hash, vec![data, ident], true).expect("result");
+        let k0 = and_c(fb, hv, 0x7FFF_FFFE);
+        let one = c32(fb, 1);
+        let key = add(fb, k0, one);
+        let slot = fb.new_reg();
+        let s0 = and_c(fb, hv, TABLE_SIZE - 1);
+        fb.copy_to(Ty::I32, slot, s0);
+        let head = fb.new_block();
+        let check = fb.new_block();
+        let advance = fb.new_block();
+        let hit = fb.new_block();
+        let done = fb.new_block();
+        fb.br(head);
+        fb.switch_to(head);
+        let cur = fb.array_load(Ty::I32, slots, slot);
+        let z = c32(fb, 0);
+        fb.cond_br(Cond::Eq, Ty::I32, cur, z, done, check);
+        fb.switch_to(check);
+        fb.cond_br(Cond::Eq, Ty::I32, cur, key, hit, advance);
+        fb.switch_to(hit);
+        let o = c32(fb, 1);
+        fb.bin_to(BinOp::Add, Ty::I32, found, found, o);
+        fb.br(done);
+        fb.switch_to(advance);
+        let o2 = c32(fb, 1);
+        let s1 = fb.bin(BinOp::Add, Ty::I32, slot, o2);
+        let sm = and_c(fb, s1, TABLE_SIZE - 1);
+        fb.copy_to(Ty::I32, slot, sm);
+        fb.br(head);
+        fb.switch_to(done);
+    });
+
+    // All lookups must succeed: fold the equality into the checksum.
+    let ok = fb.setcc(Cond::Eq, Ty::I32, found, nreg);
+    let mix1 = mul_c(&mut fb, inserts, 31);
+    let mix2 = add(&mut fb, mix1, collisions);
+    let mix3 = mul_c(&mut fb, mix2, 31);
+    let mix4 = add(&mut fb, mix3, found);
+    let out = fb.bin(BinOp::Xor, Ty::I32, mix4, ok);
+    fb.ret(Some(out));
+    m.add_function(fb.finish());
+    m
+}

@@ -1,0 +1,97 @@
+//! `jess`: a rule-matching loop in the style of SPECjvm98's 202.jess —
+//! repeatedly matching condition tuples against a working memory of
+//! facts, firing activations. Branchy integer compares over small
+//! arrays, little arithmetic.
+
+use sxe_ir::{BinOp, Cond, FunctionBuilder, Module, Ty};
+
+use crate::dsl::{add, alloc_filled, and_c, c32, for_range, if_then, mul_c};
+
+const RULES: i64 = 24;
+
+/// Build the kernel; `size` is the number of facts in working memory.
+#[must_use]
+pub fn build(size: u32) -> Module {
+    let n = size as i64;
+    let mut m = Module::new();
+
+    let mut fb = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+    let nreg = c32(&mut fb, n);
+    // Facts: (type, slot) pairs.
+    let ftype = alloc_filled(&mut fb, Ty::I32, nreg, 0x3E55, 0x7);
+    let fval = alloc_filled(&mut fb, Ty::I32, nreg, 0xFAC7, 0xFF);
+    // Rules: required type, lo/hi bounds on the slot value.
+    let rreg = c32(&mut fb, RULES);
+    let rtype = alloc_filled(&mut fb, Ty::I32, rreg, 0x2217, 0x7);
+    let rlo = alloc_filled(&mut fb, Ty::I32, rreg, 0x1111, 0x7F);
+    let rhi_base = alloc_filled(&mut fb, Ty::I32, rreg, 0x2222, 0x7F);
+    let activations = fb.new_array(Ty::I32, rreg);
+    let zero = c32(&mut fb, 0);
+
+    // rhi = rlo + offset so the band is non-empty.
+    for_range(&mut fb, zero, rreg, |fb, r| {
+        let lo = fb.array_load(Ty::I32, rlo, r);
+        let off = fb.array_load(Ty::I32, rhi_base, r);
+        let hi = add(fb, lo, off);
+        fb.array_store(Ty::I32, rhi_base, r, hi);
+    });
+
+    // Repeated match-fire cycles: each cycle matches all rules against
+    // all facts, fires the best rule, and mutates one fact (so the next
+    // cycle differs).
+    let cycles = c32(&mut fb, 16);
+    let fired_total = fb.new_reg();
+    fb.copy_to(Ty::I32, fired_total, zero);
+    for_range(&mut fb, zero, cycles, |fb, cycle| {
+        let z = c32(fb, 0);
+        let rr = c32(fb, RULES);
+        for_range(fb, z, rr, |fb, r| {
+            let want = fb.array_load(Ty::I32, rtype, r);
+            let lo = fb.array_load(Ty::I32, rlo, r);
+            let hi = fb.array_load(Ty::I32, rhi_base, r);
+            let hits = fb.new_reg();
+            let z2 = c32(fb, 0);
+            fb.copy_to(Ty::I32, hits, z2);
+            let nf = c32(fb, n);
+            for_range(fb, z2, nf, |fb, i| {
+                let t = fb.array_load(Ty::I32, ftype, i);
+                if_then(fb, Cond::Eq, t, want, |fb| {
+                    let v = fb.array_load(Ty::I32, fval, i);
+                    if_then(fb, Cond::Ge, v, lo, |fb| {
+                        if_then(fb, Cond::Le, v, hi, |fb| {
+                            let o = c32(fb, 1);
+                            fb.bin_to(BinOp::Add, Ty::I32, hits, hits, o);
+                        });
+                    });
+                });
+            });
+            let a = fb.array_load(Ty::I32, activations, r);
+            let na = add(fb, a, hits);
+            fb.array_store(Ty::I32, activations, r, na);
+            let nt = add(fb, fired_total, hits);
+            fb.copy_to(Ty::I32, fired_total, nt);
+        });
+        // Mutate one fact per cycle: working-memory churn.
+        let mixed = mul_c(fb, cycle, 2654435761i64 & 0x7FFF_FFFF);
+        let fi = fb.new_reg();
+        let masked = and_c(fb, mixed, 0xFFFF);
+        let nf2 = c32(fb, n);
+        let idx = fb.bin(BinOp::Rem, Ty::I32, masked, nf2);
+        fb.copy_to(Ty::I32, fi, idx);
+        let old = fb.array_load(Ty::I32, fval, fi);
+        let seven = c_seven(fb);
+        let bumped = add(fb, old, seven);
+        let wrapped = and_c(fb, bumped, 0xFF);
+        fb.array_store(Ty::I32, fval, fi, wrapped);
+    });
+
+    let h = crate::dsl::checksum_i32(&mut fb, activations);
+    let out = fb.bin(BinOp::Xor, Ty::I32, h, fired_total);
+    fb.ret(Some(out));
+    m.add_function(fb.finish());
+    m
+}
+
+fn c_seven(fb: &mut FunctionBuilder) -> sxe_ir::Reg {
+    c32(fb, 7)
+}

@@ -1,0 +1,90 @@
+//! `mtrt`: a miniature ray tracer in the style of SPECjvm98's 227.mtrt —
+//! per-pixel ray/sphere intersection in `f64`, writing shaded colors
+//! into an `i32` framebuffer indexed by `y*W + x`.
+
+use sxe_ir::{BinOp, Cond, FunctionBuilder, Module, Ty, UnOp};
+
+use crate::dsl::{add, c32, for_range, mul_c};
+
+/// Build the kernel; `size` is the image width (height = width/2).
+#[must_use]
+pub fn build(size: u32) -> Module {
+    let w = size as i64;
+    let h = (size as i64 / 2).max(2);
+    let mut m = Module::new();
+
+    // shade(disc_scaled: i32) -> i32 color, a table-free tone map.
+    let mut fb = FunctionBuilder::new("shade", vec![Ty::I32], Some(Ty::I32));
+    let d = fb.param(0);
+    let d2 = crate::dsl::shru_c(&mut fb, d, 3);
+    let g = crate::dsl::and_c(&mut fb, d2, 0xFF);
+    let gs = crate::dsl::shl_c(&mut fb, g, 8);
+    let color = fb.bin(BinOp::Or, Ty::I32, gs, g);
+    fb.ret(Some(color));
+    let shade = m.add_function(fb.finish());
+
+    // main(): trace the grid.
+    let mut fb = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+    let npix = c32(&mut fb, w * h);
+    let fbuf = fb.new_array(Ty::I32, npix);
+    let zero = c32(&mut fb, 0);
+    let hreg = c32(&mut fb, h);
+    // Sphere at (0,0,4), r^2 = 1.5; camera rays through the pixel grid.
+    let cz = fb.fconst(4.0);
+    let r2 = fb.fconst(1.5);
+    let half_w = fb.fconst(w as f64 / 2.0);
+    let half_h = fb.fconst(h as f64 / 2.0);
+    let inv_scale = fb.fconst(2.0 / w as f64);
+
+    for_range(&mut fb, zero, hreg, |fb, y| {
+        let row = mul_c(fb, y, w);
+        let z = c32(fb, 0);
+        let wr = c32(fb, w);
+        for_range(fb, z, wr, |fb, x| {
+            // Ray direction (dx, dy, 1), normalized only by scale.
+            let xf = fb.un(UnOp::I32ToF64, Ty::F64, x);
+            let yf = fb.un(UnOp::I32ToF64, Ty::F64, y);
+            let xc = fb.bin(BinOp::Sub, Ty::F64, xf, half_w);
+            let yc = fb.bin(BinOp::Sub, Ty::F64, yf, half_h);
+            let dx = fb.bin(BinOp::Mul, Ty::F64, xc, inv_scale);
+            let dy = fb.bin(BinOp::Mul, Ty::F64, yc, inv_scale);
+            // Quadratic: a = dx^2+dy^2+1, b = -2*cz, c = cz^2 - r^2.
+            let dx2 = fb.bin(BinOp::Mul, Ty::F64, dx, dx);
+            let dy2 = fb.bin(BinOp::Mul, Ty::F64, dy, dy);
+            let sum = fb.bin(BinOp::Add, Ty::F64, dx2, dy2);
+            let onef = fb.fconst(1.0);
+            let a = fb.bin(BinOp::Add, Ty::F64, sum, onef);
+            let cz2 = fb.bin(BinOp::Mul, Ty::F64, cz, cz);
+            let cc = fb.bin(BinOp::Sub, Ty::F64, cz2, r2);
+            let four = fb.fconst(4.0);
+            let b2 = fb.bin(BinOp::Mul, Ty::F64, cz2, four); // b^2 = 4*cz^2
+            let ac = fb.bin(BinOp::Mul, Ty::F64, a, cc);
+            let ac4 = fb.bin(BinOp::Mul, Ty::F64, ac, four);
+            let disc = fb.bin(BinOp::Sub, Ty::F64, b2, ac4);
+            // Hit if disc > 0: shade by sqrt(disc), else background.
+            let color = fb.new_reg();
+            let bg = c32(fb, 0x10);
+            fb.copy_to(Ty::I32, color, bg);
+            let zf = fb.fconst(0.0);
+            let hit_bb = fb.new_block();
+            let join = fb.new_block();
+            fb.cond_br(Cond::Gt, Ty::F64, disc, zf, hit_bb, join);
+            fb.switch_to(hit_bb);
+            let root = fb.un(UnOp::FSqrt, Ty::F64, disc);
+            let scale = fb.fconst(512.0);
+            let t = fb.bin(BinOp::Mul, Ty::F64, root, scale);
+            let ti = fb.un(UnOp::F64ToI32, Ty::I32, t);
+            let c = fb.call(shade, vec![ti], true).expect("result");
+            fb.copy_to(Ty::I32, color, c);
+            fb.br(join);
+            fb.switch_to(join);
+            let idx = add(fb, row, x);
+            fb.array_store(Ty::I32, fbuf, idx, color);
+        });
+    });
+
+    let hsum = crate::dsl::checksum_i32(&mut fb, fbuf);
+    fb.ret(Some(hsum));
+    m.add_function(fb.finish());
+    m
+}

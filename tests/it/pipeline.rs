@@ -1,0 +1,86 @@
+//! Cross-crate pipeline properties: static/dynamic count ordering,
+//! printing/parsing round trips of compiled output, and idempotence.
+
+use sxe_core::Variant;
+use sxe_ir::{parse_module, Target};
+use sxe_jit::Compiler;
+use sxe_vm::Machine;
+
+fn workload_module() -> sxe_ir::Module {
+    sxe_workloads::by_name("huffman").expect("exists").build(48)
+}
+
+#[test]
+fn compiled_output_round_trips_through_text() {
+    for v in [Variant::Baseline, Variant::All] {
+        let c = Compiler::for_variant(v).compile(&workload_module());
+        let text = c.module.to_string();
+        let reparsed = parse_module(&text).expect("compiled IR parses");
+        // Textual fixed point (structural equality can differ in the
+        // parser-inferred reg_count when DCE leaves high registers
+        // unused).
+        assert_eq!(reparsed.to_string(), text, "{v}");
+    }
+}
+
+#[test]
+fn compilation_is_deterministic() {
+    let m = workload_module();
+    let a = Compiler::for_variant(Variant::All).compile(&m);
+    let b = Compiler::for_variant(Variant::All).compile(&m);
+    assert_eq!(a.module, b.module);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn recompiling_compiled_output_preserves_behaviour() {
+    // The pipeline's contract is 32-bit-form input; feeding it its own
+    // output is still well-defined and must preserve behaviour (static
+    // counts may differ as conversion regenerates extensions).
+    let m = workload_module();
+    let once = Compiler::for_variant(Variant::All).compile(&m);
+    let twice = Compiler::for_variant(Variant::All).compile(&once.module);
+    let run = |module: &sxe_ir::Module| {
+        let mut vm = Machine::new(module, Target::Ia64);
+        vm.set_fuel(50_000_000);
+        vm.run("main", &[]).expect("no trap").ret
+    };
+    assert_eq!(run(&once.module), run(&twice.module));
+}
+
+#[test]
+fn static_counts_follow_variant_strength() {
+    for w in ["huffman", "compress", "numeric sort", "db"] {
+        let m = sxe_workloads::by_name(w).expect("exists").build(32);
+        let count = |v: Variant| {
+            Compiler::for_variant(v).compile(&m).module.count_extends(None)
+        };
+        let baseline = count(Variant::Baseline);
+        let basic = count(Variant::BasicUdDu);
+        let array = count(Variant::Array);
+        let all = count(Variant::All);
+        assert!(basic <= baseline, "{w}: basic {basic} <= baseline {baseline}");
+        assert!(array <= basic, "{w}: array {array} <= basic {basic}");
+        assert!(all <= baseline, "{w}: all {all} <= baseline {baseline}");
+    }
+}
+
+#[test]
+fn timing_buckets_are_populated() {
+    let m = workload_module();
+    let c = Compiler::for_variant(Variant::All).compile(&m);
+    let t = c.times;
+    assert!(t.total().as_nanos() > 0);
+    assert!(t.chain_creation.as_nanos() > 0, "chains were built");
+    assert!(t.sxe_opt.as_nanos() > 0, "elimination ran");
+}
+
+#[test]
+fn stats_are_consistent() {
+    let m = workload_module();
+    let c = Compiler::for_variant(Variant::All).compile(&m);
+    assert!(c.stats.generated > 0);
+    assert!(c.stats.examined >= c.stats.eliminated);
+    assert!(c.stats.eliminated >= c.stats.eliminated_via_array);
+    assert!(c.stats.dummies > 0, "huffman is full of array accesses");
+}

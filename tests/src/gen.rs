@@ -1,0 +1,358 @@
+//! A random-program generator for differential testing.
+//!
+//! Generates small, always-terminating, type-consistent programs in
+//! 32-bit form (the pipeline's input language): integer expression
+//! statements over a fixed set of `i32` variables, bounded loops,
+//! conditionals, array traffic (both masked-safe and possibly-trapping
+//! indices), and the extension-sensitive operations (`i2d`, 64-bit
+//! compares, arithmetic shifts, division, byte casts).
+//!
+//! Every variable is initialized at entry (Java definite assignment), so
+//! the analyses' reaching-definition chains are total.
+
+use proptest::prelude::*;
+use sxe_ir::{BinOp, Cond, FunctionBuilder, Module, Reg, Ty, UnOp, Width};
+
+/// Number of `i32` program variables.
+pub const NUM_VARS: usize = 5;
+/// Array length (power of two so masked indices are always in bounds).
+pub const ARRAY_LEN: i64 = 16;
+
+/// Expression producing an `i32` value.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i32),
+    /// Variable read.
+    Var(usize),
+    /// Binary operation on two sub-expressions.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Load `a[e & (ARRAY_LEN-1)]` — always in bounds.
+    LoadMasked(Box<Expr>),
+    /// Load `a[e]` — may trap `IndexOutOfBounds`.
+    LoadRaw(Box<Expr>),
+    /// Compare producing 0/1 at the given width (64-bit compares read
+    /// full registers: extension-sensitive).
+    Cmp(Cond, bool, Box<Expr>, Box<Expr>),
+    /// `(byte)e` — an explicit 8-bit sign extension.
+    CastByte(Box<Expr>),
+    /// `char`-style zero extension of the low 16 bits.
+    Zext16(Box<Expr>),
+    /// `(int)(double)e` — a round trip through `f64` (i2d then d2i);
+    /// observes the full register.
+    RoundTripF64(Box<Expr>),
+    /// `helper(a, b)` — a call to a small leaf function (`(a & 0xffff) -
+    /// b/3 + a[?]`-flavoured), exercising the calling convention and the
+    /// inliner.
+    CallHelper(Box<Expr>, Box<Expr>),
+}
+
+/// Statement.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `v = e`.
+    Assign(usize, Expr),
+    /// `a[e_idx & mask] = e_val` (or raw index when `masked` is false).
+    Store(Expr, Expr, bool),
+    /// `if (v cond w) { .. } else { .. }`.
+    If(Cond, usize, usize, Vec<Stmt>, Vec<Stmt>),
+    /// A loop with a fixed trip count (1..=4) over its body.
+    Loop(u8, Vec<Stmt>),
+    /// `fsum += (double) v` — an `i2d` use requiring a sign extension.
+    AccumF64(usize),
+}
+
+/// A whole random program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Initial values of the variables.
+    pub init: [i32; NUM_VARS],
+    /// Statement list.
+    pub stmts: Vec<Stmt>,
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<i32>().prop_map(Expr::Const),
+        (0..NUM_VARS).prop_map(Expr::Var),
+        // Bias toward small constants: they exercise the range analysis.
+        (-4i32..64).prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        let bin_op = prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::And),
+            Just(BinOp::Or),
+            Just(BinOp::Xor),
+            Just(BinOp::Shl),
+            Just(BinOp::Shr),
+            Just(BinOp::Shru),
+            Just(BinOp::Div),
+            Just(BinOp::Rem),
+        ];
+        let cond = prop_oneof![
+            Just(Cond::Eq),
+            Just(Cond::Ne),
+            Just(Cond::Lt),
+            Just(Cond::Ge),
+            Just(Cond::Ult),
+            Just(Cond::Ugt),
+        ];
+        prop_oneof![
+            (bin_op, inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|e| Expr::LoadMasked(Box::new(e))),
+            inner.clone().prop_map(|e| Expr::LoadRaw(Box::new(e))),
+            (cond, any::<bool>(), inner.clone(), inner.clone())
+                .prop_map(|(c, wide, a, b)| Expr::Cmp(c, wide, Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|e| Expr::CastByte(Box::new(e))),
+            inner.clone().prop_map(|e| Expr::Zext16(Box::new(e))),
+            inner.clone().prop_map(|e| Expr::RoundTripF64(Box::new(e))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Expr::CallHelper(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        ((0..NUM_VARS), expr_strategy()).prop_map(|(v, e)| Stmt::Assign(v, e)),
+        (expr_strategy(), expr_strategy(), any::<bool>())
+            .prop_map(|(v, i, m)| Stmt::Store(v, i, m)),
+        (0..NUM_VARS).prop_map(Stmt::AccumF64),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        let cond = prop_oneof![Just(Cond::Lt), Just(Cond::Eq), Just(Cond::Gt)];
+        prop_oneof![
+            (
+                cond,
+                0..NUM_VARS,
+                0..NUM_VARS,
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(c, a, b, t, e)| Stmt::If(c, a, b, t, e)),
+            (1u8..4, prop::collection::vec(inner, 1..4))
+                .prop_map(|(trip, body)| Stmt::Loop(trip, body)),
+        ]
+    })
+}
+
+/// Proptest strategy producing whole programs.
+pub fn program_strategy() -> impl Strategy<Value = Program> {
+    (
+        prop::array::uniform5(any::<i32>()),
+        prop::collection::vec(stmt_strategy(), 1..8),
+    )
+        .prop_map(|(init, stmts)| Program { init, stmts })
+}
+
+/// State used while lowering a [`Program`] to IR.
+struct Lower {
+    vars: [Reg; NUM_VARS],
+    arr: Reg,
+    fsum: Reg,
+    helper: sxe_ir::FuncId,
+}
+
+fn lower_expr(fb: &mut FunctionBuilder, st: &Lower, e: &Expr) -> Reg {
+    match e {
+        Expr::Const(v) => fb.iconst(Ty::I32, *v as i64),
+        Expr::Var(i) => st.vars[*i],
+        Expr::Bin(op, a, b) => {
+            let ra = lower_expr(fb, st, a);
+            let rb = lower_expr(fb, st, b);
+            fb.bin(*op, Ty::I32, ra, rb)
+        }
+        Expr::LoadMasked(e) => {
+            let r = lower_expr(fb, st, e);
+            let mask = fb.iconst(Ty::I32, ARRAY_LEN - 1);
+            let idx = fb.bin(BinOp::And, Ty::I32, r, mask);
+            fb.array_load(Ty::I32, st.arr, idx)
+        }
+        Expr::LoadRaw(e) => {
+            let idx = lower_expr(fb, st, e);
+            fb.array_load(Ty::I32, st.arr, idx)
+        }
+        Expr::Cmp(c, wide, a, b) => {
+            let ra = lower_expr(fb, st, a);
+            let rb = lower_expr(fb, st, b);
+            let ty = if *wide { Ty::I64 } else { Ty::I32 };
+            fb.setcc(*c, ty, ra, rb)
+        }
+        Expr::CastByte(e) => {
+            let r = lower_expr(fb, st, e);
+            fb.extend(r, Width::W8)
+        }
+        Expr::Zext16(e) => {
+            let r = lower_expr(fb, st, e);
+            fb.un(UnOp::Zext(Width::W16), Ty::I32, r)
+        }
+        Expr::RoundTripF64(e) => {
+            let r = lower_expr(fb, st, e);
+            let d = fb.un(UnOp::I32ToF64, Ty::F64, r);
+            fb.un(UnOp::F64ToI32, Ty::I32, d)
+        }
+        Expr::CallHelper(a, b) => {
+            let ra = lower_expr(fb, st, a);
+            let rb = lower_expr(fb, st, b);
+            fb.call(st.helper, vec![ra, rb], true).expect("helper returns")
+        }
+    }
+}
+
+/// The small leaf callee every generated module carries: masks, a shift,
+/// a branch, and an i2d — the extension-sensitive mix, behind a call
+/// boundary the inliner may or may not erase.
+fn build_helper(m: &mut Module) -> sxe_ir::FuncId {
+    let mut fb = FunctionBuilder::new("helper", vec![Ty::I32, Ty::I32], Some(Ty::I32));
+    let a = fb.param(0);
+    let b = fb.param(1);
+    let mask = fb.iconst(Ty::I32, 0xFFFF);
+    let am = fb.bin(BinOp::And, Ty::I32, a, mask);
+    let three = fb.iconst(Ty::I32, 3);
+    let bq = fb.bin(BinOp::Div, Ty::I32, b, three);
+    let t = fb.new_block();
+    let e = fb.new_block();
+    let j = fb.new_block();
+    let out = fb.new_reg();
+    fb.cond_br(Cond::Lt, Ty::I32, am, bq, t, e);
+    fb.switch_to(t);
+    let s = fb.bin(BinOp::Add, Ty::I32, am, bq);
+    fb.copy_to(Ty::I32, out, s);
+    fb.br(j);
+    fb.switch_to(e);
+    let d = fb.un(UnOp::I32ToF64, Ty::F64, am);
+    let di = fb.un(UnOp::F64ToI32, Ty::I32, d);
+    let x = fb.bin(BinOp::Xor, Ty::I32, di, bq);
+    fb.copy_to(Ty::I32, out, x);
+    fb.br(j);
+    fb.switch_to(j);
+    fb.ret(Some(out));
+    m.add_function(fb.finish())
+}
+
+fn lower_stmts(fb: &mut FunctionBuilder, st: &Lower, stmts: &[Stmt]) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(v, e) => {
+                let r = lower_expr(fb, st, e);
+                fb.copy_to(Ty::I32, st.vars[*v], r);
+            }
+            Stmt::Store(val, idx, masked) => {
+                let rv = lower_expr(fb, st, val);
+                let ri = lower_expr(fb, st, idx);
+                let ri = if *masked {
+                    let mask = fb.iconst(Ty::I32, ARRAY_LEN - 1);
+                    fb.bin(BinOp::And, Ty::I32, ri, mask)
+                } else {
+                    ri
+                };
+                fb.array_store(Ty::I32, st.arr, ri, rv);
+            }
+            Stmt::If(c, a, b, then_s, else_s) => {
+                let t = fb.new_block();
+                let e = fb.new_block();
+                let j = fb.new_block();
+                fb.cond_br(*c, Ty::I32, st.vars[*a], st.vars[*b], t, e);
+                fb.switch_to(t);
+                lower_stmts(fb, st, then_s);
+                fb.br(j);
+                fb.switch_to(e);
+                lower_stmts(fb, st, else_s);
+                fb.br(j);
+                fb.switch_to(j);
+            }
+            Stmt::Loop(trip, body) => {
+                // A dedicated counter guarantees termination.
+                let k = fb.new_reg();
+                let z = fb.iconst(Ty::I32, 0);
+                fb.copy_to(Ty::I32, k, z);
+                let lim = fb.iconst(Ty::I32, i64::from(*trip));
+                let head = fb.new_block();
+                let body_bb = fb.new_block();
+                let exit = fb.new_block();
+                fb.br(head);
+                fb.switch_to(head);
+                fb.cond_br(Cond::Lt, Ty::I32, k, lim, body_bb, exit);
+                fb.switch_to(body_bb);
+                lower_stmts(fb, st, body);
+                let one = fb.iconst(Ty::I32, 1);
+                fb.bin_to(BinOp::Add, Ty::I32, k, k, one);
+                fb.br(head);
+                fb.switch_to(exit);
+            }
+            Stmt::AccumF64(v) => {
+                let d = fb.un(UnOp::I32ToF64, Ty::F64, st.vars[*v]);
+                let ns = fb.bin(BinOp::Add, Ty::F64, st.fsum, d);
+                fb.copy_to(Ty::F64, st.fsum, ns);
+            }
+        }
+    }
+}
+
+/// Lower a [`Program`] to a single-function module whose `main()` returns
+/// a checksum mixing every variable, the float accumulator, and the
+/// array contents (via the VM heap checksum).
+#[must_use]
+pub fn lower(p: &Program) -> Module {
+    let mut m = Module::new();
+    let helper = build_helper(&mut m);
+    let mut fb = FunctionBuilder::new("main", vec![], Some(Ty::I64));
+    let vars = std::array::from_fn(|_| fb.new_reg());
+    let fsum = fb.new_reg();
+    let len = fb.iconst(Ty::I32, ARRAY_LEN);
+    let arr = fb.new_array(Ty::I32, len);
+    let zf = fb.fconst(0.0);
+    fb.copy_to(Ty::F64, fsum, zf);
+    for (i, &v) in vars.iter().enumerate() {
+        let c = fb.iconst(Ty::I32, p.init[i] as i64);
+        fb.copy_to(Ty::I32, v, c);
+        // Seed the array too.
+        let idx = fb.iconst(Ty::I32, (i as i64) * 3 % ARRAY_LEN);
+        fb.array_store(Ty::I32, arr, idx, v);
+    }
+    let st = Lower { vars, arr, fsum, helper };
+    lower_stmts(&mut fb, &st, &p.stmts);
+    // checksum = ((v0*31+v1)*31+...) as i64 ^ d2l(fsum)
+    let mut h = fb.iconst(Ty::I32, 0);
+    for &v in &st.vars {
+        let c31 = fb.iconst(Ty::I32, 31);
+        let hm = fb.bin(BinOp::Mul, Ty::I32, h, c31);
+        h = fb.bin(BinOp::Add, Ty::I32, hm, v);
+    }
+    let hw = fb.extend(h, Width::W32);
+    let fl = fb.un(UnOp::F64ToI64, Ty::I64, st.fsum);
+    let out = fb.bin(BinOp::Xor, Ty::I64, hw, fl);
+    fb.ret(Some(out));
+    m.add_function(fb.finish());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowered_programs_verify() {
+        let p = Program {
+            init: [1, -2, 3, -4, 5],
+            stmts: vec![
+                Stmt::Assign(0, Expr::Bin(BinOp::Add, Box::new(Expr::Var(1)), Box::new(Expr::Const(7)))),
+                Stmt::Loop(3, vec![Stmt::Assign(2, Expr::LoadMasked(Box::new(Expr::Var(0))))]),
+                Stmt::AccumF64(2),
+                Stmt::If(
+                    Cond::Lt,
+                    0,
+                    1,
+                    vec![Stmt::Store(Expr::Var(3), Expr::Var(2), true)],
+                    vec![],
+                ),
+            ],
+        };
+        let m = lower(&p);
+        sxe_ir::verify_module(&m).unwrap();
+    }
+}
