@@ -1,9 +1,9 @@
-//! Criterion bench: per-phase compile time (the quantities behind the
-//! paper's Table 3 — sign-extension optimizations vs UD/DU chain
-//! creation vs everything else).
+//! Bench: per-phase compile time (the quantities behind the paper's
+//! Table 3 — sign-extension optimizations vs UD/DU chain creation vs
+//! everything else).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sxe_analysis::UdDu;
+use sxe_bench::bench_loop;
 use sxe_core::{GenStrategy, SxeConfig, Variant};
 use sxe_ir::{Cfg, Target};
 use sxe_opt::GeneralOpts;
@@ -16,47 +16,28 @@ fn prepared_function() -> sxe_ir::Function {
     m.function(id).clone()
 }
 
-fn bench_phases(c: &mut Criterion) {
+fn main() {
     let source = sxe_workloads::by_name("compress").expect("exists").build(256);
     let prepared = prepared_function();
 
-    c.bench_function("step1_conversion", |b| {
-        b.iter(|| {
-            let mut m = source.clone();
-            std::hint::black_box(sxe_core::convert_module(
-                &mut m,
-                Target::Ia64,
-                GenStrategy::AfterDef,
-            ))
-        })
+    bench_loop("step1_conversion", 3, 20, || {
+        let mut m = source.clone();
+        sxe_core::convert_module(&mut m, Target::Ia64, GenStrategy::AfterDef)
     });
 
-    c.bench_function("step2_general_opts", |b| {
-        let mut converted = source.clone();
-        sxe_core::convert_module(&mut converted, Target::Ia64, GenStrategy::AfterDef);
-        b.iter(|| {
-            let mut m = converted.clone();
-            std::hint::black_box(sxe_opt::run_module(&mut m, &GeneralOpts::default()))
-        })
+    let mut converted = source.clone();
+    sxe_core::convert_module(&mut converted, Target::Ia64, GenStrategy::AfterDef);
+    bench_loop("step2_general_opts", 3, 20, || {
+        let mut m = converted.clone();
+        sxe_opt::run_module(&mut m, &GeneralOpts::default())
     });
 
-    c.bench_function("udu_chain_creation", |b| {
-        let cfg = Cfg::compute(&prepared);
-        b.iter(|| std::hint::black_box(UdDu::compute(&prepared, &cfg)))
-    });
+    let cfg = Cfg::compute(&prepared);
+    bench_loop("udu_chain_creation", 3, 20, || UdDu::compute(&prepared, &cfg));
 
-    c.bench_function("step3_sxe_all", |b| {
-        let config = SxeConfig::for_variant(Variant::All);
-        b.iter(|| {
-            let mut f = prepared.clone();
-            std::hint::black_box(sxe_core::run_step3(&mut f, &config, None))
-        })
+    let config = SxeConfig::for_variant(Variant::All);
+    bench_loop("step3_sxe_all", 3, 20, || {
+        let mut f = prepared.clone();
+        sxe_core::run_step3(&mut f, &config, None)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_phases
-}
-criterion_main!(benches);

@@ -1,25 +1,16 @@
-//! Criterion bench: full-pipeline compile time per algorithm variant
-//! (the compile-time cost side of Tables 1–3).
+//! Bench: full-pipeline compile time per algorithm variant (the
+//! compile-time cost side of Tables 1–3).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sxe_bench::bench_loop;
 use sxe_core::Variant;
 use sxe_jit::Compiler;
 
-fn bench_variants(c: &mut Criterion) {
+fn main() {
     let m = sxe_workloads::by_name("huffman").expect("exists").build(128);
-    let mut group = c.benchmark_group("compile_huffman");
     for v in Variant::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |b, &v| {
-            let compiler = Compiler::for_variant(v);
-            b.iter(|| std::hint::black_box(compiler.compile(&m)));
+        let compiler = Compiler::for_variant(v);
+        bench_loop(&format!("compile_huffman/{}", v.label()), 3, 20, || {
+            compiler.compile(&m)
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_variants
-}
-criterion_main!(benches);

@@ -1,37 +1,22 @@
-//! Criterion bench: interpreter wall-clock time of baseline-compiled vs
+//! Bench: interpreter wall-clock time of baseline-compiled vs
 //! fully-optimized workloads — the real-time analogue of Figures 13/14
 //! (fewer dynamic instructions means faster interpretation too).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sxe_bench::bench_loop;
 use sxe_core::Variant;
 use sxe_ir::Target;
 use sxe_jit::Compiler;
 use sxe_vm::Machine;
 
-fn bench_execution(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vm_execution");
+fn main() {
     for name in ["compress", "huffman", "mpegaudio"] {
         let m = sxe_workloads::by_name(name).expect("exists").build(96);
         for v in [Variant::Baseline, Variant::All] {
             let compiled = Compiler::for_variant(v).compile(&m);
-            group.bench_with_input(
-                BenchmarkId::new(name, v.label()),
-                &compiled.module,
-                |b, module| {
-                    b.iter(|| {
-                        let mut vm = Machine::new(module, Target::Ia64);
-                        std::hint::black_box(vm.run("main", &[]).expect("no trap"))
-                    })
-                },
-            );
+            bench_loop(&format!("vm_execution/{name}/{}", v.label()), 2, 15, || {
+                let mut vm = Machine::new(&compiled.module, Target::Ia64);
+                vm.run("main", &[]).expect("no trap")
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_execution
-}
-criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! `chaos` — fault-injection sweep over the benchmark workloads.
+//!
+//! ```text
+//! cargo run -p sxe-bench --bin chaos --release [-- --seeds N --scale S]
+//! ```
+//!
+//! Compiles every specjvm/jbytemark workload `N` times (default 32),
+//! each time with one deterministic injected fault (panic, IR
+//! corruption, or budget exhaustion) at a pseudo-random pass boundary,
+//! and asserts the containment guarantees: no aborts, every incident
+//! recorded, zero differential-oracle mismatches. Exits non-zero on any
+//! violation.
+
+use std::process::ExitCode;
+
+use sxe_bench::chaos_sweep;
+
+fn main() -> ExitCode {
+    let mut seeds: u64 = 32;
+    let mut scale: f64 = 0.05;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => seeds = n,
+                None => {
+                    eprintln!("--seeds needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--scale" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => scale = s,
+                None => {
+                    eprintln!("--scale needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                eprintln!("usage: chaos [--seeds N] [--scale S]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let names: Vec<&'static str> =
+        sxe_workloads::all().iter().map(|w| w.name).collect();
+    println!(
+        "chaos: {} workloads x {} fault seeds (scale {scale})",
+        names.len(),
+        seeds
+    );
+    match chaos_sweep(&names, scale, 0..seeds) {
+        Ok(summary) => {
+            println!(
+                "chaos: {} runs contained, {} incidents recorded, {} oracle \
+                 comparisons, 0 mismatches",
+                summary.runs.len(),
+                summary.incidents(),
+                summary.comparisons()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("chaos: FAIL: {e}");
+            }
+            eprintln!("chaos: {} containment violations", errors.len());
+            ExitCode::FAILURE
+        }
+    }
+}

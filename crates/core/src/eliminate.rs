@@ -43,6 +43,9 @@ pub struct ElimResult {
     pub eliminated: usize,
     /// Eliminations that needed the array theorems.
     pub via_array: usize,
+    /// The compile budget ran out before every extension was examined;
+    /// the function is left in a valid partially-optimized state.
+    pub exhausted: bool,
 }
 
 /// Examine the extensions named by `order` (hottest first when order
@@ -56,12 +59,32 @@ pub fn run_elimination(
     config: &ElimConfig,
     flow: &FlowRanges,
 ) -> ElimResult {
+    run_elimination_budgeted(f, udu, order, config, flow, &mut sxe_ir::Budget::unlimited())
+}
+
+/// [`run_elimination`] under a compile budget: one fuel unit is spent per
+/// examined extension, and an exhausted budget stops the loop early
+/// rather than aborting — every extension already processed stays
+/// eliminated, the rest simply remain (salvage, don't abort). Processing
+/// hottest-first means the budget is spent where it pays.
+pub fn run_elimination_budgeted(
+    f: &mut Function,
+    udu: &mut UdDu,
+    order: &[InstId],
+    config: &ElimConfig,
+    flow: &FlowRanges,
+    budget: &mut sxe_ir::Budget,
+) -> ElimResult {
     let mut result = ElimResult::default();
     // Per-instruction flow intervals are shared (lazily, per block)
     // across every elimination: removing an extension never changes
     // low-32 values.
     let flow_states = LazyFlowStates::new(f.blocks.len(), flow, config.array_analysis);
     for &ext_id in order {
+        if !budget.spend(1) {
+            result.exhausted = true;
+            break;
+        }
         let (dst, src, from) = match *f.inst(ext_id) {
             Inst::Extend { dst, src, from } => (dst, src, from),
             _ => continue, // already removed or rewritten
@@ -111,6 +134,29 @@ pub fn remove_dummies(f: &mut Function, udu: &mut UdDu) -> usize {
             *f.inst_mut(id) = Inst::Copy { dst, src, ty: from.ty() };
         }
     }
+    n
+}
+
+/// Chain-free variant of [`remove_dummies`] for recovery paths: after the
+/// containment harness rolls a function back to a snapshot taken *inside*
+/// step 3, leftover `justext` markers must still be scrubbed before the
+/// function ships, and no up-to-date [`UdDu`] exists at that point.
+/// Returns the number of markers removed.
+pub fn strip_dummies(f: &mut Function) -> usize {
+    let mut n = 0;
+    for blk in &mut f.blocks {
+        for inst in &mut blk.insts {
+            if let Inst::JustExtended { dst, src, from } = *inst {
+                *inst = if dst == src {
+                    Inst::Nop
+                } else {
+                    Inst::Copy { dst, src, ty: from.ty() }
+                };
+                n += 1;
+            }
+        }
+    }
+    f.compact();
     n
 }
 

@@ -51,6 +51,9 @@ pub mod zext;
 
 pub use config::{SxeConfig, SxeStats, Variant};
 pub use convert::{convert_function, convert_module, infer_kinds, GenStrategy, RegKind};
-pub use eliminate::{ElimConfig, ElimResult};
+pub use eliminate::{strip_dummies, ElimConfig, ElimResult};
 pub use insertion::InsertionStats;
-pub use pass::{run_step3, run_step3_module, run_step3_timed, ModuleProfile, Step3Timing};
+pub use pass::{
+    fallback_order, run_step3, run_step3_module, run_step3_timed, step3_eliminate, step3_first,
+    step3_insertion, step3_order, ElimOutcome, InsertionOutcome, ModuleProfile, Step3Timing,
+};

@@ -4,10 +4,10 @@
 use std::time::{Duration, Instant};
 
 use sxe_analysis::{FlowRanges, Freq, UdDu};
-use sxe_ir::{Cfg, Function, Module};
+use sxe_ir::{Budget, Cfg, Function, Inst, InstId, Module};
 
 use crate::config::{SxeConfig, SxeStats};
-use crate::eliminate::{remove_dummies, run_elimination, ElimConfig};
+use crate::eliminate::{remove_dummies, run_elimination_budgeted, ElimConfig};
 use crate::insertion::simple_insertion;
 use crate::order::{elimination_order, static_freq};
 use crate::pde::pde_insertion;
@@ -54,8 +54,7 @@ pub fn run_step3_timed(
 
     if variant.first_algorithm() {
         let t0 = Instant::now();
-        stats.examined = f.count_extends(None);
-        stats.eliminated = crate::first_algorithm::run(f, &config.widths);
+        stats = step3_first(f, config);
         timing.sxe_opt = t0.elapsed();
         return (stats, timing);
     }
@@ -64,34 +63,75 @@ pub fn run_step3_timed(
     }
 
     let t0 = Instant::now();
-    // Phase (3)-1: insertion. Dummy markers after array accesses carry
-    // the bounds-check facts and accompany every chain-based run; real
-    // anticipatory extensions depend on the `insert` feature.
-    stats.dummies = crate::insertion::insert_dummies(f, config.target);
-    if variant.insertion() {
-        let ins = if variant.pde_insertion() {
+    let ins = step3_insertion(f, config);
+    stats.dummies = ins.dummies;
+    stats.inserted = ins.inserted;
+    let order = step3_order(f, config, profile);
+    timing.sxe_opt += t0.elapsed();
+
+    let t1 = Instant::now();
+    let out = step3_eliminate(f, config, &order, &mut Budget::unlimited());
+    stats.examined = out.examined;
+    stats.eliminated = out.eliminated;
+    stats.eliminated_via_array = out.via_array;
+    timing.chain_creation = out.chain_creation;
+    timing.sxe_opt += t1.elapsed().saturating_sub(out.chain_creation);
+    (stats, timing)
+}
+
+/// Counters from the [`step3_insertion`] stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InsertionOutcome {
+    /// Dummy (`justext`) markers inserted after array accesses.
+    pub dummies: usize,
+    /// Real anticipatory extensions inserted.
+    pub inserted: usize,
+}
+
+/// Counters and timing from the [`step3_eliminate`] stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ElimOutcome {
+    /// Extension sites examined.
+    pub examined: usize,
+    /// Extensions eliminated.
+    pub eliminated: usize,
+    /// Eliminations that needed the array theorems.
+    pub via_array: usize,
+    /// Time spent building the UD/DU chains (Table 3's separate column).
+    pub chain_creation: Duration,
+    /// The budget ran out before every extension was examined.
+    pub exhausted: bool,
+}
+
+/// Stage (3)-1, standalone: dummy-marker and anticipatory-extension
+/// insertion. One of the separately containable stages the `sxe-jit`
+/// harness wraps in a panic/verify boundary.
+pub fn step3_insertion(f: &mut Function, config: &SxeConfig) -> InsertionOutcome {
+    // Dummy markers after array accesses carry the bounds-check facts and
+    // accompany every chain-based run; real anticipatory extensions
+    // depend on the `insert` feature.
+    let dummies = crate::insertion::insert_dummies(f, config.target);
+    let inserted = if config.variant.insertion() {
+        let ins = if config.variant.pde_insertion() {
             pde_insertion(f, config.target, true)
         } else {
             simple_insertion(f, config.target, true)
         };
-        stats.inserted = ins.inserted;
-    }
-    timing.sxe_opt += t0.elapsed();
+        ins.inserted
+    } else {
+        0
+    };
+    InsertionOutcome { dummies, inserted }
+}
 
-    // Chains are built once, after insertion, and maintained
-    // incrementally through the eliminations.
-    let t_chain = Instant::now();
+/// Stage (3)-2, standalone: order determination. Returns the extension
+/// sites to examine, hottest-first when the variant orders by frequency,
+/// already filtered to the configured widths. The ids are only valid
+/// until `f` is next mutated.
+#[must_use]
+pub fn step3_order(f: &Function, config: &SxeConfig, profile: Option<&[u64]>) -> Vec<InstId> {
     let cfg = Cfg::compute(f);
-    let mut udu = UdDu::compute(f, &cfg);
-    timing.chain_creation = t_chain.elapsed();
-    let t1 = Instant::now();
-    // Flow-sensitive interval analysis: intervals of low-32 values are
-    // unaffected by inserting/removing extensions, so one computation
-    // serves every elimination.
-    let flow = FlowRanges::compute(f, &cfg);
-
-    // Phase (3)-2: order determination.
-    let freq_storage: Option<Freq> = if variant.order_determination() {
+    let freq_storage: Option<Freq> = if config.variant.order_determination() {
         match profile {
             Some(counts) if config.use_profile && counts.len() == f.blocks.len() => {
                 Some(Freq::from_counts(counts))
@@ -103,28 +143,73 @@ pub fn run_step3_timed(
     };
     let mut order = elimination_order(f, &cfg, freq_storage.as_ref());
     order.retain(|&id| match f.inst(id) {
-        sxe_ir::Inst::Extend { from, .. } => config.widths.contains(from),
+        Inst::Extend { from, .. } => config.widths.contains(from),
         _ => false,
     });
+    order
+}
 
-    // Phase (3)-3: elimination.
+/// Recovery fallback for [`step3_order`]: a plain program-order scan of
+/// the eligible extensions, with no frequency analysis. Used when the
+/// order stage itself was rolled back — elimination can still proceed,
+/// just without the hottest-first payoff.
+#[must_use]
+pub fn fallback_order(f: &Function, config: &SxeConfig) -> Vec<InstId> {
+    f.insts()
+        .filter_map(|(id, inst)| match inst {
+            Inst::Extend { from, .. } if config.widths.contains(from) => Some(id),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Stage (3)-3, standalone: chain creation, flow analysis, budgeted
+/// elimination over `order`, dummy removal, and zero-extension cleanup.
+pub fn step3_eliminate(
+    f: &mut Function,
+    config: &SxeConfig,
+    order: &[InstId],
+    budget: &mut Budget,
+) -> ElimOutcome {
+    // Chains are built once, after insertion, and maintained
+    // incrementally through the eliminations.
+    let t_chain = Instant::now();
+    let cfg = Cfg::compute(f);
+    let mut udu = UdDu::compute(f, &cfg);
+    let chain_creation = t_chain.elapsed();
+    // Flow-sensitive interval analysis: intervals of low-32 values are
+    // unaffected by inserting/removing extensions, so one computation
+    // serves every elimination.
+    let flow = FlowRanges::compute(f, &cfg);
+
     let ec = ElimConfig {
         target: config.target,
-        array_analysis: variant.array_analysis(),
+        array_analysis: config.variant.array_analysis(),
         max_array_len: config.max_array_len,
     };
-    let res = run_elimination(f, &mut udu, &order, &ec, &flow);
-    stats.examined = res.examined;
-    stats.eliminated = res.eliminated;
-    stats.eliminated_via_array = res.via_array;
+    let res = run_elimination_budgeted(f, &mut udu, order, &ec, &flow, budget);
 
     remove_dummies(f, &mut udu);
     if config.eliminate_zext {
         crate::zext::eliminate_zero_extensions(f, config.target);
     }
     f.compact();
-    timing.sxe_opt += t1.elapsed();
-    (stats, timing)
+    ElimOutcome {
+        examined: res.examined,
+        eliminated: res.eliminated,
+        via_array: res.via_array,
+        chain_creation,
+        exhausted: res.exhausted,
+    }
+}
+
+/// The paper's §3 "first algorithm" as a standalone stage.
+pub fn step3_first(f: &mut Function, config: &SxeConfig) -> SxeStats {
+    SxeStats {
+        examined: f.count_extends(None),
+        eliminated: crate::first_algorithm::run(f, &config.widths),
+        ..SxeStats::default()
+    }
 }
 
 /// Per-function block-count profiles for a module.
@@ -245,6 +330,64 @@ b2:
                 "{v} left dummies"
             );
         }
+    }
+
+    #[test]
+    fn staged_api_matches_monolith() {
+        let mut staged = converted();
+        let mut mono = converted();
+        let config = SxeConfig::for_variant(Variant::All);
+        let (mono_stats, _) = run_step3_timed(&mut mono, &config, None);
+
+        step3_insertion(&mut staged, &config);
+        let order = step3_order(&staged, &config, None);
+        let out = step3_eliminate(&mut staged, &config, &order, &mut Budget::unlimited());
+        assert!(!out.exhausted);
+        assert_eq!(out.eliminated, mono_stats.eliminated);
+        assert_eq!(staged, mono);
+    }
+
+    #[test]
+    fn exhausted_budget_salvages_partial_result() {
+        let mut f = converted();
+        let config = SxeConfig::for_variant(Variant::All);
+        step3_insertion(&mut f, &config);
+        let order = step3_order(&f, &config, None);
+        assert!(order.len() >= 2, "need at least two sites for a partial run");
+        let mut budget = Budget::new(1, None);
+        let out = step3_eliminate(&mut f, &config, &order, &mut budget);
+        assert!(out.exhausted);
+        assert_eq!(out.examined, 1);
+        verify_function(&f).unwrap();
+        assert!(
+            !f.insts().any(|(_, i)| matches!(i, sxe_ir::Inst::JustExtended { .. })),
+            "dummies scrubbed even on exhaustion"
+        );
+    }
+
+    #[test]
+    fn fallback_order_covers_all_eligible_extends() {
+        let mut f = converted();
+        let config = SxeConfig::for_variant(Variant::All);
+        step3_insertion(&mut f, &config);
+        let fallback = fallback_order(&f, &config);
+        let mut principal = step3_order(&f, &config, None);
+        principal.sort_unstable();
+        let mut sorted = fallback.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, principal, "same sites, different order");
+    }
+
+    #[test]
+    fn strip_dummies_scrubs_markers_without_chains() {
+        let mut f = converted();
+        let config = SxeConfig::for_variant(Variant::All);
+        step3_insertion(&mut f, &config);
+        assert!(f.insts().any(|(_, i)| matches!(i, sxe_ir::Inst::JustExtended { .. })));
+        let n = crate::eliminate::strip_dummies(&mut f);
+        assert!(n > 0);
+        assert!(!f.insts().any(|(_, i)| matches!(i, sxe_ir::Inst::JustExtended { .. })));
+        verify_function(&f).unwrap();
     }
 
     #[test]

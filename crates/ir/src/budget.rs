@@ -1,0 +1,117 @@
+//! Compile budgets: a fuel counter plus an optional wall-clock deadline.
+//!
+//! A JIT must bound the time it spends improving code. [`Budget`] is the
+//! shared primitive threaded through the pipeline's fixpoint loops (the
+//! general-optimization rounds and the per-extension elimination loop):
+//! each unit of work [`spend`](Budget::spend)s fuel, and once the fuel or
+//! the deadline is gone the loops stop where they stand, salvaging the
+//! current — still verified — IR instead of aborting the compilation.
+
+use std::time::{Duration, Instant};
+
+/// A fuel counter with an optional deadline. An unlimited budget is the
+/// default and costs nothing to check.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    fuel: u64,
+    deadline: Option<Instant>,
+    limited: bool,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget that never exhausts.
+    #[must_use]
+    pub fn unlimited() -> Budget {
+        Budget { fuel: u64::MAX, deadline: None, limited: false }
+    }
+
+    /// A budget of `fuel` work units and, optionally, a wall-clock limit
+    /// starting now.
+    #[must_use]
+    pub fn new(fuel: u64, time: Option<Duration>) -> Budget {
+        Budget {
+            fuel,
+            deadline: time.map(|t| Instant::now() + t),
+            limited: true,
+        }
+    }
+
+    /// Remaining fuel.
+    #[must_use]
+    pub fn fuel_left(&self) -> u64 {
+        self.fuel
+    }
+
+    /// Whether the budget is exhausted (no fuel left or deadline passed).
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        if !self.limited {
+            return false;
+        }
+        self.fuel == 0 || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Consume `units` of fuel; returns `true` when there was fuel to pay
+    /// for this unit of work (a budget of N fuel pays for N unit spends),
+    /// `false` once the budget is exhausted and the caller should stop.
+    pub fn spend(&mut self, units: u64) -> bool {
+        if !self.limited {
+            return true;
+        }
+        if self.exhausted() {
+            return false;
+        }
+        self.fuel = self.fuel.saturating_sub(units);
+        true
+    }
+
+    /// Exhaust the budget immediately (used by fault injection and by
+    /// salvage paths that want to stop all further optimization).
+    pub fn exhaust(&mut self) {
+        self.limited = true;
+        self.fuel = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let mut b = Budget::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.spend(1_000_000));
+        }
+        assert!(!b.exhausted());
+    }
+
+    #[test]
+    fn fuel_runs_out() {
+        let mut b = Budget::new(3, None);
+        assert!(b.spend(1));
+        assert!(b.spend(1));
+        assert!(b.spend(1), "third unit paid by the last fuel");
+        assert!(b.exhausted());
+        assert!(!b.spend(1));
+    }
+
+    #[test]
+    fn deadline_counts() {
+        let b = Budget::new(u64::MAX, Some(Duration::ZERO));
+        assert!(b.exhausted());
+    }
+
+    #[test]
+    fn exhaust_is_immediate() {
+        let mut b = Budget::unlimited();
+        b.exhaust();
+        assert!(b.exhausted());
+    }
+}

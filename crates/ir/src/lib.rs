@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod budget;
 mod builder;
 mod cfg;
 mod display;
@@ -51,10 +52,12 @@ mod function;
 mod inst;
 mod loops;
 mod parse;
+pub mod rng;
 pub mod semantics;
 mod types;
 mod verify;
 
+pub use budget::Budget;
 pub use builder::FunctionBuilder;
 pub use cfg::Cfg;
 pub use display::{block_to_string, inst_to_string};

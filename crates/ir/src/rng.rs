@@ -1,0 +1,137 @@
+//! A tiny deterministic pseudo-random number generator.
+//!
+//! The workspace builds with no registry access, so instead of an
+//! external PRNG crate every consumer of randomness — the differential
+//! oracle in `sxe-vm`, the fault-injection corruption in `sxe-jit`, and
+//! the property-style tests — shares this xorshift64* generator. Same
+//! seed, same sequence, on every platform: failures reproduce exactly.
+
+/// A seedable xorshift64* generator.
+///
+/// ```
+/// use sxe_ir::rng::XorShift;
+/// let mut a = XorShift::new(42);
+/// let mut b = XorShift::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Create a generator from a seed (any value; zero is remapped).
+    #[must_use]
+    pub fn new(seed: u64) -> XorShift {
+        // Splash the seed through a splitmix64 round so small seeds
+        // (0, 1, 2, ...) do not yield correlated early outputs.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        XorShift { state: if z == 0 { 0x853c_49e6_748f_ea9b } else { z } }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `0..bound` (`bound` of 0 yields 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift reduction; the slight modulo bias is irrelevant
+        // for test-input generation.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `0..bound`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Uniform value in the inclusive range `lo..=hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        let span = (hi as i128 - lo as i128 + 1) as u64;
+        lo.wrapping_add(self.below(span) as i64)
+    }
+
+    /// A full-range `i64`.
+    pub fn any_i64(&mut self) -> i64 {
+        self.next_u64() as i64
+    }
+
+    /// A full-range `i32`.
+    pub fn any_i32(&mut self) -> i32 {
+        self.next_u64() as i32
+    }
+
+    /// A coin flip.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// `true` with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// Fork an independent stream (for seeding sub-generators without
+    /// coupling their sequences to how much the parent has consumed).
+    pub fn fork(&mut self) -> XorShift {
+        XorShift::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let s1: Vec<u64> = {
+            let mut r = XorShift::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let s2: Vec<u64> = {
+            let mut r = XorShift::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let s3: Vec<u64> = {
+            let mut r = XorShift::new(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut r = XorShift::new(1);
+        for _ in 0..1000 {
+            let v = r.below(10);
+            assert!(v < 10);
+            let w = r.range_i64(-5, 5);
+            assert!((-5..=5).contains(&w));
+            let i = r.index(3);
+            assert!(i < 3);
+        }
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn small_seeds_decorrelated() {
+        let a = XorShift::new(0).next_u64();
+        let b = XorShift::new(1).next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a >> 32, b >> 32);
+    }
+}

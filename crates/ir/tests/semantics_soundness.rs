@@ -3,8 +3,8 @@
 //! values `eval` computes, for every operation and a battery of inputs.
 //! This is the contract every elimination decision ultimately rests on.
 
-use proptest::prelude::*;
 use sxe_ir::eval::{int_bin, int_cond};
+use sxe_ir::rng::XorShift;
 use sxe_ir::semantics::def_facts;
 use sxe_ir::{BinOp, Cond, ExtFacts, Inst, Reg, Target, Ty, Width};
 
@@ -110,15 +110,40 @@ fn unary_def_facts_sound_on_eval() {
     }
 }
 
-proptest! {
-    /// The low 32 bits of the machine's 64-bit operation equal the true
-    /// wrapping 32-bit operation, **given each operand prepared per its
-    /// classification**: operands `classify_uses` marks `Required`
-    /// (the dividend/divisor, the arithmetic-shift input) are
-    /// sign-extended, all others are raw — the machine-model premise.
-    #[test]
-    fn int_bin_low32_matches_i32_semantics(a in any::<i64>(), b in any::<i64>(), op_i in 0usize..11) {
-        let op = OPS[op_i];
+/// Interesting boundary values mixed into the random streams below.
+const EDGE_I64: [i64; 10] = [
+    0,
+    1,
+    -1,
+    i32::MAX as i64,
+    i32::MIN as i64,
+    i64::MAX,
+    i64::MIN,
+    0xFFFF_FFFF,
+    0x8000_0000,
+    -0x8000_0001,
+];
+
+fn sample_i64(rng: &mut XorShift, i: usize) -> i64 {
+    if i < EDGE_I64.len() {
+        EDGE_I64[i]
+    } else {
+        rng.any_i64()
+    }
+}
+
+/// The low 32 bits of the machine's 64-bit operation equal the true
+/// wrapping 32-bit operation, **given each operand prepared per its
+/// classification**: operands `classify_uses` marks `Required`
+/// (the dividend/divisor, the arithmetic-shift input) are
+/// sign-extended, all others are raw — the machine-model premise.
+#[test]
+fn int_bin_low32_matches_i32_semantics() {
+    let mut rng = XorShift::new(0x5eed_0001);
+    for case in 0..4096 {
+        let a = sample_i64(&mut rng, case % 16);
+        let b = sample_i64(&mut rng, (case / 16) % 16);
+        let op = OPS[rng.index(OPS.len())];
         let (a32, b32) = (a as i32, b as i32);
         // Prepare Required operands.
         let (a, b) = match op {
@@ -140,21 +165,28 @@ proptest! {
             BinOp::Shru => Some(((a32 as u32) >> (b & 31)) as i32),
         };
         match (int_bin(op, a, b, Ty::I32), expect) {
-            (Some(raw), Some(e)) => prop_assert_eq!(raw as i32, e, "{:?}", op),
+            (Some(raw), Some(e)) => assert_eq!(raw as i32, e, "{op:?} a={a:#x} b={b:#x}"),
             (None, None) => {}
-            (got, want) => prop_assert!(false, "{:?}: got {:?} want {:?}", op, got, want),
+            (got, want) => panic!("{op:?}: got {got:?} want {want:?}"),
         }
     }
+}
 
-    /// 32-bit compares depend only on the low 32 bits.
-    #[test]
-    fn cmp32_ignores_upper_bits(a in any::<i64>(), b in any::<i64>(), hi in any::<i32>()) {
-        let garbage = (hi as i64) << 32;
-        for cond in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge, Cond::Ult, Cond::Uge] {
-            prop_assert_eq!(
+/// 32-bit compares depend only on the low 32 bits.
+#[test]
+fn cmp32_ignores_upper_bits() {
+    let mut rng = XorShift::new(0x5eed_0002);
+    for case in 0..4096 {
+        let a = sample_i64(&mut rng, case % 16);
+        let b = sample_i64(&mut rng, (case / 16) % 16);
+        let garbage = (rng.any_i32() as i64) << 32;
+        for cond in
+            [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge, Cond::Ult, Cond::Uge]
+        {
+            assert_eq!(
                 int_cond(cond, Ty::I32, a, b),
                 int_cond(cond, Ty::I32, a ^ garbage, b),
-                "{}", cond
+                "{cond} a={a:#x} b={b:#x} garbage={garbage:#x}"
             );
         }
     }

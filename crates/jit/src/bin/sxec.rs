@@ -10,6 +10,11 @@
 //!   --max-array-len <n>  Theorem 4 bound      (default: 2147483647)
 //!   --run <entry>        run entry() after compiling and print the result
 //!   --arg <n>            argument for --run (repeatable)
+//!   --budget <fuel>      compile budget in fuel units (default: unlimited)
+//!   --chaos-seed <n>     inject one deterministic fault derived from n,
+//!                        then check the result with the differential
+//!                        oracle against the unoptimized module
+//!   --report             print the per-pass compile report
 //!   --stats              print elimination statistics
 //!   --no-emit            suppress printing the compiled module
 //! ```
@@ -20,8 +25,8 @@ use std::process::ExitCode;
 
 use sxe_core::Variant;
 use sxe_ir::Target;
-use sxe_jit::Compiler;
-use sxe_vm::Machine;
+use sxe_jit::{Compiler, FaultPlan};
+use sxe_vm::{differential_check, Machine, OracleConfig};
 
 fn parse_variant(s: &str) -> Option<Variant> {
     Some(match s {
@@ -48,13 +53,17 @@ struct Options {
     max_array_len: u32,
     run: Option<String>,
     args: Vec<i64>,
+    budget: Option<u64>,
+    chaos_seed: Option<u64>,
+    report: bool,
     stats: bool,
     emit: bool,
 }
 
 fn usage() -> &'static str {
     "usage: sxec [--variant V] [--target ia64|ppc64] [--max-array-len N] \
-     [--run ENTRY] [--arg N]... [--stats] [--no-emit] <input.sxe>"
+     [--run ENTRY] [--arg N]... [--budget FUEL] [--chaos-seed N] \
+     [--report] [--stats] [--no-emit] <input.sxe>"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -65,6 +74,9 @@ fn parse_args() -> Result<Options, String> {
         max_array_len: 0x7fff_ffff,
         run: None,
         args: Vec::new(),
+        budget: None,
+        chaos_seed: None,
+        report: false,
         stats: false,
         emit: true,
     };
@@ -97,6 +109,21 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or("--arg needs an integer")?,
                 );
             }
+            "--budget" => {
+                opts.budget = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--budget needs a fuel count")?,
+                );
+            }
+            "--chaos-seed" => {
+                opts.chaos_seed = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--chaos-seed needs an integer seed")?,
+                );
+            }
+            "--report" => opts.report = true,
             "--stats" => opts.stats = true,
             "--no-emit" => opts.emit = false,
             "--help" | "-h" => return Err(usage().to_string()),
@@ -141,8 +168,40 @@ fn main() -> ExitCode {
 
     let mut compiler = Compiler::for_variant(opts.variant).with_target(opts.target);
     compiler.sxe.max_array_len = opts.max_array_len;
+    compiler.fuel = opts.budget;
+    if let Some(seed) = opts.chaos_seed {
+        // Boundary count comes from a fault-free dry run of the same
+        // module; the plan then lands inside the real range.
+        let dry = compiler.compile(&module);
+        let plan = FaultPlan::from_seed(seed, dry.report.boundaries() as u32);
+        compiler = compiler.with_fault_plan(plan);
+    }
     let compiled = compiler.compile(&module);
 
+    if opts.report || opts.chaos_seed.is_some() {
+        eprint!("sxec: {}", compiled.report.summary());
+    }
+    if opts.chaos_seed.is_some() {
+        // Oracle reference: the conversion-only (Baseline) compile — the
+        // raw module is not meaningful on the 64-bit machine model until
+        // step 1 has inserted its sign extensions.
+        let reference = Compiler::for_variant(Variant::Baseline)
+            .with_target(opts.target)
+            .compile(&module)
+            .module;
+        match differential_check(
+            &reference,
+            &compiled.module,
+            opts.target,
+            &OracleConfig::default(),
+        ) {
+            Ok(n) => eprintln!("sxec: oracle agreed on {n} comparisons"),
+            Err(m) => {
+                eprintln!("sxec: ORACLE MISMATCH: {m}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if opts.emit {
         print!("{}", compiled.module);
     }

@@ -31,12 +31,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod harness;
+pub mod report;
+
 use std::time::{Duration, Instant};
 
-use sxe_core::{GenStrategy, SxeConfig, SxeStats, Step3Timing, Variant};
-use sxe_ir::{Module, Target};
+use sxe_core::{GenStrategy, SxeConfig, SxeStats, Variant};
+use sxe_ir::{verify_function, verify_module, Budget, Module, Target};
 use sxe_opt::GeneralOpts;
 use sxe_vm::Machine;
+
+pub use harness::FaultPlan;
+pub use report::{CompileReport, InjectedFault, PassRecord, PassStatus, RollbackCause};
+
+use harness::{corrupt_function, corrupt_module, Harness};
 
 /// The compilation pipeline configuration.
 #[derive(Debug, Clone)]
@@ -46,8 +54,17 @@ pub struct Compiler {
     /// Step 2 configuration.
     pub general: GeneralOpts,
     /// Verify the module before and after compilation (cheap; on by
-    /// default).
+    /// default). Independent of the per-pass verification gates, which
+    /// always run.
     pub verify: bool,
+    /// Compile budget in fuel units (one unit per pass boundary, one per
+    /// extension examined by elimination). `None` = unlimited.
+    pub fuel: Option<u64>,
+    /// Wall-clock compile budget. `None` = unlimited.
+    pub time_limit: Option<Duration>,
+    /// Deterministic fault to inject (chaos testing). `None` in
+    /// production.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Compiler {
@@ -58,6 +75,9 @@ impl Compiler {
             sxe: SxeConfig::for_variant(variant),
             general: GeneralOpts::default(),
             verify: true,
+            fuel: None,
+            time_limit: None,
+            fault_plan: None,
         }
     }
 
@@ -66,6 +86,28 @@ impl Compiler {
     pub fn with_target(mut self, target: Target) -> Compiler {
         self.sxe.target = target;
         self
+    }
+
+    /// Bound the work this compiler may spend per compilation.
+    #[must_use]
+    pub fn with_budget(mut self, fuel: Option<u64>, time_limit: Option<Duration>) -> Compiler {
+        self.fuel = fuel;
+        self.time_limit = time_limit;
+        self
+    }
+
+    /// Inject a deterministic fault (chaos testing).
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Compiler {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    fn budget(&self) -> Budget {
+        match (self.fuel, self.time_limit) {
+            (None, None) => Budget::unlimited(),
+            (fuel, time) => Budget::new(fuel.unwrap_or(u64::MAX), time),
+        }
     }
 
     /// Compile `source` (32-bit-form IR).
@@ -92,12 +134,14 @@ impl Compiler {
         self.compile_inner(source, Some((entry, args)))
     }
 
+    #[allow(clippy::too_many_lines)]
     fn compile_inner(&self, source: &Module, profile_run: Option<(&str, &[i64])>) -> Compiled {
         if self.verify {
-            sxe_ir::verify_module(source).expect("input module must verify");
+            verify_module(source).expect("input module must verify");
         }
         let mut module = source.clone();
         let mut times = PhaseTimes::default();
+        let mut harness = Harness::new(self.fault_plan, self.budget());
 
         // Step 1: conversion for a 64-bit architecture.
         let strategy = if self.sxe.variant.gen_use() {
@@ -106,12 +150,56 @@ impl Compiler {
             GenStrategy::AfterDef
         };
         let t = Instant::now();
-        let generated = sxe_core::convert_module(&mut module, self.sxe.target, strategy);
+        let target = self.sxe.target;
+        let generated = harness.run_boundary(
+            "convert",
+            None,
+            &mut module,
+            verify_module,
+            corrupt_module,
+            |m, _| sxe_core::convert_module(m, target, strategy),
+        );
+        // A rolled-back conversion leaves the (verified) 32-bit module;
+        // count its extensions so the stats stay meaningful.
+        let generated = generated.unwrap_or_else(|| module.count_extends(None));
         times.conversion = t.elapsed();
 
-        // Step 2: general optimizations.
+        // Step 2: general optimizations — inlining module-wide, then the
+        // scalar fixpoint per function with each pass in its own
+        // boundary (same rounds as `sxe_opt::run_function`).
         let t = Instant::now();
-        let _opt_stats = sxe_opt::run_module(&mut module, &self.general);
+        if let Some(inline_opts) = self.general.inline {
+            harness.run_boundary(
+                "inline",
+                None,
+                &mut module,
+                verify_module,
+                corrupt_module,
+                |m, _| sxe_opt::inline::run_module(m, &inline_opts),
+            );
+        }
+        let passes = self.general.passes();
+        for f in &mut module.functions {
+            let fname = f.name.clone();
+            for _ in 0..self.general.max_iters {
+                let mut round_rewrites = 0;
+                for &p in &passes {
+                    let n = harness.run_boundary(
+                        p.name(),
+                        Some(&fname),
+                        f,
+                        verify_function,
+                        corrupt_function,
+                        |f, _| p.run(f),
+                    );
+                    round_rewrites += n.unwrap_or(0);
+                }
+                if round_rewrites == 0 {
+                    break;
+                }
+            }
+            f.compact();
+        }
         times.general_opts = t.elapsed();
 
         // Optional interpreter stage: profile the pre-step-3 code.
@@ -134,29 +222,99 @@ impl Compiler {
             use_profile = true;
         }
 
-        // Step 3: elimination and movement of sign extensions.
+        // Step 3: elimination and movement of sign extensions, one
+        // boundary per stage (insertion / ordering / elimination) so a
+        // fault in one stage costs only that stage.
         let mut config = self.sxe.clone();
         config.use_profile = use_profile;
         let mut stats = SxeStats::default();
-        let mut step3 = Step3Timing::default();
-        let t = Instant::now();
+        let t_section = Instant::now();
+        let mut sxe_opt_time = Duration::ZERO;
         for (i, f) in module.functions.iter_mut().enumerate() {
             let p = profile.as_ref().and_then(|p| p.get(i)).map(Vec::as_slice);
-            let (s, tm) = sxe_core::run_step3_timed(f, &config, p);
-            stats.merge(s);
-            step3.merge(tm);
+            let fname = f.name.clone();
+            if config.variant.first_algorithm() {
+                let t = Instant::now();
+                if let Some(s) = harness.run_boundary(
+                    "first-algorithm",
+                    Some(&fname),
+                    f,
+                    verify_function,
+                    corrupt_function,
+                    |f, _| sxe_core::step3_first(f, &config),
+                ) {
+                    stats.merge(s);
+                }
+                sxe_opt_time += t.elapsed();
+                continue;
+            }
+            if !config.variant.uses_udu() {
+                continue; // baseline / gen-use: no step-3 optimization
+            }
+
+            let t = Instant::now();
+            if let Some(ins) = harness.run_boundary(
+                "step3-insert",
+                Some(&fname),
+                f,
+                verify_function,
+                corrupt_function,
+                |f, _| sxe_core::step3_insertion(f, &config),
+            ) {
+                stats.dummies += ins.dummies;
+                stats.inserted += ins.inserted;
+            }
+
+            let order = harness
+                .run_boundary(
+                    "step3-order",
+                    Some(&fname),
+                    f,
+                    verify_function,
+                    corrupt_function,
+                    |f, _| sxe_core::step3_order(f, &config, p),
+                )
+                // A rolled-back ordering still leaves every site
+                // eliminable — just without the hottest-first payoff.
+                .unwrap_or_else(|| sxe_core::fallback_order(f, &config));
+            sxe_opt_time += t.elapsed();
+
+            let t = Instant::now();
+            match harness.run_boundary(
+                "step3-eliminate",
+                Some(&fname),
+                f,
+                verify_function,
+                corrupt_function,
+                |f, budget| sxe_core::step3_eliminate(f, &config, &order, budget),
+            ) {
+                Some(out) => {
+                    stats.examined += out.examined;
+                    stats.eliminated += out.eliminated;
+                    stats.eliminated_via_array += out.via_array;
+                    times.chain_creation += out.chain_creation;
+                    sxe_opt_time += t.elapsed().saturating_sub(out.chain_creation);
+                    if out.exhausted {
+                        harness.report.budget_exhausted = true;
+                    }
+                }
+                None => {
+                    // Rolled back (or budget-stopped) after insertion:
+                    // scrub the leftover dummy markers before shipping.
+                    sxe_core::strip_dummies(f);
+                    sxe_opt_time += t.elapsed();
+                }
+            }
         }
-        let step3_total = t.elapsed();
-        times.chain_creation = step3.chain_creation;
-        times.sxe_opt = step3.sxe_opt;
+        times.sxe_opt = sxe_opt_time;
         times.step3_overhead =
-            step3_total.saturating_sub(step3.chain_creation + step3.sxe_opt);
+            t_section.elapsed().saturating_sub(times.chain_creation + times.sxe_opt);
 
         if self.verify {
-            sxe_ir::verify_module(&module).expect("compiled module must verify");
+            verify_module(&module).expect("compiled module must verify");
         }
         stats.generated = generated;
-        Compiled { module, stats, times }
+        Compiled { module, stats, times, report: harness.report }
     }
 }
 
@@ -214,6 +372,9 @@ pub struct Compiled {
     pub stats: SxeStats,
     /// Phase timing.
     pub times: PhaseTimes,
+    /// Per-boundary account of the compilation, including any contained
+    /// incidents.
+    pub report: CompileReport,
 }
 
 #[cfg(test)]
@@ -332,6 +493,52 @@ b2:
         let reference = Compiler::for_variant(Variant::All).compile(&src);
         let mut vm2 = Machine::new(&reference.module, Target::Ia64);
         assert_eq!(out.ret, vm2.run("main", &[40]).expect("no trap").ret);
+    }
+
+    #[test]
+    fn clean_compile_reports_clean() {
+        let src = parse_module(LOOPY).unwrap();
+        let c = Compiler::for_variant(Variant::All).compile(&src);
+        assert!(c.report.clean(), "{}", c.report.summary());
+        assert!(c.report.boundaries() > 0);
+        assert!(c.report.records.iter().all(|r| r.status == PassStatus::Ok));
+    }
+
+    #[test]
+    fn fault_injection_is_contained_and_reported() {
+        let src = parse_module(LOOPY).unwrap();
+        let reference = Compiler::for_variant(Variant::All).compile(&src);
+        let boundaries = reference.report.boundaries() as u32;
+        let mut vm = Machine::new(&reference.module, Target::Ia64);
+        let want = vm.run("main", &[40]).expect("no trap");
+        for seed in 0..48 {
+            let plan = FaultPlan::from_seed(seed, boundaries);
+            let c = Compiler::for_variant(Variant::All).with_fault_plan(plan).compile(&src);
+            assert!(
+                c.report.incidents() >= 1,
+                "seed {seed}: the injected fault must appear in the report"
+            );
+            let mut vm = Machine::new(&c.module, Target::Ia64);
+            let got = vm.run("main", &[40]).expect("no trap");
+            assert_eq!(
+                (got.ret, got.heap_checksum),
+                (want.ret, want.heap_checksum),
+                "seed {seed}: recovered compilation must stay semantically identical"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_budget_salvages_a_working_module() {
+        let src = parse_module(LOOPY).unwrap();
+        let c = Compiler::for_variant(Variant::All).with_budget(Some(3), None).compile(&src);
+        assert!(c.report.budget_exhausted);
+        let mut vm = Machine::new(&c.module, Target::Ia64);
+        let got = vm.run("main", &[40]).expect("no trap");
+        let reference = Compiler::for_variant(Variant::All).compile(&src);
+        let mut vm2 = Machine::new(&reference.module, Target::Ia64);
+        let want = vm2.run("main", &[40]).expect("no trap");
+        assert_eq!((got.ret, got.heap_checksum), (want.ret, want.heap_checksum));
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Structured compile reports: what every containment boundary did.
+//!
+//! The fault-isolated pipeline wraps each pass in a boundary (see
+//! [`crate::harness`]). Every boundary leaves one [`PassRecord`] behind,
+//! so a [`CompileReport`] is a complete, ordered account of the
+//! compilation — including every contained panic, failed verification
+//! gate, rollback, injected fault, and budget stop.
+
+use std::fmt;
+use std::time::Duration;
+
+use sxe_ir::VerifyError;
+
+/// Why a pass's result was discarded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RollbackCause {
+    /// The pass panicked; the payload message is preserved.
+    Panic(String),
+    /// The pass completed but its output failed the verification gate.
+    Verify(VerifyError),
+}
+
+impl fmt::Display for RollbackCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RollbackCause::Panic(msg) => write!(f, "panic: {msg}"),
+            RollbackCause::Verify(e) => write!(f, "verify: {e}"),
+        }
+    }
+}
+
+/// Outcome of one containment boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PassStatus {
+    /// The pass ran and its output verified.
+    Ok,
+    /// The pass was skipped because an earlier incident disabled it.
+    Skipped,
+    /// The pass ran but was undone: the function (or module) was restored
+    /// to the snapshot taken at the boundary, and the pass was disabled
+    /// for the rest of the compilation.
+    RolledBack(RollbackCause),
+    /// The compile budget was exhausted before this pass; the current
+    /// (already verified) IR was kept as-is.
+    BudgetExhausted,
+}
+
+impl fmt::Display for PassStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassStatus::Ok => f.write_str("ok"),
+            PassStatus::Skipped => f.write_str("skipped (pass disabled)"),
+            PassStatus::RolledBack(cause) => write!(f, "rolled back ({cause})"),
+            PassStatus::BudgetExhausted => f.write_str("budget exhausted"),
+        }
+    }
+}
+
+/// Which fault, if any, was injected at a boundary by the chaos plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// The pass body was made to panic after running.
+    Panic,
+    /// The pass output was deterministically corrupted before the gate.
+    Corrupt,
+    /// The compile budget was force-exhausted at this boundary.
+    Exhaust,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectedFault::Panic => f.write_str("panic"),
+            InjectedFault::Corrupt => f.write_str("corrupt"),
+            InjectedFault::Exhaust => f.write_str("exhaust"),
+        }
+    }
+}
+
+/// One containment boundary's record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassRecord {
+    /// Boundary (pass) name, e.g. `convert`, `licm`, `step3-eliminate`.
+    pub pass: String,
+    /// Function the boundary covered; `None` for module-scope boundaries.
+    pub function: Option<String>,
+    /// What happened.
+    pub status: PassStatus,
+    /// Fault injected here by the active [`crate::FaultPlan`], if any.
+    pub injected: Option<InjectedFault>,
+    /// Wall-clock time spent in the boundary (body plus gate).
+    pub duration: Duration,
+}
+
+impl fmt::Display for PassRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.function {
+            Some(func) => write!(f, "{}@{func}: {}", self.pass, self.status)?,
+            None => write!(f, "{}: {}", self.pass, self.status)?,
+        }
+        if let Some(fault) = self.injected {
+            write!(f, " [injected {fault}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Complete account of one compilation through the fault-isolated
+/// pipeline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompileReport {
+    /// Seed of the active fault plan, if one was injected.
+    pub seed: Option<u64>,
+    /// One record per containment boundary, in execution order.
+    pub records: Vec<PassRecord>,
+    /// The compile budget ran out at some point (whether injected or
+    /// genuine); the emitted module is a verified partial optimization.
+    pub budget_exhausted: bool,
+}
+
+impl CompileReport {
+    /// Number of containment boundaries crossed.
+    #[must_use]
+    pub fn boundaries(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Records of passes that were rolled back.
+    pub fn rollbacks(&self) -> impl Iterator<Item = &PassRecord> {
+        self.records.iter().filter(|r| matches!(r.status, PassStatus::RolledBack(_)))
+    }
+
+    /// Number of incidents: rollbacks, budget stops, and injected faults
+    /// (an injected fault that led to a rollback counts once).
+    #[must_use]
+    pub fn incidents(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| {
+                r.injected.is_some() || !matches!(r.status, PassStatus::Ok | PassStatus::Skipped)
+            })
+            .count()
+    }
+
+    /// Whether every boundary completed cleanly with no injection.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        !self.budget_exhausted && self.incidents() == 0
+    }
+
+    /// Human-readable multi-line summary (one line per non-clean record,
+    /// plus a header).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        use fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "compile report: {} boundaries, {} incident(s){}",
+            self.boundaries(),
+            self.incidents(),
+            if self.budget_exhausted { ", budget exhausted" } else { "" },
+        );
+        for r in &self.records {
+            if r.injected.is_some() || !matches!(r.status, PassStatus::Ok) {
+                let _ = writeln!(s, "  {r}");
+            }
+        }
+        s
+    }
+}

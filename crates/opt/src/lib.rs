@@ -39,4 +39,4 @@ pub mod licm;
 pub mod pipeline;
 pub mod simplify;
 
-pub use pipeline::{run_function, run_module, GeneralOpts, OptStats};
+pub use pipeline::{run_function, run_module, GeneralOpts, OptStats, Pass};

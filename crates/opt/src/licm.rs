@@ -92,7 +92,7 @@ fn hoist_one_loop(f: &mut Function) -> usize {
                 if inst.uses().iter().any(|u| defs_in.contains_key(u)) {
                     continue;
                 }
-                let dominates_all_uses = uses_in.get(&d).map_or(true, |us| {
+                let dominates_all_uses = uses_in.get(&d).is_none_or(|us| {
                     us.iter().all(|&u| {
                         if u.block == b {
                             u.index > id.index
@@ -161,11 +161,7 @@ fn hoist_one_loop(f: &mut Function) -> usize {
 
 fn retarget(term: &mut Inst, from: BlockId, to: BlockId) {
     match term {
-        Inst::Br { target } => {
-            if *target == from {
-                *target = to;
-            }
-        }
+        Inst::Br { target } if *target == from => *target = to,
         Inst::CondBr { then_bb, else_bb, .. } => {
             if *then_bb == from {
                 *then_bb = to;
@@ -284,7 +280,7 @@ mod tests {
     fn nested_loops_hoist_to_outer() {
         let mut f = parse_function(
             "func @f(i32, i32, i32) -> i64 {\n\
-             b0:\n    br b1\n\
+             b0:\n    r3 = const.i64 0\n    br b1\n\
              b1:\n    condbr gt.i32 r0, r1, b2, b5\n\
              b2:\n    br b3\n\
              b3:\n    r3 = extend.32 r2\n    r4 = const.i32 1\n    r1 = add.i32 r1, r4\n    condbr lt.i32 r1, r0, b3, b4\n\

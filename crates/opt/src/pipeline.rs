@@ -54,6 +54,88 @@ impl GeneralOpts {
             max_iters: 0,
         }
     }
+
+    /// The enabled scalar passes, in pipeline order. This is the single
+    /// source of truth for what one fixpoint round runs — both
+    /// [`run_function`] and external drivers (the `sxe-jit` containment
+    /// harness) iterate this list.
+    #[must_use]
+    pub fn passes(&self) -> Vec<Pass> {
+        Pass::ALL.iter().copied().filter(|p| p.enabled(self)).collect()
+    }
+}
+
+/// One scalar optimization pass, nameable and runnable on its own so a
+/// driver can wrap each in a containment boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pass {
+    /// Block-local copy propagation.
+    Copyprop,
+    /// Constant and branch folding.
+    Constfold,
+    /// Algebraic simplification.
+    Simplify,
+    /// Local common-subexpression elimination.
+    Cse,
+    /// Loop-invariant code motion.
+    Licm,
+    /// Dead-code elimination.
+    Dce,
+}
+
+impl Pass {
+    /// All passes, in the pipeline order of one fixpoint round.
+    pub const ALL: [Pass; 6] =
+        [Pass::Copyprop, Pass::Constfold, Pass::Simplify, Pass::Cse, Pass::Licm, Pass::Dce];
+
+    /// Stable human-readable name (used in compile reports and fault
+    /// plans).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Copyprop => "copyprop",
+            Pass::Constfold => "constfold",
+            Pass::Simplify => "simplify",
+            Pass::Cse => "cse",
+            Pass::Licm => "licm",
+            Pass::Dce => "dce",
+        }
+    }
+
+    /// Run this pass once on `f`, returning the number of rewrites.
+    pub fn run(self, f: &mut Function) -> usize {
+        match self {
+            Pass::Copyprop => crate::copyprop::run(f),
+            Pass::Constfold => crate::constfold::run(f),
+            Pass::Simplify => crate::simplify::run(f),
+            Pass::Cse => crate::cse::run(f),
+            Pass::Licm => crate::licm::run(f),
+            Pass::Dce => crate::dce::run(f),
+        }
+    }
+
+    fn enabled(self, opts: &GeneralOpts) -> bool {
+        match self {
+            Pass::Copyprop => opts.copyprop,
+            Pass::Constfold => opts.constfold,
+            Pass::Simplify => opts.simplify,
+            Pass::Cse => opts.cse,
+            Pass::Licm => opts.licm,
+            Pass::Dce => opts.dce,
+        }
+    }
+
+    /// Record `n` rewrites from this pass into `stats`.
+    pub fn record(self, stats: &mut OptStats, n: usize) {
+        match self {
+            Pass::Copyprop => stats.copyprop += n,
+            Pass::Constfold => stats.constfold += n,
+            Pass::Simplify => stats.simplify += n,
+            Pass::Cse => stats.cse += n,
+            Pass::Licm => stats.licm += n,
+            Pass::Dce => stats.dce += n,
+        }
+    }
 }
 
 /// Counts of rewrites performed per pass.
@@ -102,26 +184,12 @@ impl OptStats {
 
 /// Optimize one function.
 pub fn run_function(f: &mut Function, opts: &GeneralOpts) -> OptStats {
+    let passes = opts.passes();
     let mut stats = OptStats::default();
     for _ in 0..opts.max_iters {
         let mut round = OptStats::default();
-        if opts.copyprop {
-            round.copyprop = crate::copyprop::run(f);
-        }
-        if opts.constfold {
-            round.constfold = crate::constfold::run(f);
-        }
-        if opts.simplify {
-            round.simplify = crate::simplify::run(f);
-        }
-        if opts.cse {
-            round.cse = crate::cse::run(f);
-        }
-        if opts.licm {
-            round.licm = crate::licm::run(f);
-        }
-        if opts.dce {
-            round.dce = crate::dce::run(f);
+        for &p in &passes {
+            p.record(&mut round, p.run(f));
         }
         let progress = round.total();
         stats.merge(round);

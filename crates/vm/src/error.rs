@@ -11,13 +11,15 @@ pub struct Trap {
     pub kind: TrapKind,
     /// Function in which the trap occurred.
     pub func: FuncId,
+    /// Name of that function, for human-readable reports.
+    pub func_name: String,
     /// Instruction that trapped.
     pub at: InstId,
 }
 
 impl fmt::Display for Trap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trap in {} at {}: {}", self.func, self.at, self.kind)
+        write!(f, "trap in @{} ({}) at {}: {}", self.func_name, self.func, self.at, self.kind)
     }
 }
 
@@ -33,10 +35,12 @@ mod tests {
         let t = Trap {
             kind: TrapKind::IndexOutOfBounds,
             func: FuncId(0),
+            func_name: "main".into(),
             at: InstId::new(BlockId(2), 5),
         };
         let s = t.to_string();
         assert!(s.contains("index out of bounds"));
         assert!(s.contains("b2:5"));
+        assert!(s.contains("@main"));
     }
 }

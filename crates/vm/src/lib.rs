@@ -37,6 +37,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cost;
+pub mod oracle;
 pub mod sched;
 mod counters;
 mod error;
@@ -47,3 +48,4 @@ pub use counters::{mnemonic, Counters};
 pub use error::Trap;
 pub use heap::{ArrayObj, Heap, HEAP_LIMIT_ELEMS};
 pub use machine::{Machine, Outcome, DEFAULT_FUEL, MAX_CALL_DEPTH};
+pub use oracle::{differential_check, Mismatch, OracleConfig};

@@ -156,7 +156,8 @@ impl<'m> Machine<'m> {
     #[allow(clippy::too_many_lines)]
     fn exec(&mut self, func: FuncId, args: &[i64], depth: usize) -> Result<Option<i64>, Trap> {
         let f = self.module.function(func);
-        let trap = |kind: TrapKind, at: InstId| Trap { kind, func, at };
+        let trap =
+            |kind: TrapKind, at: InstId| Trap { kind, func, func_name: f.name.clone(), at };
         let entry_at = InstId::new(BlockId(0), 0);
         if depth > MAX_CALL_DEPTH {
             return Err(trap(TrapKind::ResourceExhausted, entry_at));

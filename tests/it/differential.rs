@@ -6,12 +6,12 @@
 //! accesses), so this is a direct soundness check of the paper's
 //! algorithm and of our general optimizer.
 
-use proptest::prelude::*;
 use sxe_core::Variant;
 use sxe_ir::Target;
 use xelim_integration_tests::{compile_run, gen};
 
 const FUEL: u64 = 2_000_000;
+const CASES: usize = 64;
 
 fn check_all_variants(p: &gen::Program, target: Target) {
     let m = gen::lower(p);
@@ -22,13 +22,11 @@ fn check_all_variants(p: &gen::Program, target: Target) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn zext_elimination_preserves_semantics(p in gen::program_strategy()) {
-        use sxe_jit::Compiler;
-        use sxe_vm::Machine;
+#[test]
+fn zext_elimination_preserves_semantics() {
+    use sxe_jit::Compiler;
+    use sxe_vm::Machine;
+    for (i, p) in gen::program_corpus(0xd1ff_0001, CASES) {
         let m = gen::lower(&p);
         let (reference, _) =
             compile_run(&m, Variant::Baseline, Target::Ia64, "main", &[], FUEL);
@@ -43,35 +41,40 @@ proptest! {
                 heap: Some(out.heap_checksum),
                 trap: None,
             },
-            Err(t) => xelim_integration_tests::RunKey { ret: None, heap: None, trap: Some(t.kind) },
+            Err(t) => {
+                xelim_integration_tests::RunKey { ret: None, heap: None, trap: Some(t.kind) }
+            }
         };
-        prop_assert_eq!(reference, key, "zext elimination diverged");
+        assert_eq!(reference, key, "zext elimination diverged on case {i}: {p:?}");
     }
+}
 
-    #[test]
-    fn variants_preserve_semantics_ia64(p in gen::program_strategy()) {
+#[test]
+fn variants_preserve_semantics_ia64() {
+    for (_, p) in gen::program_corpus(0xd1ff_0002, CASES) {
         check_all_variants(&p, Target::Ia64);
     }
+}
 
-    #[test]
-    fn variants_preserve_semantics_ppc64(p in gen::program_strategy()) {
+#[test]
+fn variants_preserve_semantics_ppc64() {
+    for (_, p) in gen::program_corpus(0xd1ff_0003, CASES) {
         check_all_variants(&p, Target::Ppc64);
     }
+}
 
-    #[test]
-    fn optimized_never_executes_more_extends(p in gen::program_strategy()) {
+#[test]
+fn optimized_never_executes_more_extends() {
+    for (_, p) in gen::program_corpus(0xd1ff_0004, CASES) {
         let m = gen::lower(&p);
         let (bkey, baseline) =
             compile_run(&m, Variant::Baseline, Target::Ia64, "main", &[], FUEL);
         // Only compare when the run completes (traps cut execution short
         // at arbitrary points).
         if bkey.trap.is_some() {
-            return Ok(());
+            continue;
         }
         let (_, all) = compile_run(&m, Variant::All, Target::Ia64, "main", &[], FUEL);
-        prop_assert!(
-            all <= baseline,
-            "dynamic extends grew: baseline={baseline} all={all}"
-        );
+        assert!(all <= baseline, "dynamic extends grew: baseline={baseline} all={all}");
     }
 }

@@ -2,7 +2,6 @@
 //! optimizer-only differentials, idempotence, and narrow-width
 //! (8/16-bit) extension handling.
 
-use proptest::prelude::*;
 use sxe_core::Variant;
 use sxe_ir::{parse_module, Target, TrapKind};
 use sxe_jit::Compiler;
@@ -20,50 +19,54 @@ fn run_key(m: &sxe_ir::Module) -> (Option<i64>, Option<u64>, Option<TrapKind>) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+const CASES: usize = 96;
 
-    /// Printing and reparsing is the identity on generated programs, and
-    /// the *textual* form is a fixed point for compiled output too (the
-    /// parser infers `reg_count` from the registers it sees, so a module
-    /// holding unused high registers after DCE differs structurally but
-    /// prints identically).
-    #[test]
-    fn print_parse_round_trip(p in gen::program_strategy()) {
+/// Printing and reparsing is the identity on generated programs, and
+/// the *textual* form is a fixed point for compiled output too (the
+/// parser infers `reg_count` from the registers it sees, so a module
+/// holding unused high registers after DCE differs structurally but
+/// prints identically).
+#[test]
+fn print_parse_round_trip() {
+    for (i, p) in gen::program_corpus(0x0b57_0001, CASES) {
         let m = gen::lower(&p);
         let text = m.to_string();
         let reparsed = parse_module(&text).expect("printed IR parses");
-        prop_assert_eq!(&m, &reparsed);
+        assert_eq!(&m, &reparsed, "case {i}");
         let compiled = Compiler::for_variant(Variant::All).compile(&m);
         let text2 = compiled.module.to_string();
         let reparsed2 = parse_module(&text2).expect("compiled IR parses");
-        prop_assert_eq!(reparsed2.to_string(), text2);
+        assert_eq!(reparsed2.to_string(), text2, "case {i}");
     }
+}
 
-    /// The general optimizer alone (step 2, no extension machinery)
-    /// preserves semantics of raw 32-bit-form programs.
-    #[test]
-    fn general_opts_alone_preserve_semantics(p in gen::program_strategy()) {
+/// The general optimizer alone (step 2, no extension machinery)
+/// preserves semantics of raw 32-bit-form programs.
+#[test]
+fn general_opts_alone_preserve_semantics() {
+    for (i, p) in gen::program_corpus(0x0b57_0002, CASES) {
         let m = gen::lower(&p);
         let reference = run_key(&m);
         let mut optimized = m.clone();
         sxe_opt::run_module(&mut optimized, &sxe_opt::GeneralOpts::default());
         sxe_ir::verify_module(&optimized).expect("optimizer output verifies");
-        prop_assert_eq!(reference, run_key(&optimized));
+        assert_eq!(reference, run_key(&optimized), "case {i}: {p:?}");
     }
+}
 
-    /// Compiling the compiler's own output again preserves behaviour.
-    /// (Static extension counts need not shrink further: the conversion
-    /// step legitimately regenerates extensions after definitions whose
-    /// original extensions the theorems discharged — the pipeline's
-    /// contract is 32-bit-form input, not its own output.)
-    #[test]
-    fn recompilation_preserves_semantics(p in gen::program_strategy()) {
+/// Compiling the compiler's own output again preserves behaviour.
+/// (Static extension counts need not shrink further: the conversion
+/// step legitimately regenerates extensions after definitions whose
+/// original extensions the theorems discharged — the pipeline's
+/// contract is 32-bit-form input, not its own output.)
+#[test]
+fn recompilation_preserves_semantics() {
+    for (i, p) in gen::program_corpus(0x0b57_0003, CASES) {
         let m = gen::lower(&p);
         let once = Compiler::for_variant(Variant::All).compile(&m);
         let twice = Compiler::for_variant(Variant::All).compile(&once.module);
         sxe_ir::verify_module(&twice.module).expect("verifies");
-        prop_assert_eq!(run_key(&once.module), run_key(&twice.module));
+        assert_eq!(run_key(&once.module), run_key(&twice.module), "case {i}: {p:?}");
     }
 }
 

@@ -10,7 +10,7 @@
 //! Every variable is initialized at entry (Java definite assignment), so
 //! the analyses' reaching-definition chains are total.
 
-use proptest::prelude::*;
+use sxe_ir::rng::XorShift;
 use sxe_ir::{BinOp, Cond, FunctionBuilder, Module, Reg, Ty, UnOp, Width};
 
 /// Number of `i32` program variables.
@@ -71,82 +71,107 @@ pub struct Program {
     pub stmts: Vec<Stmt>,
 }
 
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        any::<i32>().prop_map(Expr::Const),
-        (0..NUM_VARS).prop_map(Expr::Var),
+const BIN_OPS: [BinOp; 11] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Shr,
+    BinOp::Shru,
+    BinOp::Div,
+    BinOp::Rem,
+];
+
+const EXPR_CONDS: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Ult, Cond::Ugt];
+const STMT_CONDS: [Cond; 3] = [Cond::Lt, Cond::Eq, Cond::Gt];
+
+fn gen_leaf_expr(rng: &mut XorShift) -> Expr {
+    match rng.index(3) {
+        0 => Expr::Const(rng.any_i32()),
+        1 => Expr::Var(rng.index(NUM_VARS)),
         // Bias toward small constants: they exercise the range analysis.
-        (-4i32..64).prop_map(Expr::Const),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        let bin_op = prop_oneof![
-            Just(BinOp::Add),
-            Just(BinOp::Sub),
-            Just(BinOp::Mul),
-            Just(BinOp::And),
-            Just(BinOp::Or),
-            Just(BinOp::Xor),
-            Just(BinOp::Shl),
-            Just(BinOp::Shr),
-            Just(BinOp::Shru),
-            Just(BinOp::Div),
-            Just(BinOp::Rem),
-        ];
-        let cond = prop_oneof![
-            Just(Cond::Eq),
-            Just(Cond::Ne),
-            Just(Cond::Lt),
-            Just(Cond::Ge),
-            Just(Cond::Ult),
-            Just(Cond::Ugt),
-        ];
-        prop_oneof![
-            (bin_op, inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|e| Expr::LoadMasked(Box::new(e))),
-            inner.clone().prop_map(|e| Expr::LoadRaw(Box::new(e))),
-            (cond, any::<bool>(), inner.clone(), inner.clone())
-                .prop_map(|(c, wide, a, b)| Expr::Cmp(c, wide, Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|e| Expr::CastByte(Box::new(e))),
-            inner.clone().prop_map(|e| Expr::Zext16(Box::new(e))),
-            inner.clone().prop_map(|e| Expr::RoundTripF64(Box::new(e))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Expr::CallHelper(Box::new(a), Box::new(b))),
-        ]
-    })
+        _ => Expr::Const(rng.range_i64(-4, 63) as i32),
+    }
 }
 
-fn stmt_strategy() -> impl Strategy<Value = Stmt> {
-    let leaf = prop_oneof![
-        ((0..NUM_VARS), expr_strategy()).prop_map(|(v, e)| Stmt::Assign(v, e)),
-        (expr_strategy(), expr_strategy(), any::<bool>())
-            .prop_map(|(v, i, m)| Stmt::Store(v, i, m)),
-        (0..NUM_VARS).prop_map(Stmt::AccumF64),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        let cond = prop_oneof![Just(Cond::Lt), Just(Cond::Eq), Just(Cond::Gt)];
-        prop_oneof![
-            (
-                cond,
-                0..NUM_VARS,
-                0..NUM_VARS,
-                prop::collection::vec(inner.clone(), 0..3),
-                prop::collection::vec(inner.clone(), 0..3)
-            )
-                .prop_map(|(c, a, b, t, e)| Stmt::If(c, a, b, t, e)),
-            (1u8..4, prop::collection::vec(inner, 1..4))
-                .prop_map(|(trip, body)| Stmt::Loop(trip, body)),
-        ]
-    })
+fn gen_expr(rng: &mut XorShift, depth: u32) -> Expr {
+    // Roughly proptest's prop_recursive(3, ..): recurse with halving
+    // probability until the depth budget is gone.
+    if depth == 0 || rng.chance(1, 3) {
+        return gen_leaf_expr(rng);
+    }
+    let d = depth - 1;
+    match rng.index(8) {
+        0 => Expr::Bin(
+            BIN_OPS[rng.index(BIN_OPS.len())],
+            Box::new(gen_expr(rng, d)),
+            Box::new(gen_expr(rng, d)),
+        ),
+        1 => Expr::LoadMasked(Box::new(gen_expr(rng, d))),
+        2 => Expr::LoadRaw(Box::new(gen_expr(rng, d))),
+        3 => Expr::Cmp(
+            EXPR_CONDS[rng.index(EXPR_CONDS.len())],
+            rng.flip(),
+            Box::new(gen_expr(rng, d)),
+            Box::new(gen_expr(rng, d)),
+        ),
+        4 => Expr::CastByte(Box::new(gen_expr(rng, d))),
+        5 => Expr::Zext16(Box::new(gen_expr(rng, d))),
+        6 => Expr::RoundTripF64(Box::new(gen_expr(rng, d))),
+        _ => Expr::CallHelper(Box::new(gen_expr(rng, d)), Box::new(gen_expr(rng, d))),
+    }
 }
 
-/// Proptest strategy producing whole programs.
-pub fn program_strategy() -> impl Strategy<Value = Program> {
-    (
-        prop::array::uniform5(any::<i32>()),
-        prop::collection::vec(stmt_strategy(), 1..8),
-    )
-        .prop_map(|(init, stmts)| Program { init, stmts })
+fn gen_leaf_stmt(rng: &mut XorShift) -> Stmt {
+    match rng.index(3) {
+        0 => Stmt::Assign(rng.index(NUM_VARS), gen_expr(rng, 3)),
+        1 => Stmt::Store(gen_expr(rng, 3), gen_expr(rng, 3), rng.flip()),
+        _ => Stmt::AccumF64(rng.index(NUM_VARS)),
+    }
+}
+
+fn gen_stmts(rng: &mut XorShift, depth: u32, min: usize, max: usize) -> Vec<Stmt> {
+    let n = min + rng.index(max - min + 1);
+    (0..n).map(|_| gen_stmt(rng, depth)).collect()
+}
+
+fn gen_stmt(rng: &mut XorShift, depth: u32) -> Stmt {
+    if depth == 0 || rng.chance(2, 3) {
+        return gen_leaf_stmt(rng);
+    }
+    let d = depth - 1;
+    if rng.flip() {
+        Stmt::If(
+            STMT_CONDS[rng.index(STMT_CONDS.len())],
+            rng.index(NUM_VARS),
+            rng.index(NUM_VARS),
+            gen_stmts(rng, d, 0, 2),
+            gen_stmts(rng, d, 0, 2),
+        )
+    } else {
+        Stmt::Loop(1 + rng.below(3) as u8, gen_stmts(rng, d, 1, 3))
+    }
+}
+
+/// Generate a whole pseudo-random program from `rng` — the deterministic
+/// replacement for the old proptest strategy. Same seed, same program.
+#[must_use]
+pub fn program(rng: &mut XorShift) -> Program {
+    Program {
+        init: std::array::from_fn(|_| rng.any_i32()),
+        stmts: gen_stmts(rng, 3, 1, 7),
+    }
+}
+
+/// The programs a property test at `cases` iterations sees: one per
+/// seed derived from `seed`, each paired with its case index for error
+/// reporting.
+pub fn program_corpus(seed: u64, cases: usize) -> impl Iterator<Item = (usize, Program)> {
+    let mut rng = XorShift::new(seed);
+    (0..cases).map(move |i| (i, program(&mut rng)))
 }
 
 /// State used while lowering a [`Program`] to IR.

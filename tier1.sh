@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Tier-1 gate: build, full test suite, lints on the robustness-touched
+# crates, and the fault-injection (chaos) smoke sweep.
+#
+#   ./tier1.sh            # everything
+#   ./tier1.sh --fast     # skip the chaos smoke sweep
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== tier1: cargo build --release"
+cargo build --release
+
+echo "== tier1: cargo test -q"
+cargo test -q
+
+echo "== tier1: clippy -D warnings (touched crates)"
+cargo clippy -q -p sxe-ir -p sxe-core -p sxe-opt -p sxe-vm -p sxe-jit \
+    -p sxe-bench -p xelim-integration-tests --all-targets -- -D warnings
+
+if [ "${1:-}" != "--fast" ]; then
+    echo "== tier1: chaos smoke (17 workloads x 32 fault seeds)"
+    cargo run -q --release -p sxe-bench --bin chaos -- --seeds 32 --scale 0.05
+fi
+
+echo "== tier1: OK"
