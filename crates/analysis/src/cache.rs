@@ -1,0 +1,279 @@
+//! Memoized per-function analysis facts with generation-based
+//! invalidation.
+//!
+//! The compilation pipeline recomputes [`Cfg`], [`Liveness`], and UD/DU
+//! chains over and over: every fixpoint round of the general optimizer
+//! and every step-3 stage historically called `*::compute` from scratch,
+//! even when the function had not changed since the previous query — the
+//! per-method JIT-cost concern that motivates the paper's Table 3
+//! split. [`AnalysisCache`] memoizes those facts per function:
+//!
+//! * a query ([`cfg`](AnalysisCache::cfg), [`liveness`](AnalysisCache::liveness),
+//!   [`udu`](AnalysisCache::udu)) returns the memoized fact when the
+//!   function is unchanged, and recomputes (then re-memoizes) otherwise;
+//! * each rewriting pass bumps the function's *generation*
+//!   ([`note_rewrites`](AnalysisCache::note_rewrites) /
+//!   [`invalidate`](AnalysisCache::invalidate)), dropping the facts;
+//! * as a safety net, every query also validates the entry against
+//!   [`Function::fingerprint`], so a pass that forgets to invalidate
+//!   (or a rollback that restores an older body) can never be served
+//!   stale facts — the mismatch is detected and counted as an
+//!   invalidation of its own.
+//!
+//! The cache is deliberately *not* shared between threads: a sharded
+//! compilation gives each worker its own cache (functions are
+//! partitioned across workers, so sharing would buy nothing and cost a
+//! lock).
+//!
+//! ```
+//! use sxe_ir::parse_function;
+//! use sxe_analysis::AnalysisCache;
+//!
+//! let f = parse_function("func @f(i32) -> i32 {\nb0:\n    ret r0\n}\n")?;
+//! let mut cache = AnalysisCache::new();
+//! let a = cache.cfg(&f);
+//! let b = cache.cfg(&f); // served from the cache
+//! assert!(std::sync::Arc::ptr_eq(&a, &b));
+//! assert_eq!((cache.hits(), cache.misses()), (1, 1));
+//! # Ok::<(), sxe_ir::ParseError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sxe_ir::{Cfg, Function};
+
+use crate::liveness::Liveness;
+use crate::udu::UdDu;
+
+/// Memoized facts for one function.
+#[derive(Debug, Default)]
+struct Entry {
+    /// Bumped on every invalidation (explicit or fingerprint-detected).
+    generation: u64,
+    /// Fingerprint of the function state the facts below describe;
+    /// `None` when the entry holds no valid facts.
+    fingerprint: Option<u64>,
+    cfg: Option<Arc<Cfg>>,
+    liveness: Option<Arc<Liveness>>,
+    udu: Option<Arc<UdDu>>,
+}
+
+impl Entry {
+    fn clear(&mut self) {
+        self.generation += 1;
+        self.fingerprint = None;
+        self.cfg = None;
+        self.liveness = None;
+        self.udu = None;
+    }
+}
+
+/// A per-compilation memo of [`Cfg`], [`Liveness`], and [`UdDu`] facts,
+/// keyed by function name. See the [module docs](self) for the
+/// invalidation contract.
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    entries: HashMap<String, Entry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl AnalysisCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> AnalysisCache {
+        AnalysisCache::default()
+    }
+
+    /// Number of queries served from memoized facts.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of queries that had to compute.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Invalidation count ("generation") of `name`: how many times the
+    /// memoized facts for that function have been dropped. Zero for a
+    /// function never invalidated (or never seen).
+    #[must_use]
+    pub fn generation(&self, name: &str) -> u64 {
+        self.entries.get(name).map_or(0, |e| e.generation)
+    }
+
+    /// Drop all memoized facts for `name` and bump its generation. Call
+    /// after rewriting the function (rewriting passes do this via
+    /// [`note_rewrites`](Self::note_rewrites)).
+    pub fn invalidate(&mut self, name: &str) {
+        self.entries.entry(name.to_string()).or_default().clear();
+    }
+
+    /// Record the outcome of one pass over `name`: `rewrites > 0` bumps
+    /// the generation and drops the facts; a clean pass keeps them.
+    pub fn note_rewrites(&mut self, name: &str, rewrites: usize) {
+        if rewrites > 0 {
+            self.invalidate(name);
+        }
+    }
+
+    /// Validate (or create) the entry for `f`, dropping facts computed
+    /// for a different function state.
+    fn entry_for(&mut self, f: &Function) -> &mut Entry {
+        let fp = f.fingerprint();
+        let e = self.entries.entry(f.name.clone()).or_default();
+        if e.fingerprint != Some(fp) {
+            if e.fingerprint.is_some() {
+                // Stale facts nobody told us about (e.g. a rollback
+                // restored an older body): invalidate on detection.
+                e.clear();
+            }
+            e.fingerprint = Some(fp);
+        }
+        e
+    }
+
+    /// The control-flow graph of `f`, memoized.
+    pub fn cfg(&mut self, f: &Function) -> Arc<Cfg> {
+        if let Some(cfg) = self.entry_for(f).cfg.clone() {
+            self.hits += 1;
+            return cfg;
+        }
+        let cfg = Arc::new(Cfg::compute(f));
+        self.entry_for(f).cfg = Some(Arc::clone(&cfg));
+        self.misses += 1;
+        cfg
+    }
+
+    /// Backward liveness of `f`, memoized.
+    pub fn liveness(&mut self, f: &Function) -> Arc<Liveness> {
+        let cfg = self.cfg(f);
+        if let Some(live) = self.entry_for(f).liveness.clone() {
+            self.hits += 1;
+            return live;
+        }
+        let live = Arc::new(Liveness::compute(f, &cfg));
+        self.entry_for(f).liveness = Some(Arc::clone(&live));
+        self.misses += 1;
+        live
+    }
+
+    /// UD/DU chains of `f`, memoized.
+    pub fn udu(&mut self, f: &Function) -> Arc<UdDu> {
+        let cfg = self.cfg(f);
+        if let Some(udu) = self.entry_for(f).udu.clone() {
+            self.hits += 1;
+            return udu;
+        }
+        let udu = Arc::new(UdDu::compute(f, &cfg));
+        self.entry_for(f).udu = Some(Arc::clone(&udu));
+        self.misses += 1;
+        udu
+    }
+
+    /// UD/DU chains of `f` by value, for consumers that maintain the
+    /// chains incrementally while rewriting. The memoized copy is moved
+    /// out (no clone when this cache holds the only reference) — the
+    /// consumer is about to mutate `f`, so keeping a copy would only
+    /// serve a guaranteed-stale hit.
+    pub fn take_udu(&mut self, f: &Function) -> UdDu {
+        let arc = self.udu(f);
+        let e = self.entry_for(f);
+        e.udu = None;
+        Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxe_ir::{parse_function, BlockId, Inst};
+
+    fn sample() -> Function {
+        parse_function(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = const.i32 2\n    r2 = add.i32 r0, r1\n    ret r2\n}\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_requery_hits_with_counters() {
+        let f = sample();
+        let mut cache = AnalysisCache::new();
+        let _ = cache.cfg(&f);
+        let _ = cache.liveness(&f);
+        let _ = cache.udu(&f);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 2, "liveness and udu reuse the cfg");
+        let _ = cache.cfg(&f);
+        let _ = cache.liveness(&f);
+        let _ = cache.udu(&f);
+        assert_eq!(cache.misses(), 3, "no recompute on clean re-query");
+        assert_eq!(cache.hits(), 7, "each re-query hits (incl. inner cfg lookups)");
+        assert_eq!(cache.generation("f"), 0);
+    }
+
+    #[test]
+    fn note_rewrites_invalidates() {
+        let f = sample();
+        let mut cache = AnalysisCache::new();
+        let before = cache.cfg(&f);
+        cache.note_rewrites("f", 0);
+        assert!(Arc::ptr_eq(&before, &cache.cfg(&f)), "clean pass keeps facts");
+        assert_eq!(cache.generation("f"), 0);
+
+        cache.note_rewrites("f", 3);
+        assert_eq!(cache.generation("f"), 1);
+        let after = cache.cfg(&f);
+        assert!(!Arc::ptr_eq(&before, &after), "rewrite recomputes");
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_detected_without_notification() {
+        let mut f = sample();
+        let mut cache = AnalysisCache::new();
+        let before = cache.udu(&f);
+        // Rewrite without telling the cache.
+        f.block_mut(BlockId(0)).insts.insert(
+            0,
+            Inst::Const { dst: sxe_ir::Reg(1), value: 7, ty: sxe_ir::Ty::I32 },
+        );
+        let after = cache.udu(&f);
+        assert!(!Arc::ptr_eq(&before, &after), "stale facts never served");
+        assert_eq!(cache.generation("f"), 1, "detected mismatch counts");
+    }
+
+    #[test]
+    fn take_udu_moves_the_chains_out() {
+        let f = sample();
+        let mut cache = AnalysisCache::new();
+        let taken = cache.take_udu(&f);
+        assert_eq!(taken.num_defs(), UdDu::compute(&f, &Cfg::compute(&f)).num_defs());
+        // The next query recomputes (the memoized copy was moved out).
+        let misses = cache.misses();
+        let _ = cache.udu(&f);
+        assert_eq!(cache.misses(), misses + 1);
+    }
+
+    #[test]
+    fn functions_are_tracked_independently() {
+        let f = sample();
+        let mut g = sample();
+        g.name = "g".into();
+        let mut cache = AnalysisCache::new();
+        let _ = cache.cfg(&f);
+        let _ = cache.cfg(&g);
+        cache.invalidate("g");
+        assert_eq!(cache.generation("f"), 0);
+        assert_eq!(cache.generation("g"), 1);
+        let hits = cache.hits();
+        let _ = cache.cfg(&f);
+        assert_eq!(cache.hits(), hits + 1, "f unaffected by g's invalidation");
+    }
+}

@@ -13,7 +13,10 @@
 //! * [`RangeAnalysis`] — demand-driven value ranges for the array-subscript
 //!   theorems (paper §3);
 //! * [`Freq`] — execution-frequency estimation for order determination
-//!   (paper §2.2).
+//!   (paper §2.2);
+//! * [`AnalysisCache`] — per-function memoization of [`Cfg`](sxe_ir::Cfg),
+//!   [`Liveness`], and [`UdDu`] with generation-based invalidation, so
+//!   pipeline stages stop recomputing facts over unchanged functions.
 //!
 //! ```
 //! use sxe_ir::{parse_function, Cfg};
@@ -30,6 +33,7 @@
 #![warn(missing_debug_implementations)]
 
 mod bitset;
+pub mod cache;
 pub mod dataflow;
 mod facts;
 mod flowrange;
@@ -39,6 +43,7 @@ mod range;
 mod udu;
 
 pub use bitset::BitSet;
+pub use cache::AnalysisCache;
 pub use facts::{AvailableExt, FactsWalker};
 pub use freq::{Freq, LOOP_MULTIPLIER};
 pub use flowrange::FlowRanges;

@@ -1,7 +1,7 @@
 //! `chaos` — fault-injection sweep over the benchmark workloads.
 //!
 //! ```text
-//! cargo run -p sxe-bench --bin chaos --release [-- --seeds N --scale S]
+//! cargo run -p sxe-bench --bin chaos --release [-- --seeds N --scale S --threads T]
 //! ```
 //!
 //! Compiles every specjvm/jbytemark workload `N` times (default 32),
@@ -13,11 +13,12 @@
 
 use std::process::ExitCode;
 
-use sxe_bench::chaos_sweep;
+use sxe_bench::chaos_sweep_on;
 
 fn main() -> ExitCode {
     let mut seeds: u64 = 32;
     let mut scale: f64 = 0.05;
+    let mut threads: usize = 1;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -35,9 +36,16 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--threads" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("--threads needs a worker count >= 1");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("unexpected argument `{other}`");
-                eprintln!("usage: chaos [--seeds N] [--scale S]");
+                eprintln!("usage: chaos [--seeds N] [--scale S] [--threads T]");
                 return ExitCode::from(2);
             }
         }
@@ -46,11 +54,11 @@ fn main() -> ExitCode {
     let names: Vec<&'static str> =
         sxe_workloads::all().iter().map(|w| w.name).collect();
     println!(
-        "chaos: {} workloads x {} fault seeds (scale {scale})",
+        "chaos: {} workloads x {} fault seeds (scale {scale}, {threads} worker thread(s))",
         names.len(),
         seeds
     );
-    match chaos_sweep(&names, scale, 0..seeds) {
+    match chaos_sweep_on(&names, scale, 0..seeds, threads) {
         Ok(summary) => {
             println!(
                 "chaos: {} runs contained, {} incidents recorded, {} oracle \

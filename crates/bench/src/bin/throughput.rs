@@ -1,0 +1,124 @@
+//! `throughput` — sharded module-compile throughput sweep and
+//! determinism check.
+//!
+//! ```text
+//! cargo run -p sxe-bench --bin throughput --release [-- options]
+//!   --scale S        workload size multiplier        (default: 0.3)
+//!   --repeats N      timing rounds per point         (default: 3)
+//!   --threads A,B,C  pool sizes to sweep             (default: 1,2,4,8)
+//!   --check          instead of timing, assert the threads=4 compile of
+//!                    every workload is byte-identical to the sequential
+//!                    one (module text, stats, opt stats, pass records)
+//! ```
+//!
+//! The sweep compiles all 17 workload modules as one batch per point and
+//! reports modules/sec plus speedup over the first (reference) point.
+//! Exits non-zero if `--check` finds any divergence.
+
+use std::process::ExitCode;
+
+use sxe_bench::{compile_throughput, render_throughput};
+use sxe_core::Variant;
+use sxe_jit::{Compiled, Compiler};
+
+/// Everything that must match across thread counts: function bodies,
+/// elimination stats, optimizer stats, per-pass record shapes.
+type Fingerprint = (String, String, String, Vec<(String, Option<String>, String)>);
+
+/// Durations are excluded on purpose: wall-clock is the only thing
+/// sharding may change.
+fn fingerprint(c: &Compiled) -> Fingerprint {
+    (
+        c.module.iter().map(|(_, f)| f.to_string()).collect::<Vec<_>>().join("\n"),
+        format!("{:?}", c.stats),
+        format!("{:?}", c.opt_stats),
+        c.report
+            .records
+            .iter()
+            .map(|r| (r.pass.clone(), r.function.clone(), r.status.to_string()))
+            .collect(),
+    )
+}
+
+fn check_determinism(scale: f64) -> ExitCode {
+    let sequential = Compiler::for_variant(Variant::All);
+    let sharded = Compiler::for_variant(Variant::All).with_threads(4);
+    let mut failures = 0u32;
+    for w in sxe_workloads::all() {
+        let size = ((w.default_size as f64 * scale) as u32).max(4);
+        let m = w.build(size);
+        let seq = fingerprint(&sequential.compile(&m));
+        let par = fingerprint(&sharded.compile(&m));
+        if seq == par {
+            println!("throughput: {:<16} threads 1 vs 4: identical", w.name);
+        } else {
+            eprintln!("throughput: {:<16} threads 1 vs 4: DIVERGED", w.name);
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        println!("throughput: determinism check passed on all workloads");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("throughput: {failures} workload(s) diverged under sharding");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let mut scale: f64 = 0.3;
+    let mut repeats: u32 = 3;
+    let mut threads: Vec<usize> = vec![1, 2, 4, 8];
+    let mut check = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => scale = s,
+                None => {
+                    eprintln!("--scale needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--repeats" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => repeats = n,
+                None => {
+                    eprintln!("--repeats needs a count");
+                    return ExitCode::from(2);
+                }
+            },
+            "--threads" => {
+                let parsed: Option<Vec<usize>> = it
+                    .next()
+                    .map(|s| s.split(',').map(|t| t.parse().ok()).collect())
+                    .unwrap_or(None);
+                match parsed {
+                    Some(list) if !list.is_empty() => threads = list,
+                    _ => {
+                        eprintln!("--threads needs a comma-separated list, e.g. 1,2,4");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--check" => check = true,
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                eprintln!(
+                    "usage: throughput [--scale S] [--repeats N] [--threads A,B,C] [--check]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if check {
+        return check_determinism(scale);
+    }
+    println!(
+        "throughput: batch-compiling {} workloads per point (scale {scale}, best of {repeats})",
+        sxe_workloads::all().len()
+    );
+    let points = compile_throughput(scale, &threads, repeats);
+    print!("{}", render_throughput(&points));
+    ExitCode::SUCCESS
+}

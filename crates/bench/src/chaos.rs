@@ -55,7 +55,8 @@ impl ChaosSummary {
     }
 }
 
-/// Sweep `seeds` fault seeds over each named workload at `scale`.
+/// Sweep `seeds` fault seeds over each named workload at `scale`,
+/// compiling sequentially (one worker thread).
 ///
 /// # Errors
 /// A list of containment violations (aborted compilations, unrecorded
@@ -65,6 +66,22 @@ pub fn chaos_sweep(
     workloads: &[&str],
     scale: f64,
     seeds: std::ops::Range<u64>,
+) -> Result<ChaosSummary, Vec<String>> {
+    chaos_sweep_on(workloads, scale, seeds, 1)
+}
+
+/// [`chaos_sweep`] with an explicit worker-pool size: every faulted
+/// compile runs through the sharded pipeline with `threads` workers, so
+/// the sweep also proves containment holds when the fault lands inside a
+/// worker.
+///
+/// # Errors
+/// See [`chaos_sweep`].
+pub fn chaos_sweep_on(
+    workloads: &[&str],
+    scale: f64,
+    seeds: std::ops::Range<u64>,
+    threads: usize,
 ) -> Result<ChaosSummary, Vec<String>> {
     let mut summary = ChaosSummary::default();
     let mut errors = Vec::new();
@@ -83,10 +100,19 @@ pub fn chaos_sweep(
         let boundaries = dry.report.boundaries() as u32;
         for seed in seeds.clone() {
             let plan = FaultPlan::from_seed(seed, boundaries);
-            let compiler = Compiler::for_variant(Variant::All).with_fault_plan(plan);
+            let compiler = Compiler::for_variant(Variant::All)
+                .with_threads(threads)
+                .with_fault_plan(plan);
             let compiled =
-                match panic::catch_unwind(AssertUnwindSafe(|| compiler.compile(&module))) {
-                    Ok(c) => c,
+                match panic::catch_unwind(AssertUnwindSafe(|| compiler.try_compile(&module))) {
+                    Ok(Ok(c)) => c,
+                    Ok(Err(e)) => {
+                        errors.push(format!(
+                            "{name} seed {seed}: compilation REFUSED ({e}) — an injected \
+                             fault must be contained, not surfaced (plan {plan:?})"
+                        ));
+                        continue;
+                    }
                     Err(_) => {
                         errors.push(format!(
                             "{name} seed {seed}: compilation ABORTED (containment breach, \
@@ -133,6 +159,14 @@ pub fn chaos_sweep(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sharded_sweep_is_contained() {
+        let summary = chaos_sweep_on(&["compress"], 0.05, 0..4, 4)
+            .unwrap_or_else(|e| panic!("containment violations: {e:#?}"));
+        assert_eq!(summary.runs.len(), 4);
+        assert!(summary.incidents() >= 4);
+    }
 
     #[test]
     fn small_sweep_is_contained() {

@@ -18,7 +18,7 @@
 
 pub mod chaos;
 
-pub use chaos::{chaos_sweep, ChaosRecord, ChaosSummary};
+pub use chaos::{chaos_sweep, chaos_sweep_on, ChaosRecord, ChaosSummary};
 
 use std::fmt::Write as _;
 
@@ -290,6 +290,71 @@ pub fn render_speedups(bars: &[SpeedupBar]) -> String {
     out
 }
 
+/// One thread count's measurement in a [`compile_throughput`] sweep.
+#[derive(Debug, Clone)]
+pub struct ThroughputPoint {
+    /// Worker-pool size for this measurement.
+    pub threads: usize,
+    /// Modules compiled per second (best of `repeats` rounds over the
+    /// full workload batch).
+    pub modules_per_sec: f64,
+    /// Speedup over the sequential (`threads = 1`) point.
+    pub speedup: f64,
+}
+
+/// Sweep batch-compile throughput over the full workload suite for each
+/// worker-pool size in `threads_list`.
+///
+/// Every round compiles all 17 workload modules through
+/// [`Compiler::compile_batch`] (whole modules sharded across the pool)
+/// and the best of `repeats` rounds is kept, so a stray scheduling
+/// hiccup does not poison a point. The first entry of `threads_list`
+/// is the speedup reference; pass `&[1, ...]` for speedup-vs-sequential.
+///
+/// # Panics
+/// Panics if a workload module fails to compile — that would be a
+/// compiler bug.
+#[must_use]
+pub fn compile_throughput(scale: f64, threads_list: &[usize], repeats: u32) -> Vec<ThroughputPoint> {
+    let modules: Vec<_> = sxe_workloads::all()
+        .iter()
+        .map(|w| w.build(scaled(w, scale)))
+        .collect();
+    let mut points: Vec<ThroughputPoint> = Vec::new();
+    for &threads in threads_list {
+        let compiler = Compiler::builder(Variant::All).threads(threads).build();
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats.max(1) {
+            let t0 = std::time::Instant::now();
+            std::hint::black_box(compiler.compile_batch(&modules));
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        let modules_per_sec = modules.len() as f64 / best.max(1e-12);
+        let reference = points.first().map_or(modules_per_sec, |p| p.modules_per_sec);
+        points.push(ThroughputPoint {
+            threads,
+            modules_per_sec,
+            speedup: modules_per_sec / reference.max(1e-12),
+        });
+    }
+    points
+}
+
+/// Render a [`compile_throughput`] sweep as aligned text.
+#[must_use]
+pub fn render_throughput(points: &[ThroughputPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>8} {:>14} {:>9}", "threads", "modules/sec", "speedup");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>14.1} {:>8.2}x",
+            p.threads, p.modules_per_sec, p.speedup
+        );
+    }
+    out
+}
+
 /// Render Table 3 as text.
 #[must_use]
 pub fn render_compile_times(rows: &[CompileTimeRow]) -> String {
@@ -364,6 +429,16 @@ mod tests {
             let sum = r.sxe_pct + r.chains_pct + r.others_pct;
             assert!((sum - 100.0).abs() < 0.5, "{}: {sum}", r.name);
         }
+    }
+
+    #[test]
+    fn throughput_sweep_has_one_point_per_thread_count() {
+        let points = compile_throughput(0.02, &[1, 2], 1);
+        assert_eq!(points.len(), 2);
+        assert!((points[0].speedup - 1.0).abs() < 1e-9, "first point is the reference");
+        assert!(points.iter().all(|p| p.modules_per_sec > 0.0));
+        let text = render_throughput(&points);
+        assert!(text.contains("threads"));
     }
 
     #[test]

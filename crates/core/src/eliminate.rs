@@ -59,7 +59,7 @@ pub fn run_elimination(
     config: &ElimConfig,
     flow: &FlowRanges,
 ) -> ElimResult {
-    run_elimination_budgeted(f, udu, order, config, flow, &mut sxe_ir::Budget::unlimited())
+    run_elimination_budgeted(f, udu, order, config, flow, &sxe_ir::Budget::unlimited())
 }
 
 /// [`run_elimination`] under a compile budget: one fuel unit is spent per
@@ -73,7 +73,7 @@ pub fn run_elimination_budgeted(
     order: &[InstId],
     config: &ElimConfig,
     flow: &FlowRanges,
-    budget: &mut sxe_ir::Budget,
+    budget: &sxe_ir::Budget,
 ) -> ElimResult {
     let mut result = ElimResult::default();
     // Per-instruction flow intervals are shared (lazily, per block)

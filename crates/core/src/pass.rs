@@ -3,7 +3,7 @@
 
 use std::time::{Duration, Instant};
 
-use sxe_analysis::{FlowRanges, Freq, UdDu};
+use sxe_analysis::{AnalysisCache, FlowRanges, Freq, UdDu};
 use sxe_ir::{Budget, Cfg, Function, Inst, InstId, Module};
 
 use crate::config::{SxeConfig, SxeStats};
@@ -70,7 +70,7 @@ pub fn run_step3_timed(
     timing.sxe_opt += t0.elapsed();
 
     let t1 = Instant::now();
-    let out = step3_eliminate(f, config, &order, &mut Budget::unlimited());
+    let out = step3_eliminate(f, config, &order, &Budget::unlimited());
     stats.examined = out.examined;
     stats.eliminated = out.eliminated;
     stats.eliminated_via_array = out.via_array;
@@ -124,24 +124,56 @@ pub fn step3_insertion(f: &mut Function, config: &SxeConfig) -> InsertionOutcome
     InsertionOutcome { dummies, inserted }
 }
 
+/// [`step3_insertion`] that keeps a memoized [`AnalysisCache`] honest:
+/// insertion rewrites `f` whenever it places a marker or extension, so
+/// the function's cache entry is invalidated when (and only when) the
+/// stage changed something.
+pub fn step3_insertion_cached(
+    f: &mut Function,
+    config: &SxeConfig,
+    cache: &mut AnalysisCache,
+) -> InsertionOutcome {
+    let out = step3_insertion(f, config);
+    cache.note_rewrites(&f.name, out.dummies + out.inserted);
+    out
+}
+
 /// Stage (3)-2, standalone: order determination. Returns the extension
 /// sites to examine, hottest-first when the variant orders by frequency,
 /// already filtered to the configured widths. The ids are only valid
 /// until `f` is next mutated.
 #[must_use]
 pub fn step3_order(f: &Function, config: &SxeConfig, profile: Option<&[u64]>) -> Vec<InstId> {
-    let cfg = Cfg::compute(f);
+    order_with(f, config, profile, &Cfg::compute(f))
+}
+
+/// [`step3_order`] drawing the CFG from a memoized [`AnalysisCache`]
+/// instead of recomputing it. The cache entry stays valid afterwards
+/// (ordering does not mutate `f`), so the following
+/// [`step3_eliminate_cached`] gets it for free.
+#[must_use]
+pub fn step3_order_cached(
+    f: &Function,
+    config: &SxeConfig,
+    profile: Option<&[u64]>,
+    cache: &mut AnalysisCache,
+) -> Vec<InstId> {
+    let cfg = cache.cfg(f);
+    order_with(f, config, profile, &cfg)
+}
+
+fn order_with(f: &Function, config: &SxeConfig, profile: Option<&[u64]>, cfg: &Cfg) -> Vec<InstId> {
     let freq_storage: Option<Freq> = if config.variant.order_determination() {
         match profile {
             Some(counts) if config.use_profile && counts.len() == f.blocks.len() => {
                 Some(Freq::from_counts(counts))
             }
-            _ => Some(static_freq(f, &cfg)),
+            _ => Some(static_freq(f, cfg)),
         }
     } else {
         None
     };
-    let mut order = elimination_order(f, &cfg, freq_storage.as_ref());
+    let mut order = elimination_order(f, cfg, freq_storage.as_ref());
     order.retain(|&id| match f.inst(id) {
         Inst::Extend { from, .. } => config.widths.contains(from),
         _ => false,
@@ -169,18 +201,51 @@ pub fn step3_eliminate(
     f: &mut Function,
     config: &SxeConfig,
     order: &[InstId],
-    budget: &mut Budget,
+    budget: &Budget,
 ) -> ElimOutcome {
     // Chains are built once, after insertion, and maintained
     // incrementally through the eliminations.
     let t_chain = Instant::now();
     let cfg = Cfg::compute(f);
-    let mut udu = UdDu::compute(f, &cfg);
+    let udu = UdDu::compute(f, &cfg);
     let chain_creation = t_chain.elapsed();
+    eliminate_with(f, config, order, budget, &cfg, udu, chain_creation)
+}
+
+/// [`step3_eliminate`] drawing the CFG and UD/DU chains from a memoized
+/// [`AnalysisCache`]. The CFG is typically a hit left behind by
+/// [`step3_order_cached`]; the chains are moved out of the cache because
+/// elimination maintains them incrementally while rewriting. The cache
+/// entry is invalidated afterwards — elimination rewrites `f`.
+pub fn step3_eliminate_cached(
+    f: &mut Function,
+    config: &SxeConfig,
+    order: &[InstId],
+    budget: &Budget,
+    cache: &mut AnalysisCache,
+) -> ElimOutcome {
+    let t_chain = Instant::now();
+    let cfg = cache.cfg(f);
+    let udu = cache.take_udu(f);
+    let chain_creation = t_chain.elapsed();
+    let out = eliminate_with(f, config, order, budget, &cfg, udu, chain_creation);
+    cache.invalidate(&f.name);
+    out
+}
+
+fn eliminate_with(
+    f: &mut Function,
+    config: &SxeConfig,
+    order: &[InstId],
+    budget: &Budget,
+    cfg: &Cfg,
+    mut udu: UdDu,
+    chain_creation: Duration,
+) -> ElimOutcome {
     // Flow-sensitive interval analysis: intervals of low-32 values are
     // unaffected by inserting/removing extensions, so one computation
     // serves every elimination.
-    let flow = FlowRanges::compute(f, &cfg);
+    let flow = FlowRanges::compute(f, cfg);
 
     let ec = ElimConfig {
         target: config.target,
@@ -341,10 +406,34 @@ b2:
 
         step3_insertion(&mut staged, &config);
         let order = step3_order(&staged, &config, None);
-        let out = step3_eliminate(&mut staged, &config, &order, &mut Budget::unlimited());
+        let out = step3_eliminate(&mut staged, &config, &order, &Budget::unlimited());
         assert!(!out.exhausted);
         assert_eq!(out.eliminated, mono_stats.eliminated);
         assert_eq!(staged, mono);
+    }
+
+    #[test]
+    fn cached_staged_api_matches_uncached() {
+        let mut cached = converted();
+        let mut plain = converted();
+        let config = SxeConfig::for_variant(Variant::All);
+
+        step3_insertion(&mut plain, &config);
+        let order = step3_order(&plain, &config, None);
+        let out = step3_eliminate(&mut plain, &config, &order, &Budget::unlimited());
+
+        let mut cache = AnalysisCache::new();
+        step3_insertion_cached(&mut cached, &config, &mut cache);
+        let order_c = step3_order_cached(&cached, &config, None, &mut cache);
+        assert_eq!(order_c, order);
+        let out_c =
+            step3_eliminate_cached(&mut cached, &config, &order_c, &Budget::unlimited(), &mut cache);
+        assert_eq!(out_c.eliminated, out.eliminated);
+        assert_eq!(cached, plain);
+        // Order left a cfg behind for elimination to reuse.
+        assert!(cache.hits() >= 1, "eliminate reused the order stage's cfg");
+        // Elimination rewrote the function, so the entry was invalidated.
+        assert!(cache.generation("kernel") >= 1);
     }
 
     #[test]
@@ -354,8 +443,8 @@ b2:
         step3_insertion(&mut f, &config);
         let order = step3_order(&f, &config, None);
         assert!(order.len() >= 2, "need at least two sites for a partial run");
-        let mut budget = Budget::new(1, None);
-        let out = step3_eliminate(&mut f, &config, &order, &mut budget);
+        let budget = Budget::new(1, None);
+        let out = step3_eliminate(&mut f, &config, &order, &budget);
         assert!(out.exhausted);
         assert_eq!(out.examined, 1);
         verify_function(&f).unwrap();

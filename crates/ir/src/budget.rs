@@ -6,16 +6,36 @@
 //! each unit of work [`spend`](Budget::spend)s fuel, and once the fuel or
 //! the deadline is gone the loops stop where they stand, salvaging the
 //! current — still verified — IR instead of aborting the compilation.
+//!
+//! The counter is interiorly atomic so one budget can be shared by every
+//! worker of a sharded compilation: all shards draw fuel from the same
+//! pool through `&Budget`, and exhaustion observed by one shard stops
+//! the others at their next spend.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// A fuel counter with an optional deadline. An unlimited budget is the
 /// default and costs nothing to check.
-#[derive(Debug, Clone)]
+///
+/// All mutating operations take `&self` (the counters are atomic), so a
+/// single budget can be drawn from concurrently by parallel compilation
+/// workers.
+#[derive(Debug)]
 pub struct Budget {
-    fuel: u64,
+    fuel: AtomicU64,
     deadline: Option<Instant>,
-    limited: bool,
+    limited: AtomicBool,
+}
+
+impl Clone for Budget {
+    fn clone(&self) -> Budget {
+        Budget {
+            fuel: AtomicU64::new(self.fuel.load(Ordering::Relaxed)),
+            deadline: self.deadline,
+            limited: AtomicBool::new(self.limited.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Default for Budget {
@@ -28,7 +48,11 @@ impl Budget {
     /// A budget that never exhausts.
     #[must_use]
     pub fn unlimited() -> Budget {
-        Budget { fuel: u64::MAX, deadline: None, limited: false }
+        Budget {
+            fuel: AtomicU64::new(u64::MAX),
+            deadline: None,
+            limited: AtomicBool::new(false),
+        }
     }
 
     /// A budget of `fuel` work units and, optionally, a wall-clock limit
@@ -36,46 +60,50 @@ impl Budget {
     #[must_use]
     pub fn new(fuel: u64, time: Option<Duration>) -> Budget {
         Budget {
-            fuel,
+            fuel: AtomicU64::new(fuel),
             deadline: time.map(|t| Instant::now() + t),
-            limited: true,
+            limited: AtomicBool::new(true),
         }
     }
 
     /// Remaining fuel.
     #[must_use]
     pub fn fuel_left(&self) -> u64 {
-        self.fuel
+        self.fuel.load(Ordering::Relaxed)
     }
 
     /// Whether the budget is exhausted (no fuel left or deadline passed).
     #[must_use]
     pub fn exhausted(&self) -> bool {
-        if !self.limited {
+        if !self.limited.load(Ordering::Relaxed) {
             return false;
         }
-        self.fuel == 0 || self.deadline.is_some_and(|d| Instant::now() >= d)
+        self.fuel.load(Ordering::Relaxed) == 0
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     /// Consume `units` of fuel; returns `true` when there was fuel to pay
     /// for this unit of work (a budget of N fuel pays for N unit spends),
     /// `false` once the budget is exhausted and the caller should stop.
-    pub fn spend(&mut self, units: u64) -> bool {
-        if !self.limited {
+    pub fn spend(&self, units: u64) -> bool {
+        if !self.limited.load(Ordering::Relaxed) {
             return true;
         }
-        if self.exhausted() {
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
             return false;
         }
-        self.fuel = self.fuel.saturating_sub(units);
-        true
+        self.fuel
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |f| {
+                (f > 0).then(|| f.saturating_sub(units))
+            })
+            .is_ok()
     }
 
     /// Exhaust the budget immediately (used by fault injection and by
     /// salvage paths that want to stop all further optimization).
-    pub fn exhaust(&mut self) {
-        self.limited = true;
-        self.fuel = 0;
+    pub fn exhaust(&self) {
+        self.limited.store(true, Ordering::Relaxed);
+        self.fuel.store(0, Ordering::Relaxed);
     }
 }
 
@@ -85,7 +113,7 @@ mod tests {
 
     #[test]
     fn unlimited_never_exhausts() {
-        let mut b = Budget::unlimited();
+        let b = Budget::unlimited();
         for _ in 0..10_000 {
             assert!(b.spend(1_000_000));
         }
@@ -94,7 +122,7 @@ mod tests {
 
     #[test]
     fn fuel_runs_out() {
-        let mut b = Budget::new(3, None);
+        let b = Budget::new(3, None);
         assert!(b.spend(1));
         assert!(b.spend(1));
         assert!(b.spend(1), "third unit paid by the last fuel");
@@ -110,8 +138,20 @@ mod tests {
 
     #[test]
     fn exhaust_is_immediate() {
-        let mut b = Budget::unlimited();
+        let b = Budget::unlimited();
         b.exhaust();
         assert!(b.exhausted());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let b = Budget::new(1000, None);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| while b.spend(1) {});
+            }
+        });
+        assert!(b.exhausted());
+        assert_eq!(b.fuel_left(), 0);
     }
 }

@@ -205,6 +205,33 @@ impl Function {
             blk.insts.retain(|i| !matches!(i, Inst::Nop));
         }
     }
+
+    /// A 64-bit structural fingerprint of the function.
+    ///
+    /// Two calls return the same value iff the textual form (which
+    /// includes `nop` tombstones, so [`InstId`]-keyed analysis facts stay
+    /// keyed correctly) and the register allocation high-water mark are
+    /// unchanged. The analysis cache uses this to detect stale memoized
+    /// facts without being told which pass rewrote what.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        use std::fmt::Write as _;
+
+        /// FNV-1a over every formatted fragment, no intermediate string.
+        struct Fnv(u64);
+        impl std::fmt::Write for Fnv {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                for &b in s.as_bytes() {
+                    self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+                }
+                Ok(())
+            }
+        }
+
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        let _ = write!(h, "{self}#regs={}", self.reg_count);
+        h.0
+    }
 }
 
 /// A module: a set of functions that may call each other.
@@ -333,6 +360,27 @@ mod tests {
         assert_eq!(m.function_by_name("t"), Some(id));
         assert_eq!(m.function_by_name("missing"), None);
         assert_eq!(m.count_extends(None), 1);
+    }
+
+    #[test]
+    fn fingerprint_tracks_structural_change() {
+        let f = sample();
+        let fp = f.fingerprint();
+        assert_eq!(fp, sample().fingerprint(), "deterministic");
+
+        // A tombstone changes the fingerprint (InstId-keyed facts would
+        // otherwise be served stale after a later compact).
+        let mut g = sample();
+        g.delete_inst(InstId::new(g.entry(), 1));
+        assert_ne!(fp, g.fingerprint());
+        let with_tombstone = g.fingerprint();
+        g.compact();
+        assert_ne!(with_tombstone, g.fingerprint(), "compact observable");
+
+        // So does a pure register-count bump.
+        let mut h = sample();
+        h.new_reg();
+        assert_ne!(fp, h.fingerprint());
     }
 
     #[test]

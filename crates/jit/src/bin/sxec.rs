@@ -11,6 +11,8 @@
 //!   --run <entry>        run entry() after compiling and print the result
 //!   --arg <n>            argument for --run (repeatable)
 //!   --budget <fuel>      compile budget in fuel units (default: unlimited)
+//!   --threads <n>        worker threads for sharded compilation (default: 1)
+//!   --no-cache           disable the per-worker analysis cache
 //!   --chaos-seed <n>     inject one deterministic fault derived from n,
 //!                        then check the result with the differential
 //!                        oracle against the unoptimized module
@@ -25,7 +27,7 @@ use std::process::ExitCode;
 
 use sxe_core::Variant;
 use sxe_ir::Target;
-use sxe_jit::{Compiler, FaultPlan};
+use sxe_jit::{Compiled, Compiler, FaultPlan};
 use sxe_vm::{differential_check, Machine, OracleConfig};
 
 fn parse_variant(s: &str) -> Option<Variant> {
@@ -54,6 +56,8 @@ struct Options {
     run: Option<String>,
     args: Vec<i64>,
     budget: Option<u64>,
+    threads: usize,
+    cache: bool,
     chaos_seed: Option<u64>,
     report: bool,
     stats: bool,
@@ -62,8 +66,8 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: sxec [--variant V] [--target ia64|ppc64] [--max-array-len N] \
-     [--run ENTRY] [--arg N]... [--budget FUEL] [--chaos-seed N] \
-     [--report] [--stats] [--no-emit] <input.sxe>"
+     [--run ENTRY] [--arg N]... [--budget FUEL] [--threads N] [--no-cache] \
+     [--chaos-seed N] [--report] [--stats] [--no-emit] <input.sxe>"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -75,6 +79,8 @@ fn parse_args() -> Result<Options, String> {
         run: None,
         args: Vec::new(),
         budget: None,
+        threads: 1,
+        cache: true,
         chaos_seed: None,
         report: false,
         stats: false,
@@ -116,6 +122,14 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or("--budget needs a fuel count")?,
                 );
             }
+            "--threads" => {
+                opts.threads = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--threads needs a worker count >= 1")?;
+            }
+            "--no-cache" => opts.cache = false,
             "--chaos-seed" => {
                 opts.chaos_seed = Some(
                     it.next()
@@ -161,22 +175,33 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Err(e) = sxe_ir::verify_module(&module) {
-        eprintln!("sxec: invalid module: {e}");
-        return ExitCode::FAILURE;
-    }
-
-    let mut compiler = Compiler::for_variant(opts.variant).with_target(opts.target);
+    let mut compiler = Compiler::builder(opts.variant)
+        .target(opts.target)
+        .budget(opts.budget, None)
+        .threads(opts.threads)
+        .cache(opts.cache)
+        .build();
     compiler.sxe.max_array_len = opts.max_array_len;
-    compiler.fuel = opts.budget;
+    let try_compile = |compiler: &Compiler| -> Result<Compiled, ExitCode> {
+        compiler.try_compile(&module).map_err(|e| {
+            eprintln!("sxec: compile refused: {e}");
+            ExitCode::FAILURE
+        })
+    };
     if let Some(seed) = opts.chaos_seed {
         // Boundary count comes from a fault-free dry run of the same
         // module; the plan then lands inside the real range.
-        let dry = compiler.compile(&module);
+        let dry = match try_compile(&compiler) {
+            Ok(c) => c,
+            Err(code) => return code,
+        };
         let plan = FaultPlan::from_seed(seed, dry.report.boundaries() as u32);
         compiler = compiler.with_fault_plan(plan);
     }
-    let compiled = compiler.compile(&module);
+    let compiled = match try_compile(&compiler) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
 
     if opts.report || opts.chaos_seed.is_some() {
         eprint!("sxec: {}", compiled.report.summary());

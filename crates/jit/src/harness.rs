@@ -24,6 +24,7 @@
 use std::cell::Cell;
 use std::collections::HashSet;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Once;
 use std::time::Instant;
 
@@ -110,24 +111,45 @@ fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Per-compilation containment state.
-pub(crate) struct Harness {
+/// Compilation-wide containment state, shared (by reference) between all
+/// boundaries of one compilation — including boundaries running on
+/// different worker threads of a sharded compilation. Boundary ordinals
+/// come from one atomic counter, so a fault plan targeting ordinal *k*
+/// fires exactly once per compilation regardless of sharding; at
+/// `threads = 1` the numbering is identical to a fully sequential run.
+pub(crate) struct SharedState {
     plan: Option<FaultPlan>,
-    counter: u32,
+    counter: AtomicU32,
     pub(crate) budget: Budget,
+}
+
+impl SharedState {
+    pub(crate) fn new(plan: Option<FaultPlan>, budget: Budget) -> SharedState {
+        install_quiet_hook();
+        SharedState { plan, counter: AtomicU32::new(0), budget }
+    }
+}
+
+/// Per-scope containment state: one harness per module prologue and one
+/// per function, each drawing ordinals and fuel from the compilation's
+/// [`SharedState`]. The disabled-pass set is scoped to the harness — a
+/// pass that panics on one function stays enabled for the others, which
+/// both shrinks the blast radius and keeps sharded compiles deterministic.
+pub(crate) struct Harness<'a> {
+    shared: &'a SharedState,
     disabled: HashSet<String>,
     pub(crate) report: CompileReport,
 }
 
-impl Harness {
-    pub(crate) fn new(plan: Option<FaultPlan>, budget: Budget) -> Harness {
-        install_quiet_hook();
+impl<'a> Harness<'a> {
+    pub(crate) fn new(shared: &'a SharedState) -> Harness<'a> {
         Harness {
-            plan,
-            counter: 0,
-            budget,
+            shared,
             disabled: HashSet::new(),
-            report: CompileReport { seed: plan.map(|p| p.seed), ..CompileReport::default() },
+            report: CompileReport {
+                seed: shared.plan.map(|p| p.seed),
+                ..CompileReport::default()
+            },
         }
     }
 
@@ -142,14 +164,14 @@ impl Harness {
         target: &mut T,
         verify: impl Fn(&T) -> Result<(), VerifyError>,
         corrupt: impl FnOnce(&mut T, &mut XorShift),
-        body: impl FnOnce(&mut T, &mut Budget) -> R,
+        body: impl FnOnce(&mut T, &Budget) -> R,
     ) -> Option<R> {
-        let ordinal = self.counter;
-        self.counter += 1;
+        let ordinal = self.shared.counter.fetch_add(1, Ordering::Relaxed);
+        let plan = self.shared.plan;
         let t0 = Instant::now();
         let mut injected = None;
 
-        let record = |h: &mut Harness, status, injected, t0: Instant| {
+        let record = |h: &mut Harness<'_>, status, injected, t0: Instant| {
             h.report.records.push(PassRecord {
                 pass: name.to_string(),
                 function: function.map(str::to_string),
@@ -159,25 +181,25 @@ impl Harness {
             });
         };
 
-        if self.plan.and_then(|p| p.exhaust_at) == Some(ordinal) {
-            self.budget.exhaust();
+        if plan.and_then(|p| p.exhaust_at) == Some(ordinal) {
+            self.shared.budget.exhaust();
             injected = Some(InjectedFault::Exhaust);
         }
         if self.disabled.contains(name) {
             record(self, PassStatus::Skipped, injected, t0);
             return None;
         }
-        if !self.budget.spend(1) {
+        if !self.shared.budget.spend(1) {
             self.report.budget_exhausted = true;
             record(self, PassStatus::BudgetExhausted, injected, t0);
             return None;
         }
 
         let snapshot = target.clone();
-        let inject_panic = self.plan.and_then(|p| p.panic_at) == Some(ordinal);
+        let inject_panic = plan.and_then(|p| p.panic_at) == Some(ordinal);
         let outcome = {
             let quiet = QuietGuard::new();
-            let budget = &mut self.budget;
+            let budget = &self.shared.budget;
             let result = panic::catch_unwind(AssertUnwindSafe(|| {
                 let r = body(target, budget);
                 if inject_panic {
@@ -203,8 +225,8 @@ impl Harness {
             Ok(v) => v,
         };
 
-        if self.plan.and_then(|p| p.corrupt_at) == Some(ordinal) {
-            let plan_seed = self.plan.map_or(0, |p| p.seed);
+        if plan.and_then(|p| p.corrupt_at) == Some(ordinal) {
+            let plan_seed = plan.map_or(0, |p| p.seed);
             let mut rng = XorShift::new(plan_seed ^ (u64::from(ordinal) << 32) ^ 0xc0de);
             corrupt(target, &mut rng);
             injected = Some(InjectedFault::Corrupt);
@@ -327,7 +349,8 @@ mod tests {
 
     #[test]
     fn panic_rolls_back_and_disables() {
-        let mut h = Harness::new(None, Budget::unlimited());
+        let shared = SharedState::new(None, Budget::unlimited());
+        let mut h = Harness::new(&shared);
         let mut f = sample();
         let before = f.clone();
         let out: Option<()> = h.run_boundary(
@@ -359,7 +382,8 @@ mod tests {
 
     #[test]
     fn gate_failure_rolls_back() {
-        let mut h = Harness::new(None, Budget::unlimited());
+        let shared = SharedState::new(None, Budget::unlimited());
+        let mut h = Harness::new(&shared);
         let mut f = sample();
         let before = f.clone();
         let out = h.run_boundary(
@@ -386,7 +410,8 @@ mod tests {
 
     #[test]
     fn exhausted_budget_skips_and_flags() {
-        let mut h = Harness::new(None, Budget::new(1, None));
+        let shared = SharedState::new(None, Budget::new(1, None));
+        let mut h = Harness::new(&shared);
         let mut f = sample();
         let first = h.run_boundary(
             "p1",

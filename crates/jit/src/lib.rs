@@ -13,17 +13,33 @@
 //! pre-step-3 code once to collect block frequencies, then feeds them to
 //! order determination.
 //!
+//! Two throughput levers ride on top of the pipeline:
+//!
+//! * **sharded compilation** — [`Compiler::threads`] splits the per-
+//!   function work of steps 2 and 3 (and whole modules in
+//!   [`Compiler::compile_batch`]) across a fixed-size worker pool, with a
+//!   merge in function order so the output is byte-identical to a
+//!   sequential run;
+//! * **memoized analyses** — [`Compiler::cache`] keeps each worker's
+//!   [`sxe_analysis::AnalysisCache`] of CFG / liveness / UD/DU facts warm
+//!   across pipeline stages, invalidated whenever a pass rewrites the
+//!   function.
+//!
+//! Construction goes through [`Compiler::builder`]; fallible entry points
+//! ([`Compiler::try_compile`]) return [`CompileError`] instead of
+//! panicking on bad input.
+//!
 //! ```
 //! use sxe_ir::parse_module;
-//! use sxe_jit::Compiler;
-//! use sxe_core::Variant;
+//! use sxe_jit::prelude::*;
 //!
 //! // i = x & 0xff is provably sign-extended: the generated extension
 //! // before the i2d conversion is eliminated.
 //! let source = parse_module(
 //!     "func @main(i32) -> f64 {\nb0:\n    r1 = const.i32 255\n    r2 = and.i32 r0, r1\n    r3 = i32tof64.f64 r2\n    ret r3\n}\n",
 //! )?;
-//! let compiled = Compiler::for_variant(Variant::All).compile(&source);
+//! let compiler = Compiler::builder(Variant::All).threads(2).build();
+//! let compiled = compiler.try_compile(&source).expect("valid input");
 //! assert_eq!(compiled.module.count_extends(None), 0);
 //! # Ok::<(), sxe_ir::ParseError>(())
 //! ```
@@ -33,20 +49,84 @@
 
 pub mod harness;
 pub mod report;
+mod shard;
 
+use std::fmt;
 use std::time::{Duration, Instant};
 
+use sxe_analysis::AnalysisCache;
 use sxe_core::{GenStrategy, SxeConfig, SxeStats, Variant};
-use sxe_ir::{verify_function, verify_module, Budget, Module, Target};
-use sxe_opt::GeneralOpts;
+use sxe_ir::{verify_function, verify_module, Budget, Function, Module, Target, VerifyError};
+use sxe_opt::{GeneralOpts, OptStats};
 use sxe_vm::Machine;
 
 pub use harness::FaultPlan;
 pub use report::{CompileReport, InjectedFault, PassRecord, PassStatus, RollbackCause};
 
-use harness::{corrupt_function, corrupt_module, Harness};
+use harness::{corrupt_function, corrupt_module, Harness, SharedState};
+use shard::{par_map, par_map_mut};
+
+/// One-stop imports for driving the compiler.
+///
+/// ```
+/// use sxe_jit::prelude::*;
+/// let compiler = Compiler::builder(Variant::All).build();
+/// ```
+pub mod prelude {
+    pub use crate::{
+        CompileError, CompileReport, Compiled, Compiler, CompilerBuilder, FaultPlan, PassRecord,
+        PassStatus, PhaseTimes,
+    };
+    pub use sxe_core::{SxeConfig, SxeStats, Variant};
+    pub use sxe_ir::Target;
+    pub use sxe_opt::{GeneralOpts, OptStats};
+}
+
+/// Why a compilation was refused or could not produce a verified module.
+///
+/// Non-exhaustive: downstream matches need a wildcard arm so future
+/// refusal reasons are not a breaking change.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// The input module failed verification (or — an internal bug — the
+    /// compiled output did).
+    Verify(VerifyError),
+    /// The requested profiling entry function does not exist.
+    MissingEntry(String),
+    /// The compile budget was already exhausted before any pass ran;
+    /// nothing would be compiled, so the input is refused outright
+    /// instead of returning it untouched.
+    BudgetExhaustedBeforeStart,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Verify(e) => write!(f, "verification failed: {e}"),
+            CompileError::MissingEntry(name) => {
+                write!(f, "profiling entry function @{name} does not exist")
+            }
+            CompileError::BudgetExhaustedBeforeStart => {
+                f.write_str("compile budget exhausted before compilation started")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Verify(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// The compilation pipeline configuration.
+///
+/// Build one with [`Compiler::builder`] (or [`Compiler::for_variant`] for
+/// the defaults); the fields remain public for direct tweaking.
 #[derive(Debug, Clone)]
 pub struct Compiler {
     /// Step 3 configuration (variant, target, widths, array bound).
@@ -65,6 +145,18 @@ pub struct Compiler {
     /// Deterministic fault to inject (chaos testing). `None` in
     /// production.
     pub fault_plan: Option<FaultPlan>,
+    /// Worker threads for sharded compilation: functions of a module in
+    /// [`try_compile`](Self::try_compile), whole modules in
+    /// [`try_compile_batch`](Self::try_compile_batch). `1` (the default)
+    /// is fully sequential — no thread is spawned. With an unlimited
+    /// budget and no fault plan the output is byte-identical across
+    /// thread counts.
+    pub threads: usize,
+    /// Memoize per-function analyses (CFG, liveness, UD/DU chains) across
+    /// pipeline stages, invalidated on every rewrite. On by default; the
+    /// output is identical either way, so `false` is only useful for
+    /// measuring the cache's effect.
+    pub cache: bool,
 }
 
 impl Compiler {
@@ -78,7 +170,15 @@ impl Compiler {
             fuel: None,
             time_limit: None,
             fault_plan: None,
+            threads: 1,
+            cache: true,
         }
+    }
+
+    /// Start building a compiler for `variant`.
+    #[must_use]
+    pub fn builder(variant: Variant) -> CompilerBuilder {
+        CompilerBuilder { compiler: Compiler::for_variant(variant) }
     }
 
     /// Override the target architecture.
@@ -103,6 +203,20 @@ impl Compiler {
         self
     }
 
+    /// Set the worker-pool size for sharded compilation.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Compiler {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enable or disable the per-worker analysis cache.
+    #[must_use]
+    pub fn with_cache(mut self, cache: bool) -> Compiler {
+        self.cache = cache;
+        self
+    }
+
     fn budget(&self) -> Budget {
         match (self.fuel, self.time_limit) {
             (None, None) => Budget::unlimited(),
@@ -112,10 +226,11 @@ impl Compiler {
 
     /// Compile `source` (32-bit-form IR).
     ///
-    /// # Panics
-    /// Panics if verification fails — the input or an optimizer is broken.
-    #[must_use]
-    pub fn compile(&self, source: &Module) -> Compiled {
+    /// # Errors
+    /// [`CompileError::Verify`] when the input does not verify;
+    /// [`CompileError::BudgetExhaustedBeforeStart`] when the budget is
+    /// empty before the first pass.
+    pub fn try_compile(&self, source: &Module) -> Result<Compiled, CompileError> {
         self.compile_inner(source, None)
     }
 
@@ -127,21 +242,90 @@ impl Compiler {
     /// The profiling run executes `entry(args)`; a trapped profiling run
     /// simply yields no profile.
     ///
-    /// # Panics
-    /// Panics if verification fails or `entry` does not exist.
-    #[must_use]
-    pub fn compile_profiled(&self, source: &Module, entry: &str, args: &[i64]) -> Compiled {
+    /// # Errors
+    /// Everything [`try_compile`](Self::try_compile) reports, plus
+    /// [`CompileError::MissingEntry`] when `entry` is not in the module.
+    pub fn try_compile_profiled(
+        &self,
+        source: &Module,
+        entry: &str,
+        args: &[i64],
+    ) -> Result<Compiled, CompileError> {
+        if source.function_by_name(entry).is_none() {
+            return Err(CompileError::MissingEntry(entry.to_string()));
+        }
         self.compile_inner(source, Some((entry, args)))
     }
 
-    #[allow(clippy::too_many_lines)]
-    fn compile_inner(&self, source: &Module, profile_run: Option<(&str, &[i64])>) -> Compiled {
+    /// Compile a batch of independent modules, sharding whole modules
+    /// across the worker pool (each individual compile runs sequentially
+    /// so the pool is not oversubscribed). Results come back in input
+    /// order; the first error aborts the batch.
+    ///
+    /// # Errors
+    /// The first [`CompileError`] any module produces.
+    pub fn try_compile_batch(&self, sources: &[Module]) -> Result<Vec<Compiled>, CompileError> {
+        let inner = self.clone().with_threads(1);
+        par_map(sources, self.threads, |_, m| inner.try_compile(m))
+            .into_iter()
+            .collect()
+    }
+
+    /// Infallible [`try_compile`](Self::try_compile).
+    ///
+    /// # Panics
+    /// Panics on any [`CompileError`] — the input or an optimizer is
+    /// broken.
+    #[must_use]
+    pub fn compile(&self, source: &Module) -> Compiled {
+        self.try_compile(source).unwrap_or_else(|e| panic!("compile failed: {e}"))
+    }
+
+    /// Infallible [`try_compile_profiled`](Self::try_compile_profiled).
+    ///
+    /// # Panics
+    /// Panics on any [`CompileError`].
+    #[must_use]
+    pub fn compile_profiled(&self, source: &Module, entry: &str, args: &[i64]) -> Compiled {
+        self.try_compile_profiled(source, entry, args)
+            .unwrap_or_else(|e| panic!("compile failed: {e}"))
+    }
+
+    /// Infallible [`try_compile_batch`](Self::try_compile_batch).
+    ///
+    /// # Panics
+    /// Panics on any [`CompileError`].
+    #[must_use]
+    pub fn compile_batch(&self, sources: &[Module]) -> Vec<Compiled> {
+        self.try_compile_batch(sources).unwrap_or_else(|e| panic!("compile failed: {e}"))
+    }
+
+    fn compile_inner(
+        &self,
+        source: &Module,
+        profile_run: Option<(&str, &[i64])>,
+    ) -> Result<Compiled, CompileError> {
         if self.verify {
-            verify_module(source).expect("input module must verify");
+            verify_module(source).map_err(CompileError::Verify)?;
         }
+        let shared = SharedState::new(self.fault_plan, self.budget());
+        if shared.budget.exhausted() {
+            return Err(CompileError::BudgetExhaustedBeforeStart);
+        }
+
         let mut module = source.clone();
         let mut times = PhaseTimes::default();
-        let mut harness = Harness::new(self.fault_plan, self.budget());
+        let mut report = CompileReport {
+            seed: self.fault_plan.map(|p| p.seed),
+            ..CompileReport::default()
+        };
+        let mut opt_stats = OptStats::default();
+
+        // Sequential prologue: the two module-scope boundaries. Ordinals
+        // 0 (convert) and, when inlining, 1 — exactly the sequential
+        // numbering, so chaos seeds target the same boundaries at any
+        // thread count.
+        let mut prologue = Harness::new(&shared);
 
         // Step 1: conversion for a 64-bit architecture.
         let strategy = if self.sxe.variant.gen_use() {
@@ -151,7 +335,7 @@ impl Compiler {
         };
         let t = Instant::now();
         let target = self.sxe.target;
-        let generated = harness.run_boundary(
+        let generated = prologue.run_boundary(
             "convert",
             None,
             &mut module,
@@ -165,11 +349,11 @@ impl Compiler {
         times.conversion = t.elapsed();
 
         // Step 2: general optimizations — inlining module-wide, then the
-        // scalar fixpoint per function with each pass in its own
-        // boundary (same rounds as `sxe_opt::run_function`).
+        // scalar fixpoint per function, each function sharded onto the
+        // worker pool with its own harness and analysis cache.
         let t = Instant::now();
         if let Some(inline_opts) = self.general.inline {
-            harness.run_boundary(
+            let inlined = prologue.run_boundary(
                 "inline",
                 None,
                 &mut module,
@@ -177,28 +361,18 @@ impl Compiler {
                 corrupt_module,
                 |m, _| sxe_opt::inline::run_module(m, &inline_opts),
             );
+            opt_stats.inline = inlined.unwrap_or(0);
         }
-        let passes = self.general.passes();
-        for f in &mut module.functions {
-            let fname = f.name.clone();
-            for _ in 0..self.general.max_iters {
-                let mut round_rewrites = 0;
-                for &p in &passes {
-                    let n = harness.run_boundary(
-                        p.name(),
-                        Some(&fname),
-                        f,
-                        verify_function,
-                        corrupt_function,
-                        |f, _| p.run(f),
-                    );
-                    round_rewrites += n.unwrap_or(0);
-                }
-                if round_rewrites == 0 {
-                    break;
-                }
-            }
-            f.compact();
+        report.absorb(prologue.report);
+
+        let general = &self.general;
+        let use_cache = self.cache;
+        let step2 = par_map_mut(&mut module.functions, self.threads, |_, f| {
+            step2_function(f, general, &shared, use_cache)
+        });
+        for out in step2 {
+            report.absorb(out.report);
+            opt_stats.merge(out.opt);
         }
         times.general_opts = t.elapsed();
 
@@ -222,103 +396,279 @@ impl Compiler {
             use_profile = true;
         }
 
-        // Step 3: elimination and movement of sign extensions, one
-        // boundary per stage (insertion / ordering / elimination) so a
-        // fault in one stage costs only that stage.
+        // Step 3: elimination and movement of sign extensions, sharded
+        // per function; each stage (insertion / ordering / elimination)
+        // gets its own boundary so a fault in one costs only that stage.
         let mut config = self.sxe.clone();
         config.use_profile = use_profile;
         let mut stats = SxeStats::default();
         let t_section = Instant::now();
+        let profile = profile.as_ref();
+        let config = &config;
+        let step3 = par_map_mut(&mut module.functions, self.threads, |i, f| {
+            let p = profile.and_then(|p| p.get(i)).map(Vec::as_slice);
+            step3_function(f, config, p, &shared, use_cache)
+        });
         let mut sxe_opt_time = Duration::ZERO;
-        for (i, f) in module.functions.iter_mut().enumerate() {
-            let p = profile.as_ref().and_then(|p| p.get(i)).map(Vec::as_slice);
-            let fname = f.name.clone();
-            if config.variant.first_algorithm() {
-                let t = Instant::now();
-                if let Some(s) = harness.run_boundary(
-                    "first-algorithm",
-                    Some(&fname),
-                    f,
-                    verify_function,
-                    corrupt_function,
-                    |f, _| sxe_core::step3_first(f, &config),
-                ) {
-                    stats.merge(s);
-                }
-                sxe_opt_time += t.elapsed();
-                continue;
-            }
-            if !config.variant.uses_udu() {
-                continue; // baseline / gen-use: no step-3 optimization
-            }
-
-            let t = Instant::now();
-            if let Some(ins) = harness.run_boundary(
-                "step3-insert",
-                Some(&fname),
-                f,
-                verify_function,
-                corrupt_function,
-                |f, _| sxe_core::step3_insertion(f, &config),
-            ) {
-                stats.dummies += ins.dummies;
-                stats.inserted += ins.inserted;
-            }
-
-            let order = harness
-                .run_boundary(
-                    "step3-order",
-                    Some(&fname),
-                    f,
-                    verify_function,
-                    corrupt_function,
-                    |f, _| sxe_core::step3_order(f, &config, p),
-                )
-                // A rolled-back ordering still leaves every site
-                // eliminable — just without the hottest-first payoff.
-                .unwrap_or_else(|| sxe_core::fallback_order(f, &config));
-            sxe_opt_time += t.elapsed();
-
-            let t = Instant::now();
-            match harness.run_boundary(
-                "step3-eliminate",
-                Some(&fname),
-                f,
-                verify_function,
-                corrupt_function,
-                |f, budget| sxe_core::step3_eliminate(f, &config, &order, budget),
-            ) {
-                Some(out) => {
-                    stats.examined += out.examined;
-                    stats.eliminated += out.eliminated;
-                    stats.eliminated_via_array += out.via_array;
-                    times.chain_creation += out.chain_creation;
-                    sxe_opt_time += t.elapsed().saturating_sub(out.chain_creation);
-                    if out.exhausted {
-                        harness.report.budget_exhausted = true;
-                    }
-                }
-                None => {
-                    // Rolled back (or budget-stopped) after insertion:
-                    // scrub the leftover dummy markers before shipping.
-                    sxe_core::strip_dummies(f);
-                    sxe_opt_time += t.elapsed();
-                }
-            }
+        for out in step3 {
+            report.absorb(out.report);
+            stats.merge(out.stats);
+            times.chain_creation += out.chain_creation;
+            sxe_opt_time += out.sxe_opt;
         }
         times.sxe_opt = sxe_opt_time;
         times.step3_overhead =
             t_section.elapsed().saturating_sub(times.chain_creation + times.sxe_opt);
 
         if self.verify {
-            verify_module(&module).expect("compiled module must verify");
+            verify_module(&module).map_err(CompileError::Verify)?;
         }
         stats.generated = generated;
-        Compiled { module, stats, times, report: harness.report }
+        Ok(Compiled { module, stats, opt_stats, times, report })
     }
 }
 
+/// Builder-style construction of a [`Compiler`].
+///
+/// ```
+/// use sxe_jit::prelude::*;
+/// let compiler = Compiler::builder(Variant::All)
+///     .target(Target::Ppc64)
+///     .budget(Some(10_000), None)
+///     .threads(4)
+///     .build();
+/// assert_eq!(compiler.threads, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompilerBuilder {
+    compiler: Compiler,
+}
+
+impl CompilerBuilder {
+    /// Override the target architecture.
+    #[must_use]
+    pub fn target(mut self, target: Target) -> CompilerBuilder {
+        self.compiler.sxe.target = target;
+        self
+    }
+
+    /// Replace the step-2 configuration.
+    #[must_use]
+    pub fn general(mut self, general: GeneralOpts) -> CompilerBuilder {
+        self.compiler.general = general;
+        self
+    }
+
+    /// Toggle whole-module verification before and after compilation.
+    #[must_use]
+    pub fn verify(mut self, verify: bool) -> CompilerBuilder {
+        self.compiler.verify = verify;
+        self
+    }
+
+    /// Bound the work spent per compilation (fuel units, wall clock).
+    #[must_use]
+    pub fn budget(mut self, fuel: Option<u64>, time_limit: Option<Duration>) -> CompilerBuilder {
+        self.compiler.fuel = fuel;
+        self.compiler.time_limit = time_limit;
+        self
+    }
+
+    /// Inject a deterministic fault (chaos testing).
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> CompilerBuilder {
+        self.compiler.fault_plan = Some(plan);
+        self
+    }
+
+    /// Set the worker-pool size for sharded compilation.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> CompilerBuilder {
+        self.compiler.threads = threads.max(1);
+        self
+    }
+
+    /// Enable or disable the per-worker analysis cache.
+    #[must_use]
+    pub fn cache(mut self, cache: bool) -> CompilerBuilder {
+        self.compiler.cache = cache;
+        self
+    }
+
+    /// Finish building.
+    #[must_use]
+    pub fn build(self) -> Compiler {
+        self.compiler
+    }
+}
+
+/// Per-function results of the step-2 scalar fixpoint.
+struct Step2Outcome {
+    report: CompileReport,
+    opt: OptStats,
+}
+
+fn step2_function(
+    f: &mut Function,
+    general: &GeneralOpts,
+    shared: &SharedState,
+    use_cache: bool,
+) -> Step2Outcome {
+    let mut harness = Harness::new(shared);
+    let mut cache = AnalysisCache::new();
+    let passes = general.passes();
+    let fname = f.name.clone();
+    let mut opt = OptStats::default();
+    for _ in 0..general.max_iters {
+        let mut round = OptStats::default();
+        for &p in &passes {
+            let n = harness.run_boundary(
+                p.name(),
+                Some(&fname),
+                f,
+                verify_function,
+                corrupt_function,
+                |f, _| {
+                    if use_cache {
+                        p.run_cached(f, &mut cache)
+                    } else {
+                        p.run(f)
+                    }
+                },
+            );
+            p.record(&mut round, n.unwrap_or(0));
+        }
+        let progress = round.total();
+        opt.merge(round);
+        if progress == 0 {
+            break;
+        }
+    }
+    f.compact();
+    Step2Outcome { report: harness.report, opt }
+}
+
+/// Per-function results of step 3.
+struct Step3Outcome {
+    report: CompileReport,
+    stats: SxeStats,
+    chain_creation: Duration,
+    sxe_opt: Duration,
+}
+
+fn step3_function(
+    f: &mut Function,
+    config: &SxeConfig,
+    profile: Option<&[u64]>,
+    shared: &SharedState,
+    use_cache: bool,
+) -> Step3Outcome {
+    let mut harness = Harness::new(shared);
+    let mut cache = AnalysisCache::new();
+    let mut stats = SxeStats::default();
+    let mut chain_creation = Duration::ZERO;
+    let mut sxe_opt = Duration::ZERO;
+    let fname = f.name.clone();
+
+    if config.variant.first_algorithm() {
+        let t = Instant::now();
+        if let Some(s) = harness.run_boundary(
+            "first-algorithm",
+            Some(&fname),
+            f,
+            verify_function,
+            corrupt_function,
+            |f, _| sxe_core::step3_first(f, config),
+        ) {
+            stats.merge(s);
+        }
+        sxe_opt += t.elapsed();
+        return Step3Outcome { report: harness.report, stats, chain_creation, sxe_opt };
+    }
+    if !config.variant.uses_udu() {
+        // Baseline / gen-use: no step-3 optimization, no boundaries.
+        return Step3Outcome { report: harness.report, stats, chain_creation, sxe_opt };
+    }
+
+    let t = Instant::now();
+    if let Some(ins) = harness.run_boundary(
+        "step3-insert",
+        Some(&fname),
+        f,
+        verify_function,
+        corrupt_function,
+        |f, _| {
+            if use_cache {
+                sxe_core::step3_insertion_cached(f, config, &mut cache)
+            } else {
+                sxe_core::step3_insertion(f, config)
+            }
+        },
+    ) {
+        stats.dummies += ins.dummies;
+        stats.inserted += ins.inserted;
+    }
+
+    let order = harness
+        .run_boundary(
+            "step3-order",
+            Some(&fname),
+            f,
+            verify_function,
+            corrupt_function,
+            |f, _| {
+                if use_cache {
+                    sxe_core::step3_order_cached(f, config, profile, &mut cache)
+                } else {
+                    sxe_core::step3_order(f, config, profile)
+                }
+            },
+        )
+        // A rolled-back ordering still leaves every site eliminable —
+        // just without the hottest-first payoff.
+        .unwrap_or_else(|| sxe_core::fallback_order(f, config));
+    sxe_opt += t.elapsed();
+
+    let t = Instant::now();
+    match harness.run_boundary(
+        "step3-eliminate",
+        Some(&fname),
+        f,
+        verify_function,
+        corrupt_function,
+        |f, budget| {
+            if use_cache {
+                sxe_core::step3_eliminate_cached(f, config, &order, budget, &mut cache)
+            } else {
+                sxe_core::step3_eliminate(f, config, &order, budget)
+            }
+        },
+    ) {
+        Some(out) => {
+            stats.examined += out.examined;
+            stats.eliminated += out.eliminated;
+            stats.eliminated_via_array += out.via_array;
+            chain_creation += out.chain_creation;
+            sxe_opt += t.elapsed().saturating_sub(out.chain_creation);
+            if out.exhausted {
+                harness.report.budget_exhausted = true;
+            }
+        }
+        None => {
+            // Rolled back (or budget-stopped) after insertion: scrub the
+            // leftover dummy markers before shipping.
+            sxe_core::strip_dummies(f);
+            sxe_opt += t.elapsed();
+        }
+    }
+    Step3Outcome { report: harness.report, stats, chain_creation, sxe_opt }
+}
+
 /// Per-phase compile-time breakdown (the quantities behind Table 3).
+///
+/// In a sharded compilation `conversion` and `general_opts` are
+/// wall-clock section times while `chain_creation` and `sxe_opt` are
+/// summed across workers (they can exceed the section's wall clock).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PhaseTimes {
     /// Step 1: 64-bit conversion.
@@ -370,6 +720,8 @@ pub struct Compiled {
     pub module: Module,
     /// Static sign-extension statistics.
     pub stats: SxeStats,
+    /// Rewrite counts from the step-2 general optimizations.
+    pub opt_stats: OptStats,
     /// Phase timing.
     pub times: PhaseTimes,
     /// Per-boundary account of the compilation, including any contained
@@ -397,6 +749,44 @@ b1:
 b2:
     r5 = i32tof64.f64 r2
     ret r5
+}
+";
+
+    /// Three functions so sharding has something to split.
+    const MULTI: &str = "\
+func @main(i32) -> f64 {
+b0:
+    r1 = newarray.i32 r0
+    r2 = const.i32 0
+    br b1
+b1:
+    r3 = const.i32 1
+    r0 = sub.i32 r0, r3
+    r4 = aload.i32 r1, r0
+    r2 = add.i32 r2, r4
+    condbr gt.i32 r0, r3, b1, b2
+b2:
+    r5 = i32tof64.f64 r2
+    ret r5
+}
+func @mask(i32) -> i64 {
+b0:
+    r1 = const.i32 255
+    r2 = and.i32 r0, r1
+    r3 = extend.32 r2
+    ret r3
+}
+func @looper(i32) -> i32 {
+b0:
+    r1 = const.i32 0
+    br b1
+b1:
+    r2 = const.i32 1
+    r1 = add.i32 r1, r2
+    r0 = sub.i32 r0, r2
+    condbr gt.i32 r0, r2, b1, b2
+b2:
+    ret r1
 }
 ";
 
@@ -502,6 +892,7 @@ b2:
         assert!(c.report.clean(), "{}", c.report.summary());
         assert!(c.report.boundaries() > 0);
         assert!(c.report.records.iter().all(|r| r.status == PassStatus::Ok));
+        assert!(c.opt_stats.total() > 0, "general opts did something");
     }
 
     #[test]
@@ -551,5 +942,113 @@ b2:
             .with_target(Target::Ppc64)
             .compile(&src);
         assert!(ppc.module.count_extends(None) < ia.module.count_extends(None));
+    }
+
+    #[test]
+    fn invalid_input_is_a_verify_error() {
+        // A function with an unfinished entry block does not verify.
+        let mut m = Module::new();
+        m.add_function(Function::new("broken", vec![], None));
+        match Compiler::for_variant(Variant::All).try_compile(&m) {
+            Err(CompileError::Verify(_)) => {}
+            other => panic!("expected Verify error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_entry_is_reported_not_panicked() {
+        let src = parse_module(LOOPY).unwrap();
+        let err = Compiler::for_variant(Variant::All)
+            .try_compile_profiled(&src, "nope", &[1])
+            .unwrap_err();
+        assert_eq!(err, CompileError::MissingEntry("nope".into()));
+        assert!(err.to_string().contains("@nope"));
+    }
+
+    #[test]
+    fn empty_budget_is_refused_up_front() {
+        let src = parse_module(LOOPY).unwrap();
+        let err = Compiler::for_variant(Variant::All)
+            .with_budget(Some(0), None)
+            .try_compile(&src)
+            .unwrap_err();
+        assert_eq!(err, CompileError::BudgetExhaustedBeforeStart);
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let c = Compiler::builder(Variant::Array)
+            .target(Target::Ppc64)
+            .budget(Some(5000), Some(Duration::from_secs(1)))
+            .threads(4)
+            .cache(false)
+            .verify(false)
+            .general(GeneralOpts::none())
+            .build();
+        assert_eq!(c.sxe.variant, Variant::Array);
+        assert_eq!(c.sxe.target, Target::Ppc64);
+        assert_eq!(c.fuel, Some(5000));
+        assert_eq!(c.threads, 4);
+        assert!(!c.cache && !c.verify);
+        assert_eq!(c.general, GeneralOpts::none());
+    }
+
+    /// Everything that must be deterministic, Durations excluded.
+    type Fingerprint = (String, SxeStats, OptStats, Vec<(String, Option<String>, PassStatus)>);
+
+    fn fingerprint(c: &Compiled) -> Fingerprint {
+        let text = c
+            .module
+            .functions
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let records = c
+            .report
+            .records
+            .iter()
+            .map(|r| (r.pass.clone(), r.function.clone(), r.status.clone()))
+            .collect();
+        (text, c.stats, c.opt_stats, records)
+    }
+
+    #[test]
+    fn sharded_output_is_byte_identical() {
+        let src = parse_module(MULTI).unwrap();
+        for v in [Variant::All, Variant::Array, Variant::FirstAlgorithm, Variant::Baseline] {
+            let seq = Compiler::for_variant(v).compile(&src);
+            for threads in [2, 4, 8] {
+                let par = Compiler::for_variant(v).with_threads(threads).compile(&src);
+                assert_eq!(
+                    fingerprint(&seq),
+                    fingerprint(&par),
+                    "{v} threads={threads} diverged from sequential"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_does_not_change_output() {
+        let src = parse_module(MULTI).unwrap();
+        for v in [Variant::All, Variant::Array] {
+            let on = Compiler::for_variant(v).compile(&src);
+            let off = Compiler::for_variant(v).with_cache(false).compile(&src);
+            assert_eq!(fingerprint(&on), fingerprint(&off), "{v}: cache changed the output");
+        }
+    }
+
+    #[test]
+    fn batch_compiles_in_input_order() {
+        let a = parse_module(LOOPY).unwrap();
+        let b = parse_module(MULTI).unwrap();
+        let sources = vec![a.clone(), b.clone(), a, b];
+        let seq = Compiler::for_variant(Variant::All).compile_batch(&sources);
+        let par = Compiler::for_variant(Variant::All).with_threads(4).compile_batch(&sources);
+        assert_eq!(seq.len(), 4);
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(fingerprint(s), fingerprint(p));
+        }
     }
 }

@@ -78,7 +78,12 @@ impl fmt::Display for InjectedFault {
 }
 
 /// One containment boundary's record.
+///
+/// Non-exhaustive: more fields may be recorded per boundary in future
+/// versions without a breaking change; construct reports through the
+/// compiler, not by literal.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct PassRecord {
     /// Boundary (pass) name, e.g. `convert`, `licm`, `step3-eliminate`.
     pub pass: String,
@@ -107,7 +112,11 @@ impl fmt::Display for PassRecord {
 
 /// Complete account of one compilation through the fault-isolated
 /// pipeline.
+///
+/// Non-exhaustive: obtain reports from [`crate::Compiled`] rather than
+/// constructing them, so future fields are not a breaking change.
 #[derive(Debug, Clone, Default, PartialEq)]
+#[non_exhaustive]
 pub struct CompileReport {
     /// Seed of the active fault plan, if one was injected.
     pub seed: Option<u64>,
@@ -119,6 +128,14 @@ pub struct CompileReport {
 }
 
 impl CompileReport {
+    /// Fold another account (e.g. one shard's, or one function's) into
+    /// this one: records are appended in order and the budget flag is
+    /// sticky.
+    pub fn absorb(&mut self, other: CompileReport) {
+        self.records.extend(other.records);
+        self.budget_exhausted |= other.budget_exhausted;
+    }
+
     /// Number of containment boundaries crossed.
     #[must_use]
     pub fn boundaries(&self) -> usize {

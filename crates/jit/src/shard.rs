@@ -1,0 +1,145 @@
+//! A minimal fixed-size fork/join pool over `std::thread::scope`.
+//!
+//! The sharded compiler partitions independent work items (functions of a
+//! module, modules of a batch) into contiguous chunks, one per worker,
+//! and joins the workers in chunk order — so the result vector is always
+//! in item order and a `threads = 1` run takes the exact sequential path
+//! (no thread is spawned at all).
+
+/// Map `work` over `items` in parallel with at most `threads` workers,
+/// mutating items in place. Results come back in item order. Item `i` is
+/// passed its original index, so workers can address per-item context
+/// without threading it through the slice.
+///
+/// # Panics
+/// Propagates a panic from `work` (workers are expected to contain their
+/// own faults — the compile pipeline wraps every pass in a boundary).
+pub(crate) fn par_map_mut<T, R>(
+    items: &mut [T],
+    threads: usize,
+    work: impl Fn(usize, &mut T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| work(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        let work = &work;
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, part)| {
+                s.spawn(move || {
+                    part.iter_mut()
+                        .enumerate()
+                        .map(|(j, t)| work(ci * chunk + j, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("compile worker panicked outside a boundary"))
+            .collect()
+    })
+}
+
+/// [`par_map_mut`] over shared references, for work that only reads its
+/// item (batch compilation reads each source module and builds a fresh
+/// output).
+pub(crate) fn par_map<T, R>(
+    items: &[T],
+    threads: usize,
+    work: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| work(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        let work = &work;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, part)| {
+                s.spawn(move || {
+                    part.iter()
+                        .enumerate()
+                        .map(|(j, t)| work(ci * chunk + j, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("compile worker panicked outside a boundary"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_stay_in_item_order() {
+        let mut items: Vec<usize> = (0..23).collect();
+        for threads in [1, 2, 4, 7, 32] {
+            let out = par_map_mut(&mut items, threads, |i, t| {
+                assert_eq!(i, *t);
+                i * 10
+            });
+            assert_eq!(out, (0..23).map(|i| i * 10).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn mutations_land_on_every_item() {
+        let mut items = vec![0u64; 100];
+        par_map_mut(&mut items, 4, |i, t| *t = i as u64 + 1);
+        assert!(items.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+    }
+
+    #[test]
+    fn multiple_workers_actually_run() {
+        let ids = std::sync::Mutex::new(HashSet::new());
+        let barrier = std::sync::Barrier::new(4);
+        let items: Vec<u32> = (0..4).collect();
+        par_map(&items, 4, |_, _| {
+            barrier.wait(); // deadlocks unless all four run concurrently
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert_eq!(ids.into_inner().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn single_thread_spawns_nothing() {
+        let main = std::thread::current().id();
+        let calls = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..8).collect();
+        par_map(&items, 1, |_, _| {
+            assert_eq!(std::thread::current().id(), main);
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.into_inner(), 8);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let mut items: Vec<u32> = Vec::new();
+        let out: Vec<u32> = par_map_mut(&mut items, 8, |_, t| *t);
+        assert!(out.is_empty());
+    }
+}

@@ -1,5 +1,6 @@
 //! The general-optimization pipeline (paper Figure 5, step 2).
 
+use sxe_analysis::AnalysisCache;
 use sxe_ir::{Function, Module};
 
 /// Which general optimizations to run.
@@ -114,6 +115,22 @@ impl Pass {
         }
     }
 
+    /// Like [`run`](Self::run), but keeping a memoized [`AnalysisCache`]
+    /// coherent: passes with cache-aware implementations draw their
+    /// analyses from it, and every rewrite is reported so stale facts are
+    /// dropped.
+    pub fn run_cached(self, f: &mut Function, cache: &mut AnalysisCache) -> usize {
+        match self {
+            Pass::Licm => crate::licm::run_cached(f, cache),
+            Pass::Dce => crate::dce::run_cached(f, cache),
+            _ => {
+                let n = self.run(f);
+                cache.note_rewrites(&f.name, n);
+                n
+            }
+        }
+    }
+
     fn enabled(self, opts: &GeneralOpts) -> bool {
         match self {
             Pass::Copyprop => opts.copyprop,
@@ -198,6 +215,32 @@ pub fn run_function(f: &mut Function, opts: &GeneralOpts) -> OptStats {
         }
     }
     f.compact();
+    stats
+}
+
+/// [`run_function`] sharing a memoized [`AnalysisCache`] across passes and
+/// fixpoint rounds, so the no-progress final round (and every clean pass
+/// before it) stops recomputing CFG and liveness from scratch.
+pub fn run_function_cached(
+    f: &mut Function,
+    opts: &GeneralOpts,
+    cache: &mut AnalysisCache,
+) -> OptStats {
+    let passes = opts.passes();
+    let mut stats = OptStats::default();
+    for _ in 0..opts.max_iters {
+        let mut round = OptStats::default();
+        for &p in &passes {
+            p.record(&mut round, p.run_cached(f, cache));
+        }
+        let progress = round.total();
+        stats.merge(round);
+        if progress == 0 {
+            break;
+        }
+    }
+    f.compact();
+    cache.note_rewrites(&f.name, stats.total());
     stats
 }
 

@@ -9,7 +9,7 @@ use std::panic::{self, AssertUnwindSafe};
 
 use sxe_core::Variant;
 use sxe_ir::Target;
-use sxe_jit::{Compiler, FaultPlan, InjectedFault, PassStatus};
+use sxe_jit::{CompileError, Compiler, FaultPlan, InjectedFault, PassStatus};
 use sxe_vm::{differential_check, OracleConfig};
 use xelim_integration_tests::gen;
 
@@ -120,13 +120,20 @@ fn no_fault_no_change() {
     }
 }
 
-/// Starved budgets still deliver a verified, semantically intact module.
+/// Starved budgets still deliver a verified, semantically intact module —
+/// except a budget empty before the first pass, which is refused outright
+/// with a typed error rather than returning the input untouched.
 #[test]
 fn starved_budget_still_ships_correct_code() {
     for (case, p) in gen::program_corpus(0xfa17_0004, 4) {
         let m = gen::lower(&p);
         let reference = Compiler::for_variant(Variant::Baseline).compile(&m).module;
-        for fuel in [0u64, 1, 2, 5, 13] {
+        let refused = Compiler::for_variant(Variant::All)
+            .with_budget(Some(0), None)
+            .try_compile(&m)
+            .unwrap_err();
+        assert_eq!(refused, CompileError::BudgetExhaustedBeforeStart, "case {case}");
+        for fuel in [1u64, 2, 5, 13] {
             let compiled = Compiler::for_variant(Variant::All)
                 .with_budget(Some(fuel), None)
                 .compile(&m);

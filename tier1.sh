@@ -1,9 +1,10 @@
 #!/usr/bin/env sh
-# Tier-1 gate: build, full test suite, lints on the robustness-touched
-# crates, and the fault-injection (chaos) smoke sweep.
+# Tier-1 gate: build, full test suite, lints on the robustness- and
+# sharding-touched crates, the sharded-compile determinism check, and the
+# fault-injection (chaos) smoke sweep.
 #
 #   ./tier1.sh            # everything
-#   ./tier1.sh --fast     # skip the chaos smoke sweep
+#   ./tier1.sh --fast     # skip the determinism check and chaos sweep
 set -eu
 
 cd "$(dirname "$0")"
@@ -15,12 +16,15 @@ echo "== tier1: cargo test -q"
 cargo test -q
 
 echo "== tier1: clippy -D warnings (touched crates)"
-cargo clippy -q -p sxe-ir -p sxe-core -p sxe-opt -p sxe-vm -p sxe-jit \
-    -p sxe-bench -p xelim-integration-tests --all-targets -- -D warnings
+cargo clippy -q -p sxe-ir -p sxe-analysis -p sxe-core -p sxe-opt -p sxe-vm \
+    -p sxe-jit -p sxe-bench -p xelim-integration-tests --all-targets -- -D warnings
 
 if [ "${1:-}" != "--fast" ]; then
-    echo "== tier1: chaos smoke (17 workloads x 32 fault seeds)"
-    cargo run -q --release -p sxe-bench --bin chaos -- --seeds 32 --scale 0.05
+    echo "== tier1: sharded determinism (threads 1 vs 4, 17 workloads)"
+    cargo run -q --release -p sxe-bench --bin throughput -- --check --scale 0.05
+
+    echo "== tier1: chaos smoke (17 workloads x 32 fault seeds, 4 workers)"
+    cargo run -q --release -p sxe-bench --bin chaos -- --seeds 32 --scale 0.05 --threads 4
 fi
 
 echo "== tier1: OK"
