@@ -42,9 +42,32 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use sxe_ir::{Cfg, Function};
+use sxe_telemetry::Lane;
 
 use crate::liveness::Liveness;
 use crate::udu::UdDu;
+
+/// Aggregated cache effectiveness counters, merged across workers by the
+/// driver and exported as the `cache.{hit,miss,invalidation}` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries served from memoized facts.
+    pub hits: u64,
+    /// Queries that had to compute.
+    pub misses: u64,
+    /// Times memoized facts were dropped (explicit, rewrite-noted, or
+    /// fingerprint-detected).
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Accumulate another worker's counters.
+    pub fn merge(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.invalidations += other.invalidations;
+    }
+}
 
 /// Memoized facts for one function.
 #[derive(Debug, Default)]
@@ -77,6 +100,8 @@ pub struct AnalysisCache {
     entries: HashMap<String, Entry>,
     hits: u64,
     misses: u64,
+    invalidations: u64,
+    trace: Lane,
 }
 
 impl AnalysisCache {
@@ -98,6 +123,36 @@ impl AnalysisCache {
         self.misses
     }
 
+    /// Number of times memoized facts were dropped, whatever the trigger.
+    #[must_use]
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// The three effectiveness counters as one mergeable value.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            invalidations: self.invalidations,
+        }
+    }
+
+    /// Record every subsequent lookup as a micro-span on `lane` (one
+    /// complete event per query, tagged `hit`). The cache starts with a
+    /// disabled lane, which costs one branch per query.
+    pub fn attach_trace(&mut self, lane: Lane) {
+        self.trace = lane;
+    }
+
+    /// Take the trace lane back (for the driver's deterministic merge),
+    /// leaving a disabled one.
+    #[must_use]
+    pub fn detach_trace(&mut self) -> Lane {
+        std::mem::take(&mut self.trace)
+    }
+
     /// Invalidation count ("generation") of `name`: how many times the
     /// memoized facts for that function have been dropped. Zero for a
     /// function never invalidated (or never seen).
@@ -111,6 +166,7 @@ impl AnalysisCache {
     /// [`note_rewrites`](Self::note_rewrites)).
     pub fn invalidate(&mut self, name: &str) {
         self.entries.entry(name.to_string()).or_default().clear();
+        self.invalidations += 1;
     }
 
     /// Record the outcome of one pass over `name`: `rewrites > 0` bumps
@@ -131,47 +187,63 @@ impl AnalysisCache {
                 // Stale facts nobody told us about (e.g. a rollback
                 // restored an older body): invalidate on detection.
                 e.clear();
+                self.invalidations += 1;
             }
             e.fingerprint = Some(fp);
         }
         e
     }
 
+    fn trace_lookup(&mut self, what: &'static str, start_ns: u64, hit: bool) {
+        if self.trace.is_enabled() {
+            self.trace.complete_since(what, "analysis", start_ns, vec![("hit", hit.into())]);
+        }
+    }
+
     /// The control-flow graph of `f`, memoized.
     pub fn cfg(&mut self, f: &Function) -> Arc<Cfg> {
+        let start = self.trace.now_ns();
         if let Some(cfg) = self.entry_for(f).cfg.clone() {
             self.hits += 1;
+            self.trace_lookup("cache.cfg", start, true);
             return cfg;
         }
         let cfg = Arc::new(Cfg::compute(f));
         self.entry_for(f).cfg = Some(Arc::clone(&cfg));
         self.misses += 1;
+        self.trace_lookup("cache.cfg", start, false);
         cfg
     }
 
     /// Backward liveness of `f`, memoized.
     pub fn liveness(&mut self, f: &Function) -> Arc<Liveness> {
         let cfg = self.cfg(f);
+        let start = self.trace.now_ns();
         if let Some(live) = self.entry_for(f).liveness.clone() {
             self.hits += 1;
+            self.trace_lookup("cache.liveness", start, true);
             return live;
         }
         let live = Arc::new(Liveness::compute(f, &cfg));
         self.entry_for(f).liveness = Some(Arc::clone(&live));
         self.misses += 1;
+        self.trace_lookup("cache.liveness", start, false);
         live
     }
 
     /// UD/DU chains of `f`, memoized.
     pub fn udu(&mut self, f: &Function) -> Arc<UdDu> {
         let cfg = self.cfg(f);
+        let start = self.trace.now_ns();
         if let Some(udu) = self.entry_for(f).udu.clone() {
             self.hits += 1;
+            self.trace_lookup("cache.udu", start, true);
             return udu;
         }
         let udu = Arc::new(UdDu::compute(f, &cfg));
         self.entry_for(f).udu = Some(Arc::clone(&udu));
         self.misses += 1;
+        self.trace_lookup("cache.udu", start, false);
         udu
     }
 
@@ -259,6 +331,60 @@ mod tests {
         let misses = cache.misses();
         let _ = cache.udu(&f);
         assert_eq!(cache.misses(), misses + 1);
+    }
+
+    #[test]
+    fn stats_count_every_invalidation_kind() {
+        let mut f = sample();
+        let mut cache = AnalysisCache::new();
+        let _ = cache.cfg(&f);
+        cache.note_rewrites("f", 2); // explicit
+        f.block_mut(BlockId(0)).insts.insert(
+            0,
+            Inst::Const { dst: sxe_ir::Reg(1), value: 9, ty: sxe_ir::Ty::I32 },
+        );
+        cache.invalidate("f"); // resets the fingerprint too
+        let _ = cache.cfg(&f);
+        let s = cache.stats();
+        assert_eq!(s.invalidations, 2);
+        assert_eq!((s.hits, s.misses), (cache.hits(), cache.misses()));
+        let mut total = CacheStats::default();
+        total.merge(s);
+        total.merge(s);
+        assert_eq!(total.invalidations, 4);
+    }
+
+    #[test]
+    fn attached_lane_records_one_event_per_query() {
+        let f = sample();
+        let mut cache = AnalysisCache::new();
+        cache.attach_trace(Lane::new(Some(sxe_telemetry::Clock::new()), "cache:test"));
+        let _ = cache.cfg(&f);
+        let _ = cache.cfg(&f);
+        let _ = cache.liveness(&f); // inner cfg hit + liveness miss
+        let events = cache.detach_trace().into_events();
+        let tags: Vec<(String, bool)> = events
+            .iter()
+            .map(|e| {
+                let hit = matches!(
+                    e.args.iter().find(|(k, _)| *k == "hit"),
+                    Some((_, sxe_telemetry::ArgValue::Bool(true)))
+                );
+                (e.name.to_string(), hit)
+            })
+            .collect();
+        assert_eq!(
+            tags,
+            [
+                ("cache.cfg".to_string(), false),
+                ("cache.cfg".to_string(), true),
+                ("cache.cfg".to_string(), true),
+                ("cache.liveness".to_string(), false),
+            ]
+        );
+        // Detached: further queries record nothing.
+        let _ = cache.cfg(&f);
+        assert!(cache.detach_trace().is_empty());
     }
 
     #[test]

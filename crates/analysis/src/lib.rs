@@ -43,7 +43,7 @@ mod range;
 mod udu;
 
 pub use bitset::BitSet;
-pub use cache::AnalysisCache;
+pub use cache::{AnalysisCache, CacheStats};
 pub use facts::{AvailableExt, FactsWalker};
 pub use freq::{Freq, LOOP_MULTIPLIER};
 pub use flowrange::FlowRanges;

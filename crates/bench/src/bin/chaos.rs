@@ -1,7 +1,8 @@
 //! `chaos` — fault-injection sweep over the benchmark workloads.
 //!
 //! ```text
-//! cargo run -p sxe-bench --bin chaos --release [-- --seeds N --scale S --threads T]
+//! cargo run -p sxe-bench --bin chaos --release \
+//!     [-- --seeds N --scale S --threads T --metrics FILE]
 //! ```
 //!
 //! Compiles every specjvm/jbytemark workload `N` times (default 32),
@@ -9,16 +10,20 @@
 //! corruption, or budget exhaustion) at a pseudo-random pass boundary,
 //! and asserts the containment guarantees: no aborts, every incident
 //! recorded, zero differential-oracle mismatches. Exits non-zero on any
-//! violation.
+//! violation. `--metrics FILE` attaches a telemetry sink to every
+//! faulted compile and writes the accumulated registry (incident
+//! counts, rollbacks, per-pass timings) as flat JSON.
 
 use std::process::ExitCode;
 
-use sxe_bench::chaos_sweep_on;
+use sxe_bench::chaos_sweep_with;
+use sxe_jit::Telemetry;
 
 fn main() -> ExitCode {
     let mut seeds: u64 = 32;
     let mut scale: f64 = 0.05;
     let mut threads: usize = 1;
+    let mut metrics: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -43,9 +48,16 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--metrics" => match it.next() {
+                Some(path) => metrics = Some(path),
+                None => {
+                    eprintln!("--metrics needs a file path");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("unexpected argument `{other}`");
-                eprintln!("usage: chaos [--seeds N] [--scale S] [--threads T]");
+                eprintln!("usage: chaos [--seeds N] [--scale S] [--threads T] [--metrics FILE]");
                 return ExitCode::from(2);
             }
         }
@@ -58,7 +70,17 @@ fn main() -> ExitCode {
         names.len(),
         seeds
     );
-    match chaos_sweep_on(&names, scale, 0..seeds, threads) {
+    let telemetry =
+        if metrics.is_some() { Telemetry::enabled() } else { Telemetry::disabled() };
+    let outcome = chaos_sweep_with(&names, scale, 0..seeds, threads, &telemetry);
+    if let Some(path) = &metrics {
+        if let Err(e) = std::fs::write(path, telemetry.metrics_json()) {
+            eprintln!("chaos: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("chaos: metrics written to {path}");
+    }
+    match outcome {
         Ok(summary) => {
             println!(
                 "chaos: {} runs contained, {} incidents recorded, {} oracle \

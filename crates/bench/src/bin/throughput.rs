@@ -9,17 +9,22 @@
 //!   --check          instead of timing, assert the threads=4 compile of
 //!                    every workload is byte-identical to the sequential
 //!                    one (module text, stats, opt stats, pass records)
+//!   --metrics FILE   after the sweep, batch-compile the suite once more
+//!                    with the telemetry sink attached (at the last
+//!                    sweep point's thread count) and write the
+//!                    accumulated registry as flat JSON
 //! ```
 //!
 //! The sweep compiles all 17 workload modules as one batch per point and
 //! reports modules/sec plus speedup over the first (reference) point.
-//! Exits non-zero if `--check` finds any divergence.
+//! The timed rounds always run untraced, so `--metrics` never perturbs
+//! the numbers. Exits non-zero if `--check` finds any divergence.
 
 use std::process::ExitCode;
 
 use sxe_bench::{compile_throughput, render_throughput};
 use sxe_core::Variant;
-use sxe_jit::{Compiled, Compiler};
+use sxe_jit::{Compiled, Compiler, Telemetry};
 
 /// Everything that must match across thread counts: function bodies,
 /// elimination stats, optimizer stats, per-pass record shapes.
@@ -70,6 +75,7 @@ fn main() -> ExitCode {
     let mut repeats: u32 = 3;
     let mut threads: Vec<usize> = vec![1, 2, 4, 8];
     let mut check = false;
+    let mut metrics: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -101,10 +107,18 @@ fn main() -> ExitCode {
                 }
             }
             "--check" => check = true,
+            "--metrics" => match it.next() {
+                Some(path) => metrics = Some(path),
+                None => {
+                    eprintln!("--metrics needs a file path");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("unexpected argument `{other}`");
                 eprintln!(
-                    "usage: throughput [--scale S] [--repeats N] [--threads A,B,C] [--check]"
+                    "usage: throughput [--scale S] [--repeats N] [--threads A,B,C] \
+                     [--check] [--metrics FILE]"
                 );
                 return ExitCode::from(2);
             }
@@ -120,5 +134,21 @@ fn main() -> ExitCode {
     );
     let points = compile_throughput(scale, &threads, repeats);
     print!("{}", render_throughput(&points));
+    if let Some(path) = &metrics {
+        let tel = Telemetry::enabled();
+        let pool = *threads.last().unwrap_or(&1);
+        let compiler =
+            Compiler::builder(Variant::All).threads(pool).telemetry(tel.clone()).build();
+        let modules: Vec<_> = sxe_workloads::all()
+            .iter()
+            .map(|w| w.build(((w.default_size as f64 * scale) as u32).max(4)))
+            .collect();
+        std::hint::black_box(compiler.compile_batch(&modules));
+        if let Err(e) = std::fs::write(path, tel.metrics_json()) {
+            eprintln!("throughput: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("throughput: metrics written to {path} (threads {pool})");
+    }
     ExitCode::SUCCESS
 }

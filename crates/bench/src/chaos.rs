@@ -16,7 +16,7 @@ use std::panic::{self, AssertUnwindSafe};
 
 use sxe_core::Variant;
 use sxe_ir::Target;
-use sxe_jit::{Compiler, FaultPlan};
+use sxe_jit::{Compiler, FaultPlan, Telemetry};
 use sxe_vm::{differential_check, OracleConfig};
 
 /// One chaos compilation's outcome.
@@ -83,6 +83,23 @@ pub fn chaos_sweep_on(
     seeds: std::ops::Range<u64>,
     threads: usize,
 ) -> Result<ChaosSummary, Vec<String>> {
+    chaos_sweep_with(workloads, scale, seeds, threads, &Telemetry::disabled())
+}
+
+/// [`chaos_sweep_on`] with a telemetry sink attached to every faulted
+/// compile: the sink's registry accumulates `compile.incidents`,
+/// `compile.rollbacks`, per-pass timing histograms, etc. across the
+/// whole sweep, and its trace records a span per contained boundary.
+///
+/// # Errors
+/// See [`chaos_sweep`].
+pub fn chaos_sweep_with(
+    workloads: &[&str],
+    scale: f64,
+    seeds: std::ops::Range<u64>,
+    threads: usize,
+    telemetry: &Telemetry,
+) -> Result<ChaosSummary, Vec<String>> {
     let mut summary = ChaosSummary::default();
     let mut errors = Vec::new();
     for &name in workloads {
@@ -102,6 +119,7 @@ pub fn chaos_sweep_on(
             let plan = FaultPlan::from_seed(seed, boundaries);
             let compiler = Compiler::for_variant(Variant::All)
                 .with_threads(threads)
+                .with_telemetry(telemetry.clone())
                 .with_fault_plan(plan);
             let compiled =
                 match panic::catch_unwind(AssertUnwindSafe(|| compiler.try_compile(&module))) {

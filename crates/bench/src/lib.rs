@@ -18,7 +18,7 @@
 
 pub mod chaos;
 
-pub use chaos::{chaos_sweep, chaos_sweep_on, ChaosRecord, ChaosSummary};
+pub use chaos::{chaos_sweep, chaos_sweep_on, chaos_sweep_with, ChaosRecord, ChaosSummary};
 
 use std::fmt::Write as _;
 

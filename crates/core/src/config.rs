@@ -217,11 +217,52 @@ impl SxeStats {
         self.eliminated += o.eliminated;
         self.eliminated_via_array += o.eliminated_via_array;
     }
+
+    /// Add these counts to a telemetry registry under the `sxe.*`
+    /// labels — the Table 3 taxonomy: generated by conversion, inserted
+    /// by phase (3)-1 (dummies separately), examined by the elimination,
+    /// and eliminated split into the UD/DU walk versus the array
+    /// theorems (`sxe.extends_eliminated.{total,udu,array}`).
+    pub fn record_into(&self, registry: &mut sxe_telemetry::Registry) {
+        registry.add("sxe.extends_generated", self.generated as u64);
+        registry.add("sxe.extends_inserted", self.inserted as u64);
+        registry.add("sxe.dummies_inserted", self.dummies as u64);
+        registry.add("sxe.extends_examined", self.examined as u64);
+        registry.add("sxe.extends_eliminated.total", self.eliminated as u64);
+        registry.add(
+            "sxe.extends_eliminated.udu",
+            (self.eliminated - self.eliminated_via_array.min(self.eliminated)) as u64,
+        );
+        registry.add("sxe.extends_eliminated.array", self.eliminated_via_array as u64);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stats_export_splits_the_elimination_taxonomy() {
+        let stats = SxeStats {
+            generated: 10,
+            inserted: 4,
+            dummies: 2,
+            examined: 14,
+            eliminated: 9,
+            eliminated_via_array: 3,
+        };
+        let mut registry = sxe_telemetry::Registry::new();
+        stats.record_into(&mut registry);
+        assert_eq!(registry.counter("sxe.extends_generated"), 10);
+        assert_eq!(registry.counter("sxe.extends_examined"), 14);
+        assert_eq!(registry.counter("sxe.extends_eliminated.total"), 9);
+        assert_eq!(
+            registry.counter("sxe.extends_eliminated.udu")
+                + registry.counter("sxe.extends_eliminated.array"),
+            registry.counter("sxe.extends_eliminated.total"),
+            "the taxonomy partitions the total"
+        );
+    }
 
     #[test]
     fn feature_matrix_matches_paper() {

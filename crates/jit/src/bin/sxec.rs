@@ -3,11 +3,15 @@
 //!
 //! ```text
 //! sxec [options] <input.sxe>
+//! sxec [options] --workload <name>
 //!   --variant <name>     baseline|gen-use|first|basic|insert|order|
 //!                        insert-order|array|array-insert|array-order|
 //!                        all-pde|all          (default: all)
 //!   --target <t>         ia64|ppc64           (default: ia64)
 //!   --max-array-len <n>  Theorem 4 bound      (default: 2147483647)
+//!   --workload <name>    compile a built-in benchmark kernel (e.g.
+//!                        "numeric sort") instead of an input file
+//!   --size <n>           workload size (default: the workload's own)
 //!   --run <entry>        run entry() after compiling and print the result
 //!   --arg <n>            argument for --run (repeatable)
 //!   --budget <fuel>      compile budget in fuel units (default: unlimited)
@@ -16,18 +20,25 @@
 //!   --chaos-seed <n>     inject one deterministic fault derived from n,
 //!                        then check the result with the differential
 //!                        oracle against the unoptimized module
+//!   --trace <file>       write a Chrome trace-event JSON (load it at
+//!                        https://ui.perfetto.dev) of the compile
+//!   --metrics <file>     write the metrics registry as flat JSON
 //!   --report             print the per-pass compile report
 //!   --stats              print elimination statistics
 //!   --no-emit            suppress printing the compiled module
 //! ```
 //!
 //! Reads the module, compiles it, prints the optimized IR to stdout.
+//! `--trace`/`--metrics` enable the telemetry sink for the main compile
+//! only (a `--chaos-seed` dry run stays untraced, so metrics reconcile
+//! with the reported stats); `--run` execution counters are folded into
+//! the same registry as `vm.*` metrics.
 
 use std::process::ExitCode;
 
 use sxe_core::Variant;
 use sxe_ir::Target;
-use sxe_jit::{Compiled, Compiler, FaultPlan};
+use sxe_jit::{Compiled, Compiler, FaultPlan, Telemetry};
 use sxe_vm::{differential_check, Machine, OracleConfig};
 
 fn parse_variant(s: &str) -> Option<Variant> {
@@ -53,12 +64,16 @@ struct Options {
     variant: Variant,
     target: Target,
     max_array_len: u32,
+    workload: Option<String>,
+    size: Option<u32>,
     run: Option<String>,
     args: Vec<i64>,
     budget: Option<u64>,
     threads: usize,
     cache: bool,
     chaos_seed: Option<u64>,
+    trace: Option<String>,
+    metrics: Option<String>,
     report: bool,
     stats: bool,
     emit: bool,
@@ -66,8 +81,10 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: sxec [--variant V] [--target ia64|ppc64] [--max-array-len N] \
+     [--workload NAME] [--size N] \
      [--run ENTRY] [--arg N]... [--budget FUEL] [--threads N] [--no-cache] \
-     [--chaos-seed N] [--report] [--stats] [--no-emit] <input.sxe>"
+     [--chaos-seed N] [--trace FILE] [--metrics FILE] \
+     [--report] [--stats] [--no-emit] <input.sxe>"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -76,12 +93,16 @@ fn parse_args() -> Result<Options, String> {
         variant: Variant::All,
         target: Target::Ia64,
         max_array_len: 0x7fff_ffff,
+        workload: None,
+        size: None,
         run: None,
         args: Vec::new(),
         budget: None,
         threads: 1,
         cache: true,
         chaos_seed: None,
+        trace: None,
+        metrics: None,
         report: false,
         stats: false,
         emit: true,
@@ -106,6 +127,16 @@ fn parse_args() -> Result<Options, String> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or("--max-array-len needs a number")?;
+            }
+            "--workload" => {
+                opts.workload = Some(it.next().ok_or("--workload needs a name")?);
+            }
+            "--size" => {
+                opts.size = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--size needs a number")?,
+                );
             }
             "--run" => opts.run = Some(it.next().ok_or("--run needs an entry name")?),
             "--arg" => {
@@ -137,6 +168,10 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or("--chaos-seed needs an integer seed")?,
                 );
             }
+            "--trace" => opts.trace = Some(it.next().ok_or("--trace needs a file path")?),
+            "--metrics" => {
+                opts.metrics = Some(it.next().ok_or("--metrics needs a file path")?);
+            }
             "--report" => opts.report = true,
             "--stats" => opts.stats = true,
             "--no-emit" => opts.emit = false,
@@ -147,8 +182,15 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
         }
     }
-    if opts.input.is_empty() {
-        return Err(usage().to_string());
+    match (&opts.workload, opts.input.is_empty()) {
+        (None, true) => return Err(usage().to_string()),
+        (Some(_), false) => {
+            return Err("give either an input file or --workload, not both".to_string());
+        }
+        _ => {}
+    }
+    if opts.size.is_some() && opts.workload.is_none() {
+        return Err("--size only makes sense with --workload".to_string());
     }
     Ok(opts)
 }
@@ -161,18 +203,29 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let text = match std::fs::read_to_string(&opts.input) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("sxec: cannot read {}: {e}", opts.input);
-            return ExitCode::FAILURE;
+    let module = if let Some(name) = &opts.workload {
+        match sxe_workloads::by_name(name) {
+            Some(w) => w.build(opts.size.unwrap_or(w.default_size)),
+            None => {
+                let known: Vec<_> = sxe_workloads::all().iter().map(|w| w.name).collect();
+                eprintln!("sxec: unknown workload `{name}`; known: {}", known.join(", "));
+                return ExitCode::FAILURE;
+            }
         }
-    };
-    let module = match sxe_ir::parse_module(&text) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("sxec: parse error in {}: {e}", opts.input);
-            return ExitCode::FAILURE;
+    } else {
+        let text = match std::fs::read_to_string(&opts.input) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sxec: cannot read {}: {e}", opts.input);
+                return ExitCode::FAILURE;
+            }
+        };
+        match sxe_ir::parse_module(&text) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("sxec: parse error in {}: {e}", opts.input);
+                return ExitCode::FAILURE;
+            }
         }
     };
     let mut compiler = Compiler::builder(opts.variant)
@@ -197,6 +250,11 @@ fn main() -> ExitCode {
         };
         let plan = FaultPlan::from_seed(seed, dry.report.boundaries() as u32);
         compiler = compiler.with_fault_plan(plan);
+    }
+    // Attach the sink only now, so a chaos dry run above is not traced
+    // and the exported metrics cover exactly one compile.
+    if opts.trace.is_some() || opts.metrics.is_some() {
+        compiler.telemetry = Telemetry::enabled();
     }
     let compiled = match try_compile(&compiler) {
         Ok(c) => c,
@@ -253,11 +311,24 @@ fn main() -> ExitCode {
                     vm.counters.insts,
                     vm.counters.extend_count(None)
                 );
+                compiler.telemetry.metrics(|m| vm.counters.record_into(m));
             }
             Err(t) => {
                 eprintln!("sxec: {entry} trapped: {t}");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    if let Some(path) = &opts.trace {
+        if let Err(e) = std::fs::write(path, compiler.telemetry.chrome_trace()) {
+            eprintln!("sxec: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &opts.metrics {
+        if let Err(e) = std::fs::write(path, compiler.telemetry.metrics_json()) {
+            eprintln!("sxec: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS

@@ -30,6 +30,7 @@ use std::time::Instant;
 
 use sxe_ir::rng::XorShift;
 use sxe_ir::{BlockId, Budget, Function, Inst, Module, Reg, Ty, VerifyError};
+use sxe_telemetry::{ArgValue, Clock, Event, Lane};
 
 use crate::report::{CompileReport, InjectedFault, PassRecord, PassStatus, RollbackCause};
 
@@ -121,12 +122,28 @@ pub(crate) struct SharedState {
     plan: Option<FaultPlan>,
     counter: AtomicU32,
     pub(crate) budget: Budget,
+    /// The telemetry session clock; `None` when tracing is disabled.
+    /// Copied into every worker's lanes so all spans share one epoch.
+    pub(crate) clock: Option<Clock>,
 }
 
 impl SharedState {
-    pub(crate) fn new(plan: Option<FaultPlan>, budget: Budget) -> SharedState {
+    pub(crate) fn new(
+        plan: Option<FaultPlan>,
+        budget: Budget,
+        clock: Option<Clock>,
+    ) -> SharedState {
         install_quiet_hook();
-        SharedState { plan, counter: AtomicU32::new(0), budget }
+        SharedState { plan, counter: AtomicU32::new(0), budget, clock }
+    }
+}
+
+fn status_tag(status: &PassStatus) -> &'static str {
+    match status {
+        PassStatus::Ok => "ok",
+        PassStatus::Skipped => "skipped",
+        PassStatus::RolledBack(_) => "rolled-back",
+        PassStatus::BudgetExhausted => "budget-exhausted",
     }
 }
 
@@ -139,10 +156,14 @@ pub(crate) struct Harness<'a> {
     shared: &'a SharedState,
     disabled: HashSet<String>,
     pub(crate) report: CompileReport,
+    /// Telemetry lane for this harness's boundary spans. The label keys
+    /// the deterministic span ids, so it must be unique per compilation
+    /// (the module prologue and each function's step get their own).
+    lane: Lane,
 }
 
 impl<'a> Harness<'a> {
-    pub(crate) fn new(shared: &'a SharedState) -> Harness<'a> {
+    pub(crate) fn new(shared: &'a SharedState, label: &str) -> Harness<'a> {
         Harness {
             shared,
             disabled: HashSet::new(),
@@ -150,7 +171,14 @@ impl<'a> Harness<'a> {
                 seed: shared.plan.map(|p| p.seed),
                 ..CompileReport::default()
             },
+            lane: Lane::new(shared.clock, label),
         }
+    }
+
+    /// Consume the harness, yielding its report and trace events for
+    /// the driver's deterministic (function-order) merge.
+    pub(crate) fn finish(self) -> (CompileReport, Vec<Event>) {
+        (self.report, self.lane.into_events())
     }
 
     /// Run one pass inside a containment boundary. Returns the body's
@@ -170,14 +198,36 @@ impl<'a> Harness<'a> {
         let plan = self.shared.plan;
         let t0 = Instant::now();
         let mut injected = None;
+        let span = self.lane.begin(name.to_string(), "pass");
+        let span_id = (span.id() != 0).then(|| span.id());
 
-        let record = |h: &mut Harness<'_>, status, injected, t0: Instant| {
+        // Close the span and record the boundary on every exit path —
+        // including the contained-panic one, whose span carries an
+        // `incident` tag instead of silently dangling.
+        let record = |h: &mut Harness<'_>,
+                      status: PassStatus,
+                      injected: Option<InjectedFault>,
+                      t0: Instant,
+                      span: sxe_telemetry::Span| {
+            if span.id() != 0 {
+                let mut args = vec![("status", ArgValue::from(status_tag(&status)))];
+                if injected.is_some()
+                    || !matches!(status, PassStatus::Ok | PassStatus::Skipped)
+                {
+                    args.push(("incident", ArgValue::Bool(true)));
+                }
+                if let Some(fault) = injected {
+                    args.push(("injected", ArgValue::Str(fault.to_string())));
+                }
+                h.lane.end_with(span, args);
+            }
             h.report.records.push(PassRecord {
                 pass: name.to_string(),
                 function: function.map(str::to_string),
                 status,
                 injected,
                 duration: t0.elapsed(),
+                span: span_id,
             });
         };
 
@@ -186,12 +236,12 @@ impl<'a> Harness<'a> {
             injected = Some(InjectedFault::Exhaust);
         }
         if self.disabled.contains(name) {
-            record(self, PassStatus::Skipped, injected, t0);
+            record(self, PassStatus::Skipped, injected, t0, span);
             return None;
         }
         if !self.shared.budget.spend(1) {
             self.report.budget_exhausted = true;
-            record(self, PassStatus::BudgetExhausted, injected, t0);
+            record(self, PassStatus::BudgetExhausted, injected, t0, span);
             return None;
         }
 
@@ -219,7 +269,7 @@ impl<'a> Harness<'a> {
                 *target = snapshot;
                 self.disabled.insert(name.to_string());
                 let cause = RollbackCause::Panic(payload_message(payload.as_ref()));
-                record(self, PassStatus::RolledBack(cause), injected, t0);
+                record(self, PassStatus::RolledBack(cause), injected, t0, span);
                 return None;
             }
             Ok(v) => v,
@@ -234,14 +284,14 @@ impl<'a> Harness<'a> {
 
         match verify(target) {
             Ok(()) => {
-                record(self, PassStatus::Ok, injected, t0);
+                record(self, PassStatus::Ok, injected, t0, span);
                 Some(value)
             }
             Err(e) => {
                 *target = snapshot;
                 self.disabled.insert(name.to_string());
                 let cause = RollbackCause::Verify(e.in_pass(name));
-                record(self, PassStatus::RolledBack(cause), injected, t0);
+                record(self, PassStatus::RolledBack(cause), injected, t0, span);
                 None
             }
         }
@@ -349,8 +399,8 @@ mod tests {
 
     #[test]
     fn panic_rolls_back_and_disables() {
-        let shared = SharedState::new(None, Budget::unlimited());
-        let mut h = Harness::new(&shared);
+        let shared = SharedState::new(None, Budget::unlimited(), None);
+        let mut h = Harness::new(&shared, "test");
         let mut f = sample();
         let before = f.clone();
         let out: Option<()> = h.run_boundary(
@@ -382,8 +432,8 @@ mod tests {
 
     #[test]
     fn gate_failure_rolls_back() {
-        let shared = SharedState::new(None, Budget::unlimited());
-        let mut h = Harness::new(&shared);
+        let shared = SharedState::new(None, Budget::unlimited(), None);
+        let mut h = Harness::new(&shared, "test");
         let mut f = sample();
         let before = f.clone();
         let out = h.run_boundary(
@@ -410,8 +460,8 @@ mod tests {
 
     #[test]
     fn exhausted_budget_skips_and_flags() {
-        let shared = SharedState::new(None, Budget::new(1, None));
-        let mut h = Harness::new(&shared);
+        let shared = SharedState::new(None, Budget::new(1, None), None);
+        let mut h = Harness::new(&shared, "test");
         let mut f = sample();
         let first = h.run_boundary(
             "p1",

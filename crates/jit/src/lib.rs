@@ -54,14 +54,16 @@ mod shard;
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use sxe_analysis::AnalysisCache;
+use sxe_analysis::{AnalysisCache, CacheStats};
 use sxe_core::{GenStrategy, SxeConfig, SxeStats, Variant};
 use sxe_ir::{verify_function, verify_module, Budget, Function, Module, Target, VerifyError};
 use sxe_opt::{GeneralOpts, OptStats};
+use sxe_telemetry::{ArgValue, Event, Lane};
 use sxe_vm::Machine;
 
 pub use harness::FaultPlan;
 pub use report::{CompileReport, InjectedFault, PassRecord, PassStatus, RollbackCause};
+pub use sxe_telemetry::Telemetry;
 
 use harness::{corrupt_function, corrupt_module, Harness, SharedState};
 use shard::{par_map, par_map_mut};
@@ -75,7 +77,7 @@ use shard::{par_map, par_map_mut};
 pub mod prelude {
     pub use crate::{
         CompileError, CompileReport, Compiled, Compiler, CompilerBuilder, FaultPlan, PassRecord,
-        PassStatus, PhaseTimes,
+        PassStatus, PhaseTimes, Telemetry,
     };
     pub use sxe_core::{SxeConfig, SxeStats, Variant};
     pub use sxe_ir::Target;
@@ -157,6 +159,12 @@ pub struct Compiler {
     /// output is identical either way, so `false` is only useful for
     /// measuring the cache's effect.
     pub cache: bool,
+    /// Telemetry sink: spans around every containment boundary plus the
+    /// pipeline's metrics, exported via [`Telemetry::chrome_trace`] /
+    /// [`Telemetry::metrics_json`]. Disabled by default (a null sink
+    /// whose per-boundary cost is one branch); the compiled output is
+    /// byte-identical either way.
+    pub telemetry: Telemetry,
 }
 
 impl Compiler {
@@ -172,6 +180,7 @@ impl Compiler {
             fault_plan: None,
             threads: 1,
             cache: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -214,6 +223,15 @@ impl Compiler {
     #[must_use]
     pub fn with_cache(mut self, cache: bool) -> Compiler {
         self.cache = cache;
+        self
+    }
+
+    /// Attach a telemetry sink. Every compilation through this compiler
+    /// (including batch members, which share the handle) records into
+    /// the sink's one session.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Compiler {
+        self.telemetry = telemetry;
         self
     }
 
@@ -308,7 +326,8 @@ impl Compiler {
         if self.verify {
             verify_module(source).map_err(CompileError::Verify)?;
         }
-        let shared = SharedState::new(self.fault_plan, self.budget());
+        let tel = &self.telemetry;
+        let shared = SharedState::new(self.fault_plan, self.budget(), tel.clock());
         if shared.budget.exhausted() {
             return Err(CompileError::BudgetExhaustedBeforeStart);
         }
@@ -320,12 +339,22 @@ impl Compiler {
             ..CompileReport::default()
         };
         let mut opt_stats = OptStats::default();
+        let mut cache_stats = CacheStats::default();
+
+        // Driver-scope trace: one `compile` span enclosing everything,
+        // plus one per pipeline section. Worker lanes are accumulated
+        // here and submitted in one deterministic batch at the end —
+        // function order, mirroring the report merge, so the trace is
+        // identical at any thread count (modulo thread ids).
+        let mut driver = tel.lane("compile");
+        let compile_span = driver.begin("compile", "jit");
+        let mut events: Vec<Event> = Vec::new();
 
         // Sequential prologue: the two module-scope boundaries. Ordinals
         // 0 (convert) and, when inlining, 1 — exactly the sequential
         // numbering, so chaos seeds target the same boundaries at any
         // thread count.
-        let mut prologue = Harness::new(&shared);
+        let mut prologue = Harness::new(&shared, "module");
 
         // Step 1: conversion for a 64-bit architecture.
         let strategy = if self.sxe.variant.gen_use() {
@@ -333,6 +362,7 @@ impl Compiler {
         } else {
             GenStrategy::AfterDef
         };
+        let step1_span = driver.begin("step1-convert", "jit");
         let t = Instant::now();
         let target = self.sxe.target;
         let generated = prologue.run_boundary(
@@ -347,10 +377,12 @@ impl Compiler {
         // count its extensions so the stats stay meaningful.
         let generated = generated.unwrap_or_else(|| module.count_extends(None));
         times.conversion = t.elapsed();
+        driver.end_with(step1_span, vec![("generated", ArgValue::U64(generated as u64))]);
 
         // Step 2: general optimizations — inlining module-wide, then the
         // scalar fixpoint per function, each function sharded onto the
         // worker pool with its own harness and analysis cache.
+        let step2_span = driver.begin("step2-general-opts", "jit");
         let t = Instant::now();
         if let Some(inline_opts) = self.general.inline {
             let inlined = prologue.run_boundary(
@@ -363,7 +395,9 @@ impl Compiler {
             );
             opt_stats.inline = inlined.unwrap_or(0);
         }
-        report.absorb(prologue.report);
+        let (prologue_report, prologue_events) = prologue.finish();
+        report.absorb(prologue_report);
+        events.extend(prologue_events);
 
         let general = &self.general;
         let use_cache = self.cache;
@@ -373,10 +407,15 @@ impl Compiler {
         for out in step2 {
             report.absorb(out.report);
             opt_stats.merge(out.opt);
+            cache_stats.merge(out.cache);
+            events.extend(out.events);
         }
         times.general_opts = t.elapsed();
+        driver.end(step2_span);
 
         // Optional interpreter stage: profile the pre-step-3 code.
+        let profile_span =
+            profile_run.is_some().then(|| driver.begin("profile-interpret", "vm"));
         let mut use_profile = self.sxe.use_profile;
         let profile: Option<sxe_core::ModuleProfile> = profile_run.and_then(|(entry, args)| {
             let mut vm = Machine::new(&module, self.sxe.target);
@@ -395,10 +434,14 @@ impl Compiler {
         if profile.is_some() {
             use_profile = true;
         }
+        if let Some(span) = profile_span {
+            driver.end_with(span, vec![("profiled", ArgValue::Bool(profile.is_some()))]);
+        }
 
         // Step 3: elimination and movement of sign extensions, sharded
         // per function; each stage (insertion / ordering / elimination)
         // gets its own boundary so a fault in one costs only that stage.
+        let step3_span = driver.begin("step3-sxe", "jit");
         let mut config = self.sxe.clone();
         config.use_profile = use_profile;
         let mut stats = SxeStats::default();
@@ -413,18 +456,75 @@ impl Compiler {
         for out in step3 {
             report.absorb(out.report);
             stats.merge(out.stats);
+            cache_stats.merge(out.cache);
+            events.extend(out.events);
             times.chain_creation += out.chain_creation;
             sxe_opt_time += out.sxe_opt;
         }
         times.sxe_opt = sxe_opt_time;
         times.step3_overhead =
             t_section.elapsed().saturating_sub(times.chain_creation + times.sxe_opt);
+        driver.end(step3_span);
 
         if self.verify {
             verify_module(&module).map_err(CompileError::Verify)?;
         }
         stats.generated = generated;
+
+        driver.end_with(
+            compile_span,
+            vec![
+                ("functions", ArgValue::U64(module.functions.len() as u64)),
+                ("incidents", ArgValue::U64(report.incidents() as u64)),
+            ],
+        );
+        if tel.is_enabled() {
+            // Driver lane first, then the per-function lanes in the
+            // fixed order accumulated above.
+            let mut all = driver.into_events();
+            all.extend(events);
+            tel.submit(all);
+            tel.metrics(|m| record_compile_metrics(m, &stats, &opt_stats, &report, cache_stats));
+        }
+
         Ok(Compiled { module, stats, opt_stats, times, report })
+    }
+}
+
+/// Fold one compilation's already-aggregated statistics into the metrics
+/// registry. Emitting centrally from the same values [`Compiled`]
+/// carries is what guarantees `--metrics` totals reconcile exactly with
+/// [`CompileReport`] / [`OptStats`] / [`SxeStats`].
+fn record_compile_metrics(
+    m: &mut sxe_telemetry::Registry,
+    stats: &SxeStats,
+    opt_stats: &OptStats,
+    report: &CompileReport,
+    cache: CacheStats,
+) {
+    m.add("compile.modules", 1);
+    stats.record_into(m);
+    opt_stats.record_into(m);
+    m.add("cache.hit", cache.hits);
+    m.add("cache.miss", cache.misses);
+    m.add("cache.invalidation", cache.invalidations);
+    m.add("compile.boundaries", report.boundaries() as u64);
+    m.add("compile.rollbacks", report.rollbacks().count() as u64);
+    m.add("compile.incidents", report.incidents() as u64);
+    // The fuel model: one unit per boundary whose body actually ran
+    // (skipped and budget-stopped boundaries spend nothing), one per
+    // extension site the elimination examined.
+    let ran = report
+        .records
+        .iter()
+        .filter(|r| matches!(r.status, PassStatus::Ok | PassStatus::RolledBack(_)))
+        .count();
+    m.add("compile.fuel_spent", (ran + stats.examined) as u64);
+    for r in &report.records {
+        m.observe(
+            format!("pass.{}.wall_ns", r.pass),
+            u64::try_from(r.duration.as_nanos()).unwrap_or(u64::MAX),
+        );
     }
 }
 
@@ -495,6 +595,13 @@ impl CompilerBuilder {
         self
     }
 
+    /// Attach a telemetry sink (see [`Compiler::with_telemetry`]).
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> CompilerBuilder {
+        self.compiler.telemetry = telemetry;
+        self
+    }
+
     /// Finish building.
     #[must_use]
     pub fn build(self) -> Compiler {
@@ -506,6 +613,8 @@ impl CompilerBuilder {
 struct Step2Outcome {
     report: CompileReport,
     opt: OptStats,
+    cache: CacheStats,
+    events: Vec<Event>,
 }
 
 fn step2_function(
@@ -514,10 +623,13 @@ fn step2_function(
     shared: &SharedState,
     use_cache: bool,
 ) -> Step2Outcome {
-    let mut harness = Harness::new(shared);
-    let mut cache = AnalysisCache::new();
-    let passes = general.passes();
     let fname = f.name.clone();
+    let mut harness = Harness::new(shared, &format!("step2:@{fname}"));
+    let mut cache = AnalysisCache::new();
+    if use_cache && shared.clock.is_some() {
+        cache.attach_trace(Lane::new(shared.clock, &format!("cache.step2:@{fname}")));
+    }
+    let passes = general.passes();
     let mut opt = OptStats::default();
     for _ in 0..general.max_iters {
         let mut round = OptStats::default();
@@ -545,15 +657,36 @@ fn step2_function(
         }
     }
     f.compact();
-    Step2Outcome { report: harness.report, opt }
+    let cache_stats = cache.stats();
+    let (report, mut events) = harness.finish();
+    events.extend(cache.detach_trace().into_events());
+    Step2Outcome { report, opt, cache: cache_stats, events }
 }
 
 /// Per-function results of step 3.
 struct Step3Outcome {
     report: CompileReport,
     stats: SxeStats,
+    cache: CacheStats,
+    events: Vec<Event>,
     chain_creation: Duration,
     sxe_opt: Duration,
+}
+
+impl Step3Outcome {
+    /// Package one function's results, draining the harness and cache.
+    fn collect(
+        harness: Harness<'_>,
+        cache: &mut AnalysisCache,
+        stats: SxeStats,
+        chain_creation: Duration,
+        sxe_opt: Duration,
+    ) -> Step3Outcome {
+        let cache_stats = cache.stats();
+        let (report, mut events) = harness.finish();
+        events.extend(cache.detach_trace().into_events());
+        Step3Outcome { report, stats, cache: cache_stats, events, chain_creation, sxe_opt }
+    }
 }
 
 fn step3_function(
@@ -563,12 +696,15 @@ fn step3_function(
     shared: &SharedState,
     use_cache: bool,
 ) -> Step3Outcome {
-    let mut harness = Harness::new(shared);
+    let fname = f.name.clone();
+    let mut harness = Harness::new(shared, &format!("step3:@{fname}"));
     let mut cache = AnalysisCache::new();
+    if use_cache && shared.clock.is_some() {
+        cache.attach_trace(Lane::new(shared.clock, &format!("cache.step3:@{fname}")));
+    }
     let mut stats = SxeStats::default();
     let mut chain_creation = Duration::ZERO;
     let mut sxe_opt = Duration::ZERO;
-    let fname = f.name.clone();
 
     if config.variant.first_algorithm() {
         let t = Instant::now();
@@ -583,11 +719,11 @@ fn step3_function(
             stats.merge(s);
         }
         sxe_opt += t.elapsed();
-        return Step3Outcome { report: harness.report, stats, chain_creation, sxe_opt };
+        return Step3Outcome::collect(harness, &mut cache, stats, chain_creation, sxe_opt);
     }
     if !config.variant.uses_udu() {
         // Baseline / gen-use: no step-3 optimization, no boundaries.
-        return Step3Outcome { report: harness.report, stats, chain_creation, sxe_opt };
+        return Step3Outcome::collect(harness, &mut cache, stats, chain_creation, sxe_opt);
     }
 
     let t = Instant::now();
@@ -661,7 +797,7 @@ fn step3_function(
             sxe_opt += t.elapsed();
         }
     }
-    Step3Outcome { report: harness.report, stats, chain_creation, sxe_opt }
+    Step3Outcome::collect(harness, &mut cache, stats, chain_creation, sxe_opt)
 }
 
 /// Per-phase compile-time breakdown (the quantities behind Table 3).

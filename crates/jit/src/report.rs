@@ -95,6 +95,10 @@ pub struct PassRecord {
     pub injected: Option<InjectedFault>,
     /// Wall-clock time spent in the boundary (body plus gate).
     pub duration: Duration,
+    /// Telemetry span id of this boundary's trace event (`None` when the
+    /// compiler's telemetry sink is disabled). Matches the `span`
+    /// argument of the corresponding event in the Chrome trace export.
+    pub span: Option<u64>,
 }
 
 impl fmt::Display for PassRecord {
@@ -165,22 +169,31 @@ impl CompileReport {
         !self.budget_exhausted && self.incidents() == 0
     }
 
+    /// Total wall-clock time across all boundaries.
+    #[must_use]
+    pub fn total_duration(&self) -> Duration {
+        self.records.iter().map(|r| r.duration).sum()
+    }
+
     /// Human-readable multi-line summary (one line per non-clean record,
-    /// plus a header).
+    /// plus a header). Durations go through the shared telemetry
+    /// formatter ([`sxe_telemetry::fmt_duration`]), so `--report` and
+    /// `--metrics` output agree on units.
     #[must_use]
     pub fn summary(&self) -> String {
         use fmt::Write as _;
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "compile report: {} boundaries, {} incident(s){}",
+            "compile report: {} boundaries in {}, {} incident(s){}",
             self.boundaries(),
+            sxe_telemetry::fmt_duration(self.total_duration()),
             self.incidents(),
             if self.budget_exhausted { ", budget exhausted" } else { "" },
         );
         for r in &self.records {
             if r.injected.is_some() || !matches!(r.status, PassStatus::Ok) {
-                let _ = writeln!(s, "  {r}");
+                let _ = writeln!(s, "  {r} [{}]", sxe_telemetry::fmt_duration(r.duration));
             }
         }
         s

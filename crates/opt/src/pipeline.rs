@@ -142,6 +142,21 @@ impl Pass {
         }
     }
 
+    /// The metrics-registry counter this pass's rewrites accumulate
+    /// under (`opt.rewrites.<name>` — see `sxe-telemetry`'s label
+    /// scheme).
+    #[must_use]
+    pub fn metric_key(self) -> &'static str {
+        match self {
+            Pass::Copyprop => "opt.rewrites.copyprop",
+            Pass::Constfold => "opt.rewrites.constfold",
+            Pass::Simplify => "opt.rewrites.simplify",
+            Pass::Cse => "opt.rewrites.cse",
+            Pass::Licm => "opt.rewrites.licm",
+            Pass::Dce => "opt.rewrites.dce",
+        }
+    }
+
     /// Record `n` rewrites from this pass into `stats`.
     pub fn record(self, stats: &mut OptStats, n: usize) {
         match self {
@@ -196,6 +211,24 @@ impl OptStats {
         self.cse += o.cse;
         self.licm += o.licm;
         self.dce += o.dce;
+    }
+
+    /// Add these counts to a telemetry registry under the
+    /// `opt.rewrites.*` labels ([`Pass::metric_key`], plus
+    /// `opt.rewrites.inline` for the module-level inliner).
+    pub fn record_into(&self, registry: &mut sxe_telemetry::Registry) {
+        registry.add("opt.rewrites.inline", self.inline as u64);
+        for p in Pass::ALL {
+            let n = match p {
+                Pass::Copyprop => self.copyprop,
+                Pass::Constfold => self.constfold,
+                Pass::Simplify => self.simplify,
+                Pass::Cse => self.cse,
+                Pass::Licm => self.licm,
+                Pass::Dce => self.dce,
+            };
+            registry.add(p.metric_key(), n as u64);
+        }
     }
 }
 
@@ -286,6 +319,29 @@ mod tests {
         let stats = run_function(&mut f, &GeneralOpts::none());
         assert_eq!(stats.total(), 0);
         assert_eq!(f, g);
+    }
+
+    #[test]
+    fn stats_export_reconciles_with_totals() {
+        let stats = OptStats {
+            inline: 1,
+            copyprop: 2,
+            constfold: 3,
+            simplify: 4,
+            cse: 5,
+            licm: 6,
+            dce: 7,
+        };
+        let mut registry = sxe_telemetry::Registry::new();
+        stats.record_into(&mut registry);
+        let exported: u64 = registry
+            .counters()
+            .filter(|(k, _)| k.starts_with("opt.rewrites."))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(exported, stats.total() as u64);
+        assert_eq!(registry.counter(Pass::Licm.metric_key()), 6);
+        assert_eq!(registry.counter("opt.rewrites.inline"), 1);
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! `validate-metrics <schema.json> <doc.json>` — validate a metrics (or
+//! any JSON) document against a JSON-Schema-subset schema. Exits
+//! non-zero and prints one line per violation on failure. Used by
+//! `tier1.sh` to gate the `--metrics` export format.
+
+use std::process::ExitCode;
+
+use sxe_telemetry::{json, schema};
+
+fn load(path: &str) -> Result<json::Value, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [schema_path, doc_path] = args.as_slice() else {
+        eprintln!("usage: validate-metrics <schema.json> <doc.json>");
+        return ExitCode::from(2);
+    };
+    let (schema_doc, doc) = match (load(schema_path), load(doc_path)) {
+        (Ok(s), Ok(d)) => (s, d),
+        (s, d) => {
+            for e in [s.err(), d.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let violations = schema::validate(&schema_doc, &doc);
+    if violations.is_empty() {
+        println!("{doc_path}: ok");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("{doc_path}: {v}");
+        }
+        eprintln!("{doc_path}: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,46 @@
+//! The session clock: one epoch, monotonic nanoseconds.
+
+use std::time::Instant;
+
+/// A copyable monotonic clock. Every timestamp of a session is the
+/// nanosecond offset from the session's single epoch, so events recorded
+/// on different threads (each holding a copy of the clock) land on one
+/// common timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct Clock {
+    epoch: Instant,
+}
+
+impl Clock {
+    /// A clock whose epoch is now.
+    #[must_use]
+    pub fn new() -> Clock {
+        Clock { epoch: Instant::now() }
+    }
+
+    /// Nanoseconds since the epoch.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Clock {
+        Clock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_and_shared() {
+        let c = Clock::new();
+        let copy = c;
+        let a = c.now_ns();
+        let b = copy.now_ns();
+        assert!(b >= a, "copies share the epoch and never go backwards");
+    }
+}

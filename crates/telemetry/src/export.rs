@@ -1,0 +1,186 @@
+//! Exporters: Chrome trace-event JSON and the shared duration
+//! formatter.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::json::quote;
+use crate::span::{ArgValue, Event, Phase};
+
+/// Format a duration the way every surface of the pipeline reports
+/// them (`--report`, `--metrics` summaries, trace tooltips): three
+/// significant digits with an auto-selected unit.
+#[must_use]
+pub fn fmt_duration(d: Duration) -> String {
+    fmt_duration_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+}
+
+/// [`fmt_duration`] over raw nanoseconds (the unit histograms store).
+#[must_use]
+pub fn fmt_duration_ns(ns: u64) -> String {
+    let (value, unit) = if ns >= 1_000_000_000 {
+        (ns as f64 / 1e9, "s")
+    } else if ns >= 1_000_000 {
+        (ns as f64 / 1e6, "ms")
+    } else if ns >= 1_000 {
+        (ns as f64 / 1e3, "µs")
+    } else {
+        return format!("{ns}ns");
+    };
+    if value >= 100.0 {
+        format!("{value:.0}{unit}")
+    } else if value >= 10.0 {
+        format!("{value:.1}{unit}")
+    } else {
+        format!("{value:.2}{unit}")
+    }
+}
+
+fn arg_json(v: &ArgValue) -> String {
+    match v {
+        ArgValue::Str(s) => quote(s),
+        ArgValue::U64(n) => n.to_string(),
+        ArgValue::Bool(b) => b.to_string(),
+    }
+}
+
+/// Export events as a Chrome trace-event JSON document (the
+/// `traceEvents` array format), loadable in `chrome://tracing` and
+/// Perfetto.
+///
+/// Thread ids are compressed to small integers in first-appearance
+/// order, and every event carries its lane label in `args.lane`, so
+/// the timeline groups readably. Timestamps are microseconds with
+/// nanosecond fractions, relative to the session epoch.
+#[must_use]
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut tids: Vec<u64> = Vec::new();
+    let mut tid_of = |raw: u64| -> usize {
+        match tids.iter().position(|&t| t == raw) {
+            Some(i) => i,
+            None => {
+                tids.push(raw);
+                tids.len() - 1
+            }
+        }
+    };
+    let mut body = String::new();
+    body.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+    let _ = writeln!(
+        body,
+        "  {{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", \
+         \"args\": {{\"name\": \"sxe\"}}}}{}",
+        if events.is_empty() { "" } else { "," }
+    );
+    for (i, e) in events.iter().enumerate() {
+        let tid = tid_of(e.tid);
+        let ph = match e.ph {
+            Phase::Complete => "X",
+            Phase::Instant => "i",
+        };
+        let ts_us = e.ts_ns as f64 / 1000.0;
+        let _ = write!(
+            body,
+            "  {{\"name\": {}, \"cat\": {}, \"ph\": \"{ph}\", \"ts\": {ts_us:.3}, ",
+            quote(&e.name),
+            quote(e.cat),
+        );
+        if e.ph == Phase::Complete {
+            let _ = write!(body, "\"dur\": {:.3}, ", e.dur_ns as f64 / 1000.0);
+        } else {
+            body.push_str("\"s\": \"t\", ");
+        }
+        let _ = write!(body, "\"pid\": 1, \"tid\": {tid}, \"args\": {{");
+        let _ = write!(body, "\"lane\": {}", quote(&e.lane));
+        if e.span != 0 {
+            let _ = write!(body, ", \"span\": {}", e.span);
+        }
+        for (k, v) in &e.args {
+            let _ = write!(body, ", {}: {}", quote(k), arg_json(v));
+        }
+        body.push_str("}}");
+        if i + 1 != events.len() {
+            body.push(',');
+        }
+        body.push('\n');
+    }
+    body.push_str("]}\n");
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{json, Clock, Lane};
+
+    #[test]
+    fn duration_formatting_spans_units() {
+        assert_eq!(fmt_duration_ns(0), "0ns");
+        assert_eq!(fmt_duration_ns(999), "999ns");
+        assert_eq!(fmt_duration_ns(1_500), "1.50µs");
+        assert_eq!(fmt_duration_ns(25_000), "25.0µs");
+        assert_eq!(fmt_duration_ns(3_210_000), "3.21ms");
+        assert_eq!(fmt_duration_ns(456_000_000), "456ms");
+        assert_eq!(fmt_duration_ns(2_000_000_000), "2.00s");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.0ms");
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_one_entry_per_event() {
+        let mut lane = Lane::new(Some(Clock::new()), "main");
+        let span = lane.begin("compile", "jit");
+        lane.end_with(span, vec![("status", ArgValue::from("ok"))]);
+        lane.instant("note", "jit", vec![]);
+        let events = lane.into_events();
+        let text = chrome_trace(&events);
+        let doc = json::parse(&text).expect("exporter emits valid JSON");
+        let entries = doc.get("traceEvents").and_then(json::Value::as_arr).unwrap();
+        // One metadata record plus the two events.
+        assert_eq!(entries.len(), 3);
+        let compile = &entries[1];
+        assert_eq!(compile.get("name").and_then(json::Value::as_str), Some("compile"));
+        assert_eq!(compile.get("ph").and_then(json::Value::as_str), Some("X"));
+        assert!(compile.get("dur").and_then(json::Value::as_f64).is_some());
+        assert_eq!(
+            compile.get("args").and_then(|a| a.get("status")).and_then(json::Value::as_str),
+            Some("ok")
+        );
+        assert_eq!(
+            compile.get("args").and_then(|a| a.get("lane")).and_then(json::Value::as_str),
+            Some("main")
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid_json() {
+        let doc = json::parse(&chrome_trace(&[])).expect("no trailing comma after metadata");
+        let entries = doc.get("traceEvents").and_then(json::Value::as_arr).unwrap();
+        assert_eq!(entries.len(), 1, "just the process_name metadata record");
+    }
+
+    #[test]
+    fn tids_are_compressed_to_small_ints() {
+        let mk = |tid: u64| Event {
+            name: "e".into(),
+            cat: "t",
+            ph: Phase::Instant,
+            ts_ns: 0,
+            dur_ns: 0,
+            tid,
+            lane: std::sync::Arc::from("l"),
+            span: 0,
+            args: vec![],
+        };
+        let text = chrome_trace(&[mk(0xdead_beef), mk(0x1234), mk(0xdead_beef)]);
+        let doc = json::parse(&text).unwrap();
+        let tids: Vec<f64> = doc
+            .get("traceEvents")
+            .and_then(json::Value::as_arr)
+            .unwrap()
+            .iter()
+            .skip(1)
+            .map(|e| e.get("tid").and_then(json::Value::as_f64).unwrap())
+            .collect();
+        assert_eq!(tids, [0.0, 1.0, 0.0]);
+    }
+}

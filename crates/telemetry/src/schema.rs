@@ -1,0 +1,159 @@
+//! A validator for the JSON-Schema subset the telemetry exports use.
+//!
+//! Supported keywords: `type` (including a list of types), `properties`,
+//! `required`, `additionalProperties` (boolean or schema),
+//! `patternProperties` is **not** supported — the metrics schema keys
+//! its maps with `additionalProperties` instead — plus `items`,
+//! `minimum`, `enum`, and `const`. Anything else in the schema is
+//! ignored, so a schema using unsupported keywords validates more
+//! loosely, never more strictly.
+
+use crate::json::Value;
+
+fn type_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "boolean",
+        Value::Num(n) => {
+            if n.fract() == 0.0 {
+                "integer"
+            } else {
+                "number"
+            }
+        }
+        Value::Str(_) => "string",
+        Value::Arr(_) => "array",
+        Value::Obj(_) => "object",
+    }
+}
+
+fn type_matches(want: &str, doc: &Value) -> bool {
+    match want {
+        // Every integer is a number.
+        "number" => matches!(doc, Value::Num(_)),
+        w => type_name(doc) == w,
+    }
+}
+
+fn check_type(schema: &Value, doc: &Value, path: &str, errors: &mut Vec<String>) {
+    match schema.get("type") {
+        Some(Value::Str(t)) if !type_matches(t, doc) => {
+            errors.push(format!("{path}: expected type `{t}`, got `{}`", type_name(doc)));
+        }
+        Some(Value::Arr(ts))
+            if !ts.iter().filter_map(Value::as_str).any(|t| type_matches(t, doc)) =>
+        {
+            errors.push(format!("{path}: type `{}` not in allowed set", type_name(doc)));
+        }
+        _ => {}
+    }
+}
+
+/// Validate `doc` against `schema`, collecting every violation as a
+/// `path: message` string. An empty result means the document
+/// validates.
+#[must_use]
+pub fn validate(schema: &Value, doc: &Value) -> Vec<String> {
+    let mut errors = Vec::new();
+    validate_at(schema, doc, "$", &mut errors);
+    errors
+}
+
+fn validate_at(schema: &Value, doc: &Value, path: &str, errors: &mut Vec<String>) {
+    check_type(schema, doc, path, errors);
+
+    if let Some(allowed) = schema.get("enum").and_then(Value::as_arr) {
+        if !allowed.contains(doc) {
+            errors.push(format!("{path}: value not in enum"));
+        }
+    }
+    if let Some(want) = schema.get("const") {
+        if want != doc {
+            errors.push(format!("{path}: value does not match const"));
+        }
+    }
+    if let (Some(min), Some(n)) =
+        (schema.get("minimum").and_then(Value::as_f64), doc.as_f64())
+    {
+        if n < min {
+            errors.push(format!("{path}: {n} is below minimum {min}"));
+        }
+    }
+
+    if let Value::Obj(members) = doc {
+        if let Some(required) = schema.get("required").and_then(Value::as_arr) {
+            for key in required.iter().filter_map(Value::as_str) {
+                if doc.get(key).is_none() {
+                    errors.push(format!("{path}: missing required member `{key}`"));
+                }
+            }
+        }
+        let props = schema.get("properties");
+        let additional = schema.get("additionalProperties");
+        for (key, value) in members {
+            let child_path = format!("{path}.{key}");
+            if let Some(prop_schema) = props.and_then(|p| p.get(key)) {
+                validate_at(prop_schema, value, &child_path, errors);
+            } else {
+                match additional {
+                    Some(Value::Bool(false)) => {
+                        errors.push(format!("{path}: unexpected member `{key}`"));
+                    }
+                    Some(s @ Value::Obj(_)) => validate_at(s, value, &child_path, errors),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    if let (Value::Arr(items), Some(item_schema)) = (doc, schema.get("items")) {
+        for (i, item) in items.iter().enumerate() {
+            validate_at(item_schema, item, &format!("{path}[{i}]"), errors);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    const SCHEMA: &str = r#"{
+        "type": "object",
+        "required": ["counters"],
+        "properties": {
+            "counters": {
+                "type": "object",
+                "additionalProperties": {"type": "integer", "minimum": 0}
+            },
+            "tag": {"type": "string"}
+        },
+        "additionalProperties": false
+    }"#;
+
+    #[test]
+    fn accepts_conforming_documents() {
+        let schema = parse(SCHEMA).unwrap();
+        let doc = parse(r#"{"counters": {"a.b": 3}, "tag": "x"}"#).unwrap();
+        assert!(validate(&schema, &doc).is_empty());
+    }
+
+    #[test]
+    fn reports_each_violation_with_a_path() {
+        let schema = parse(SCHEMA).unwrap();
+        let doc = parse(r#"{"counters": {"a": -1, "b": 1.5}, "extra": 0}"#).unwrap();
+        let errors = validate(&schema, &doc);
+        assert_eq!(errors.len(), 3, "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("$.counters.a") && e.contains("minimum")));
+        assert!(errors.iter().any(|e| e.contains("$.counters.b") && e.contains("integer")));
+        assert!(errors.iter().any(|e| e.contains("unexpected member `extra`")));
+    }
+
+    #[test]
+    fn missing_required_member_is_caught() {
+        let schema = parse(SCHEMA).unwrap();
+        let doc = parse(r#"{"tag": "x"}"#).unwrap();
+        let errors = validate(&schema, &doc);
+        assert!(errors.iter().any(|e| e.contains("missing required member `counters`")));
+    }
+}

@@ -1,0 +1,502 @@
+//! Span-based tracing: per-lane lock-free event buffers with a
+//! deterministic end-of-session merge.
+//!
+//! The design mirrors the sharded compiler's own merge discipline
+//! (`sxe-jit`'s `shard.rs`): every unit of work records into a private
+//! [`Lane`] — a plain `Vec` push, no lock, no atomic — and the driver
+//! absorbs finished lanes into the [`Session`] in *function order*, not
+//! completion order. Span ids are derived from the lane label and a
+//! per-lane sequence number (never from a global counter), so the same
+//! compilation produces the same ids at any thread count.
+
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::Clock;
+use crate::metrics::Registry;
+
+/// The trace-event phase, following the Chrome trace-event format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A complete span (`"ph": "X"`): start timestamp plus duration.
+    Complete,
+    /// A zero-duration marker (`"ph": "i"`).
+    Instant,
+}
+
+/// One argument value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// A string.
+    Str(String),
+    /// An unsigned integer.
+    U64(u64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl From<&str> for ArgValue {
+    fn from(s: &str) -> ArgValue {
+        ArgValue::Str(s.to_string())
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> ArgValue {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> ArgValue {
+        ArgValue::Bool(v)
+    }
+}
+
+/// One trace event. Timestamps are nanoseconds on the session [`Clock`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Span or marker name (pass name, stage name, `cache.cfg`, ...).
+    pub name: Cow<'static, str>,
+    /// Category (`jit`, `pass`, `analysis`, `vm`, ...).
+    pub cat: &'static str,
+    /// Phase.
+    pub ph: Phase,
+    /// Start, in nanoseconds since the session epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds (zero for instants).
+    pub dur_ns: u64,
+    /// Recording OS thread (hashed `ThreadId`; compressed at export).
+    pub tid: u64,
+    /// Lane label (shared, so per-event cost is one refcount bump).
+    pub lane: Arc<str>,
+    /// Deterministic span id (zero for id-less events such as cache
+    /// lookups); referenced by `PassRecord::span` in `sxe-jit`.
+    pub span: u64,
+    /// Attached key/value arguments.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+thread_local! {
+    static TID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A stable-for-the-process identifier of the current OS thread (the
+/// hashed [`std::thread::ThreadId`]), cached in a thread-local.
+#[must_use]
+pub fn current_tid() -> u64 {
+    TID.with(|t| {
+        let v = t.get();
+        if v != 0 {
+            return v;
+        }
+        let mut h = DefaultHasher::new();
+        std::thread::current().id().hash(&mut h);
+        let v = h.finish() | 1; // never zero
+        t.set(v);
+        v
+    })
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// An open span handle, returned by [`Lane::begin`] and consumed by
+/// [`Lane::end`] / [`Lane::end_with`]. Inert (id zero) on a disabled
+/// lane. Dropping a `Span` without `end`ing it records nothing — the
+/// pipeline's containment boundaries always close their spans
+/// explicitly, even when the guarded body panicked.
+#[derive(Debug)]
+#[must_use = "a span records nothing until it is ended"]
+pub struct Span {
+    id: u64,
+    start_ns: u64,
+    name: Cow<'static, str>,
+    cat: &'static str,
+}
+
+impl Span {
+    /// The deterministic span id (zero on a disabled lane).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// A per-work-unit event buffer: the lock-free recording surface.
+///
+/// One lane per unit of mergeable work (the module prologue, one
+/// function's step-2 fixpoint, one function's step 3, one analysis
+/// cache). All operations are plain `Vec` pushes; a disabled lane
+/// (no clock) short-circuits on one branch and allocates nothing.
+#[derive(Debug)]
+pub struct Lane {
+    clock: Option<Clock>,
+    label: Arc<str>,
+    label_hash: u64,
+    seq: u64,
+    tid: u64,
+    events: Vec<Event>,
+}
+
+impl Default for Lane {
+    /// A disabled lane.
+    fn default() -> Lane {
+        Lane::disabled()
+    }
+}
+
+impl Lane {
+    /// A lane recording on `clock`, or a disabled lane when `clock` is
+    /// `None`. The label keys the deterministic span ids, so it must be
+    /// unique per session (e.g. `step2:@main`).
+    #[must_use]
+    pub fn new(clock: Option<Clock>, label: &str) -> Lane {
+        Lane {
+            clock,
+            label: Arc::from(label),
+            label_hash: fnv1a(label.as_bytes()),
+            seq: 0,
+            tid: if clock.is_some() { current_tid() } else { 0 },
+            events: Vec::new(),
+        }
+    }
+
+    /// A lane that records nothing.
+    #[must_use]
+    pub fn disabled() -> Lane {
+        Lane::new(None, "")
+    }
+
+    /// Whether this lane records events.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.clock.is_some()
+    }
+
+    /// Nanosecond timestamp on the lane's clock (zero when disabled).
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        self.clock.map_or(0, |c| c.now_ns())
+    }
+
+    fn next_span_id(&mut self) -> u64 {
+        self.seq += 1;
+        // Label hash mixed with the per-lane sequence number: unique
+        // within a session, identical across thread counts.
+        (self.label_hash ^ self.seq.wrapping_mul(0x9e37_79b9_7f4a_7c15)) | 1
+    }
+
+    /// Open a span. The matching [`end`](Self::end) records one complete
+    /// event covering the interval.
+    pub fn begin(&mut self, name: impl Into<Cow<'static, str>>, cat: &'static str) -> Span {
+        if self.clock.is_none() {
+            return Span { id: 0, start_ns: 0, name: Cow::Borrowed(""), cat };
+        }
+        Span { id: self.next_span_id(), start_ns: self.now_ns(), name: name.into(), cat }
+    }
+
+    /// Close a span with no arguments.
+    pub fn end(&mut self, span: Span) {
+        self.end_with(span, Vec::new());
+    }
+
+    /// Close a span, attaching arguments (status tags, counts, ...).
+    pub fn end_with(&mut self, span: Span, args: Vec<(&'static str, ArgValue)>) {
+        if span.id == 0 || self.clock.is_none() {
+            return;
+        }
+        let now = self.now_ns();
+        self.events.push(Event {
+            name: span.name,
+            cat: span.cat,
+            ph: Phase::Complete,
+            ts_ns: span.start_ns,
+            dur_ns: now.saturating_sub(span.start_ns),
+            tid: self.tid,
+            lane: Arc::clone(&self.label),
+            span: span.id,
+            args,
+        });
+    }
+
+    /// Record a complete id-less event from an externally measured start
+    /// (used for high-volume micro-spans such as cache lookups).
+    pub fn complete_since(
+        &mut self,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+        start_ns: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if self.clock.is_none() {
+            return;
+        }
+        let now = self.now_ns();
+        self.events.push(Event {
+            name: name.into(),
+            cat,
+            ph: Phase::Complete,
+            ts_ns: start_ns,
+            dur_ns: now.saturating_sub(start_ns),
+            tid: self.tid,
+            lane: Arc::clone(&self.label),
+            span: 0,
+            args,
+        });
+    }
+
+    /// Record a zero-duration marker.
+    pub fn instant(
+        &mut self,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if self.clock.is_none() {
+            return;
+        }
+        let now = self.now_ns();
+        self.events.push(Event {
+            name: name.into(),
+            cat,
+            ph: Phase::Instant,
+            ts_ns: now,
+            dur_ns: 0,
+            tid: self.tid,
+            lane: Arc::clone(&self.label),
+            span: 0,
+            args,
+        });
+    }
+
+    /// Number of events recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no event has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Finish the lane, yielding its events for a deterministic merge.
+    #[must_use]
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+/// The merged per-session store: every absorbed lane's events (in the
+/// order the driver absorbed them) plus the session's metrics registry.
+#[derive(Debug, Default)]
+pub struct Session {
+    /// Merged events.
+    pub events: Vec<Event>,
+    /// Merged metrics.
+    pub metrics: Registry,
+}
+
+/// The pipeline-facing telemetry sink: a cheaply clonable handle that is
+/// either **enabled** (shared clock + merged [`Session`] behind a mutex,
+/// locked only when a finished lane or registry is merged — never on the
+/// per-event path) or **disabled** (a null sink; every operation is one
+/// branch).
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Shared>>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    clock: Clock,
+    session: Mutex<Session>,
+}
+
+impl Telemetry {
+    /// The null sink (the default): records nothing, exports empty.
+    #[must_use]
+    pub fn disabled() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// A live sink with a fresh session and clock.
+    #[must_use]
+    pub fn enabled() -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(Shared {
+                clock: Clock::new(),
+                session: Mutex::new(Session::default()),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The session clock, for recorders that buffer their own events
+    /// (`None` when disabled).
+    #[must_use]
+    pub fn clock(&self) -> Option<Clock> {
+        self.inner.as_ref().map(|s| s.clock)
+    }
+
+    /// A new lane on this session's clock (a disabled lane when the
+    /// sink is disabled).
+    #[must_use]
+    pub fn lane(&self, label: &str) -> Lane {
+        Lane::new(self.clock(), label)
+    }
+
+    /// Merge finished events into the session. Call in a deterministic
+    /// order (the sharded compiler merges in function order).
+    pub fn submit(&self, events: Vec<Event>) {
+        if let Some(shared) = &self.inner {
+            if !events.is_empty() {
+                shared.session.lock().expect("telemetry poisoned").events.extend(events);
+            }
+        }
+    }
+
+    /// Mutate the session's metrics registry under the lock (no-op when
+    /// disabled). Batch updates — e.g. build a local [`Registry`] and
+    /// [`Registry::merge`] it in one call.
+    pub fn metrics(&self, f: impl FnOnce(&mut Registry)) {
+        if let Some(shared) = &self.inner {
+            f(&mut shared.session.lock().expect("telemetry poisoned").metrics);
+        }
+    }
+
+    /// Read the session under the lock.
+    pub fn with_session<R>(&self, f: impl FnOnce(&Session) -> R) -> Option<R> {
+        self.inner
+            .as_ref()
+            .map(|s| f(&s.session.lock().expect("telemetry poisoned")))
+    }
+
+    /// A copy of the merged events (empty when disabled).
+    #[must_use]
+    pub fn events_snapshot(&self) -> Vec<Event> {
+        self.with_session(|s| s.events.clone()).unwrap_or_default()
+    }
+
+    /// A copy of the merged metrics (empty when disabled).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> Registry {
+        self.with_session(|s| s.metrics.clone()).unwrap_or_default()
+    }
+
+    /// Export the merged events as Chrome trace-event JSON.
+    #[must_use]
+    pub fn chrome_trace(&self) -> String {
+        self.with_session(|s| crate::export::chrome_trace(&s.events))
+            .unwrap_or_else(|| crate::export::chrome_trace(&[]))
+    }
+
+    /// Export the merged metrics as flat JSON (the format
+    /// `schemas/metrics.schema.json` describes).
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        self.with_session(|s| s.metrics.to_json())
+            .unwrap_or_else(|| Registry::default().to_json())
+    }
+
+    /// A human-readable summary table of the merged metrics.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        self.with_session(|s| s.metrics.summary())
+            .unwrap_or_else(|| Registry::default().summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_lane_records_nothing() {
+        let mut lane = Lane::disabled();
+        let span = lane.begin("x", "t");
+        assert_eq!(span.id(), 0);
+        lane.end(span);
+        lane.instant("m", "t", vec![]);
+        lane.complete_since("c", "t", 0, vec![]);
+        assert!(lane.is_empty());
+        assert!(!lane.is_enabled());
+    }
+
+    #[test]
+    fn span_ids_are_deterministic_per_label() {
+        let clock = Clock::new();
+        let ids = |label: &str| {
+            let mut lane = Lane::new(Some(clock), label);
+            (0..3)
+                .map(|_| {
+                    let s = lane.begin("p", "t");
+                    let id = s.id();
+                    lane.end(s);
+                    id
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ids("step2:@f"), ids("step2:@f"), "same label, same ids");
+        assert_ne!(ids("step2:@f"), ids("step2:@g"), "labels key the ids");
+        assert!(ids("a").iter().all(|&i| i != 0));
+    }
+
+    #[test]
+    fn events_carry_interval_and_args() {
+        let mut lane = Lane::new(Some(Clock::new()), "l");
+        let span = lane.begin("pass", "jit");
+        lane.end_with(span, vec![("status", ArgValue::from("ok"))]);
+        let events = lane.into_events();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.name, "pass");
+        assert_eq!(e.ph, Phase::Complete);
+        assert_eq!(&*e.lane, "l");
+        assert!(e.span != 0);
+        assert_eq!(e.args, vec![("status", ArgValue::Str("ok".into()))]);
+    }
+
+    #[test]
+    fn telemetry_merges_in_submit_order() {
+        let tel = Telemetry::enabled();
+        let mut a = tel.lane("a");
+        let mut b = tel.lane("b");
+        let sa = a.begin("one", "t");
+        a.end(sa);
+        let sb = b.begin("two", "t");
+        b.end(sb);
+        tel.submit(b.into_events());
+        tel.submit(a.into_events());
+        let names: Vec<_> =
+            tel.events_snapshot().iter().map(|e| e.name.to_string()).collect();
+        assert_eq!(names, ["two", "one"], "driver-imposed order, not timestamps");
+    }
+
+    #[test]
+    fn disabled_telemetry_is_a_null_sink() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        assert!(tel.clock().is_none());
+        tel.submit(vec![]);
+        tel.metrics(|m| m.add("x", 1));
+        assert!(tel.events_snapshot().is_empty());
+        assert_eq!(tel.metrics_snapshot().counter("x"), 0);
+    }
+}

@@ -1,9 +1,65 @@
 //! Dynamic execution counters — the quantities the paper's Tables 1 and 2
 //! report.
+//!
+//! Two recording surfaces share one mnemonic table ([`MNEMONICS`] /
+//! [`op_index`]):
+//!
+//! * [`Counters`] — the classic per-machine accumulator
+//!   ([`record`](Counters::record) takes `&mut self`);
+//! * [`SharedCounters`] — an atomic variant whose
+//!   [`record`](SharedCounters::record) takes `&self`, so concurrent
+//!   machines (e.g. the sharded compiler's profiling runs, or any
+//!   driver following `sxe-jit`'s shared-state pattern) can fold into
+//!   one set without a lock; [`snapshot`](SharedCounters::snapshot)
+//!   yields an ordinary [`Counters`].
+//!
+//! The mnemonic strings double as the telemetry label tails:
+//! [`Counters::record_into`] exports `vm.op.<mnemonic>` counters
+//! straight from the same table, so the VM and the metrics registry can
+//! never disagree on op names.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use sxe_ir::{Inst, Width};
+
+/// Every instruction mnemonic, indexed by [`op_index`]. The single
+/// source of truth for per-op statistics *and* the `vm.op.*` telemetry
+/// labels.
+pub const MNEMONICS: [&str; 17] = [
+    "nop", "const", "constf", "copy", "un", "bin", "set", "extend", "justext", "newarray",
+    "len", "aload", "astore", "call", "br", "condbr", "ret",
+];
+
+/// The [`MNEMONICS`] index of `inst`.
+#[must_use]
+pub fn op_index(inst: &Inst) -> usize {
+    match inst {
+        Inst::Nop => 0,
+        Inst::Const { .. } => 1,
+        Inst::ConstF { .. } => 2,
+        Inst::Copy { .. } => 3,
+        Inst::Un { .. } => 4,
+        Inst::Bin { .. } => 5,
+        Inst::Setcc { .. } => 6,
+        Inst::Extend { .. } => 7,
+        Inst::JustExtended { .. } => 8,
+        Inst::NewArray { .. } => 9,
+        Inst::ArrayLen { .. } => 10,
+        Inst::ArrayLoad { .. } => 11,
+        Inst::ArrayStore { .. } => 12,
+        Inst::Call { .. } => 13,
+        Inst::Br { .. } => 14,
+        Inst::CondBr { .. } => 15,
+        Inst::Ret { .. } => 16,
+    }
+}
+
+/// A short mnemonic for per-op statistics.
+#[must_use]
+pub fn mnemonic(inst: &Inst) -> &'static str {
+    MNEMONICS[op_index(inst)]
+}
 
 /// Dynamic instruction counts accumulated during execution.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -58,6 +114,86 @@ impl Counters {
             *self.per_op.entry(k).or_insert(0) += v;
         }
     }
+
+    /// Add these counts to a telemetry registry: `vm.insts`,
+    /// `vm.cycles`, `vm.extends.{w8,w16,w32}`, and one `vm.op.<mnemonic>`
+    /// counter per executed op (labels from [`MNEMONICS`]).
+    pub fn record_into(&self, registry: &mut sxe_telemetry::Registry) {
+        registry.add("vm.insts", self.insts);
+        registry.add("vm.cycles", self.cycles);
+        registry.add("vm.extends.w8", self.extends[0]);
+        registry.add("vm.extends.w16", self.extends[1]);
+        registry.add("vm.extends.w32", self.extends[2]);
+        for (op, n) in &self.per_op {
+            registry.add(format!("vm.op.{op}"), *n);
+        }
+    }
+}
+
+/// Lock-free shared counters: the same quantities as [`Counters`], but
+/// recordable through `&self` from any number of threads. Mirrors the
+/// compile pipeline's shared-state pattern (one atomic per quantity,
+/// relaxed ordering — totals are exact, inter-counter ordering is not
+/// observable).
+#[derive(Debug, Default)]
+pub struct SharedCounters {
+    insts: AtomicU64,
+    cycles: AtomicU64,
+    extends: [AtomicU64; 3],
+    per_op: [AtomicU64; MNEMONICS.len()],
+}
+
+impl SharedCounters {
+    /// Create zeroed shared counters.
+    #[must_use]
+    pub fn new() -> SharedCounters {
+        SharedCounters::default()
+    }
+
+    /// Record the execution of `inst` costing `cycles` (no `&mut`, no
+    /// lock).
+    pub fn record(&self, inst: &Inst, cycles: u64) {
+        self.insts.fetch_add(1, Ordering::Relaxed);
+        self.cycles.fetch_add(cycles, Ordering::Relaxed);
+        if let Inst::Extend { from, .. } = inst {
+            self.extends[width_index(*from)].fetch_add(1, Ordering::Relaxed);
+        }
+        self.per_op[op_index(inst)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold a machine's private [`Counters`] in wholesale (cheaper than
+    /// per-instruction atomics when the machine ran single-threaded).
+    pub fn merge(&self, other: &Counters) {
+        self.insts.fetch_add(other.insts, Ordering::Relaxed);
+        self.cycles.fetch_add(other.cycles, Ordering::Relaxed);
+        for (a, b) in self.extends.iter().zip(other.extends) {
+            a.fetch_add(b, Ordering::Relaxed);
+        }
+        for (k, v) in &other.per_op {
+            if let Some(i) = MNEMONICS.iter().position(|m| m == k) {
+                self.per_op[i].fetch_add(*v, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A plain [`Counters`] copy of the current totals (zero-count ops
+    /// omitted, matching what per-machine recording produces).
+    #[must_use]
+    pub fn snapshot(&self) -> Counters {
+        let mut c = Counters::new();
+        c.insts = self.insts.load(Ordering::Relaxed);
+        c.cycles = self.cycles.load(Ordering::Relaxed);
+        for (a, b) in c.extends.iter_mut().zip(&self.extends) {
+            *a = b.load(Ordering::Relaxed);
+        }
+        for (i, n) in self.per_op.iter().enumerate() {
+            let n = n.load(Ordering::Relaxed);
+            if n > 0 {
+                c.per_op.insert(MNEMONICS[i], n);
+            }
+        }
+        c
+    }
 }
 
 fn width_index(w: Width) -> usize {
@@ -65,30 +201,6 @@ fn width_index(w: Width) -> usize {
         Width::W8 => 0,
         Width::W16 => 1,
         Width::W32 => 2,
-    }
-}
-
-/// A short mnemonic for per-op statistics.
-#[must_use]
-pub fn mnemonic(inst: &Inst) -> &'static str {
-    match inst {
-        Inst::Nop => "nop",
-        Inst::Const { .. } => "const",
-        Inst::ConstF { .. } => "constf",
-        Inst::Copy { .. } => "copy",
-        Inst::Un { .. } => "un",
-        Inst::Bin { .. } => "bin",
-        Inst::Setcc { .. } => "set",
-        Inst::Extend { .. } => "extend",
-        Inst::JustExtended { .. } => "justext",
-        Inst::NewArray { .. } => "newarray",
-        Inst::ArrayLen { .. } => "len",
-        Inst::ArrayLoad { .. } => "aload",
-        Inst::ArrayStore { .. } => "astore",
-        Inst::Call { .. } => "call",
-        Inst::Br { .. } => "br",
-        Inst::CondBr { .. } => "condbr",
-        Inst::Ret { .. } => "ret",
     }
 }
 
@@ -123,5 +235,76 @@ mod tests {
         assert_eq!(a.insts, 2);
         assert_eq!(a.cycles, 5);
         assert_eq!(a.per_op["br"], 2);
+    }
+
+    #[test]
+    fn mnemonic_table_and_dispatch_agree() {
+        // Every mnemonic is unique and op_index stays in range.
+        let unique: std::collections::BTreeSet<_> = MNEMONICS.iter().collect();
+        assert_eq!(unique.len(), MNEMONICS.len());
+        let i = Inst::Ret { value: None };
+        assert_eq!(mnemonic(&i), MNEMONICS[op_index(&i)]);
+    }
+
+    #[test]
+    fn shared_counters_match_private_ones() {
+        let e = Inst::Extend { dst: Reg(0), src: Reg(0), from: Width::W32 };
+        let b = Inst::Br { target: sxe_ir::BlockId(0) };
+        let mut private = Counters::new();
+        let shared = SharedCounters::new();
+        for _ in 0..5 {
+            private.record(&e, 2);
+            shared.record(&e, 2);
+        }
+        private.record(&b, 1);
+        shared.record(&b, 1);
+        assert_eq!(shared.snapshot(), private);
+        // Wholesale merge doubles everything.
+        shared.merge(&private);
+        let mut doubled = private.clone();
+        doubled.merge(&private);
+        assert_eq!(shared.snapshot(), doubled);
+    }
+
+    #[test]
+    fn shared_counters_record_concurrently() {
+        let shared = std::sync::Arc::new(SharedCounters::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let s = std::sync::Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let e = Inst::Extend { dst: Reg(0), src: Reg(0), from: Width::W16 };
+                    for _ in 0..1000 {
+                        s.record(&e, 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let c = shared.snapshot();
+        assert_eq!(c.insts, 4000);
+        assert_eq!(c.extend_count(Some(Width::W16)), 4000);
+        assert_eq!(c.per_op["extend"], 4000);
+    }
+
+    #[test]
+    fn registry_export_uses_the_shared_labels() {
+        let mut c = Counters::new();
+        c.record(&Inst::Extend { dst: Reg(0), src: Reg(0), from: Width::W32 }, 1);
+        c.record(&Inst::Br { target: sxe_ir::BlockId(0) }, 1);
+        let mut registry = sxe_telemetry::Registry::new();
+        c.record_into(&mut registry);
+        assert_eq!(registry.counter("vm.insts"), 2);
+        assert_eq!(registry.counter("vm.extends.w32"), 1);
+        assert_eq!(registry.counter("vm.op.extend"), 1);
+        assert_eq!(registry.counter("vm.op.br"), 1);
+        let per_op_total: u64 = registry
+            .counters()
+            .filter(|(k, _)| k.starts_with("vm.op."))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(per_op_total, registry.counter("vm.insts"));
     }
 }

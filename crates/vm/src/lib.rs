@@ -44,7 +44,7 @@ mod error;
 mod heap;
 mod machine;
 
-pub use counters::{mnemonic, Counters};
+pub use counters::{mnemonic, op_index, Counters, SharedCounters, MNEMONICS};
 pub use error::Trap;
 pub use heap::{ArrayObj, Heap, HEAP_LIMIT_ELEMS};
 pub use machine::{Machine, Outcome, DEFAULT_FUEL, MAX_CALL_DEPTH};

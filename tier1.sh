@@ -1,10 +1,11 @@
 #!/usr/bin/env sh
 # Tier-1 gate: build, full test suite, lints on the robustness- and
-# sharding-touched crates, the sharded-compile determinism check, and the
-# fault-injection (chaos) smoke sweep.
+# sharding-touched crates, the sharded-compile determinism check, the
+# fault-injection (chaos) smoke sweep, and the telemetry gate
+# (schema-valid metrics export, disabled-sink output determinism).
 #
 #   ./tier1.sh            # everything
-#   ./tier1.sh --fast     # skip the determinism check and chaos sweep
+#   ./tier1.sh --fast     # skip the determinism/chaos/telemetry sweeps
 set -eu
 
 cd "$(dirname "$0")"
@@ -17,7 +18,8 @@ cargo test -q
 
 echo "== tier1: clippy -D warnings (touched crates)"
 cargo clippy -q -p sxe-ir -p sxe-analysis -p sxe-core -p sxe-opt -p sxe-vm \
-    -p sxe-jit -p sxe-bench -p xelim-integration-tests --all-targets -- -D warnings
+    -p sxe-jit -p sxe-bench -p sxe-telemetry -p xelim-integration-tests \
+    --all-targets -- -D warnings
 
 if [ "${1:-}" != "--fast" ]; then
     echo "== tier1: sharded determinism (threads 1 vs 4, 17 workloads)"
@@ -25,6 +27,21 @@ if [ "${1:-}" != "--fast" ]; then
 
     echo "== tier1: chaos smoke (17 workloads x 32 fault seeds, 4 workers)"
     cargo run -q --release -p sxe-bench --bin chaos -- --seeds 32 --scale 0.05 --threads 4
+
+    echo "== tier1: telemetry gate (trace + metrics export, schema check, disabled-sink determinism)"
+    TDIR="$(mktemp -d)"
+    trap 'rm -rf "$TDIR"' EXIT
+    cargo run -q --release -p sxe-jit --bin sxec -- --workload "numeric sort" --threads 4 \
+        --trace "$TDIR/ns.trace.json" --metrics "$TDIR/ns.metrics.json" > "$TDIR/traced.out"
+    grep -q '"traceEvents"' "$TDIR/ns.trace.json" || {
+        echo "tier1: trace export missing traceEvents" >&2; exit 1; }
+    cargo run -q --release -p sxe-telemetry --bin validate-metrics -- \
+        schemas/metrics.schema.json "$TDIR/ns.metrics.json"
+    cargo run -q --release -p sxe-jit --bin sxec -- --workload "numeric sort" --threads 4 \
+        > "$TDIR/plain.out"
+    cmp "$TDIR/traced.out" "$TDIR/plain.out" || {
+        echo "tier1: enabling telemetry changed the compiled module output" >&2; exit 1; }
+    echo "tier1: telemetry exports valid, disabled-sink output identical"
 fi
 
 echo "== tier1: OK"
