@@ -146,18 +146,21 @@ pub fn chaos_sweep_with(
                      (plan {plan:?})"
                 ));
             }
-            let comparisons = match differential_check(
-                &reference,
-                &compiled.module,
-                Target::Ia64,
-                &OracleConfig { seed, ..OracleConfig::default() },
-            ) {
-                Ok(n) => n,
-                Err(m) => {
-                    errors.push(format!("{name} seed {seed}: ORACLE MISMATCH: {m}"));
-                    0
-                }
-            };
+            let oracle = OracleConfig { seed, ..OracleConfig::default() };
+            let comparisons =
+                match differential_check(&reference, &compiled.module, Target::Ia64, &oracle) {
+                    Ok(n) => n,
+                    Err(m) => {
+                        errors.push(format!(
+                            "{name} seed {seed}: ORACLE MISMATCH: {m}\n    repro: cargo run \
+                             --release -p sxe-jit --bin sxec -- --workload {name} --size {size} \
+                             --chaos-seed {seed} --oracle-runs {} --oracle-fuel {} \
+                             --oracle-seed {} --no-emit",
+                            oracle.runs, oracle.fuel, oracle.seed
+                        ));
+                        0
+                    }
+                };
             summary.runs.push(ChaosRecord {
                 workload: name.to_string(),
                 seed,

@@ -1,0 +1,478 @@
+//! Delta-debugging test-case minimization.
+//!
+//! [`reduce`] shrinks a failing module while preserving the failure's
+//! triage signature. The caller supplies the arbiter — a `reproduces`
+//! predicate that re-runs the whole check (compile both sides under
+//! containment, diff with the oracle, re-triage) and answers "does this
+//! candidate still fail *the same way*?". The reducer itself never
+//! verifies candidates: an over-aggressive mutation that produces an
+//! invalid module simply gets refused by the compiler inside the
+//! predicate, triages to a different signature, and is rejected.
+//!
+//! Five mutation passes run round-robin to a fixpoint:
+//!
+//! 1. **Drop functions** — highest index first, only when no remaining
+//!    call targets them.
+//! 2. **Linearize branches** — rewrite a `condbr` to an unconditional
+//!    `br` down either arm and drop the blocks that become unreachable.
+//! 3. **Merge blocks** — splice a single-predecessor block into the `br`
+//!    that jumps to it, collapsing the chains linearization leaves.
+//! 4. **Delete instructions** — tombstone any non-terminator to `nop`.
+//! 5. **Simplify instructions** — replace an operation with a cheaper
+//!    one reusing its operands (`bin` → `copy` of the left operand,
+//!    `call` → `const 0`, …), always preserving the destination's
+//!    converter kind. No rule ever fires on its own output, so this
+//!    terminates.
+//! 6. **Shrink constants** — move integer constants strictly down the
+//!    ladder `other → i32::MIN → -1 → 1 → 0` (floats: `other → 1.0 →
+//!    0.0`). Monotone rank prevents `0 ↔ 1` oscillation.
+//!
+//! Every accepted step re-ran the predicate, so the result is reached
+//! through failing intermediates only; a second [`reduce`] of the result
+//! accepts zero steps (idempotence — tested).
+
+use sxe_ir::{FuncId, Inst, Module, Ty};
+
+/// Counters from one [`reduce`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReduceStats {
+    /// Candidate modules offered to the predicate.
+    pub steps_tried: usize,
+    /// Candidates the predicate accepted (committed mutations).
+    pub steps_accepted: usize,
+    /// Full round-robin sweeps over all passes.
+    pub rounds: usize,
+}
+
+/// Shrink `module` to a (local) minimum that still satisfies
+/// `reproduces`, returning the reduced module and step counters.
+///
+/// If `module` itself does not satisfy the predicate it is returned
+/// unchanged — the reducer only walks through failing candidates.
+pub fn reduce(
+    module: &Module,
+    mut reproduces: impl FnMut(&Module) -> bool,
+) -> (Module, ReduceStats) {
+    let mut cur = module.clone();
+    let mut stats = ReduceStats::default();
+    if !reproduces(&cur) {
+        return (cur, stats);
+    }
+    loop {
+        stats.rounds += 1;
+        let mut changed = false;
+        changed |= pass_drop_functions(&mut cur, &mut reproduces, &mut stats);
+        changed |= pass_linearize_branches(&mut cur, &mut reproduces, &mut stats);
+        changed |= pass_merge_blocks(&mut cur, &mut reproduces, &mut stats);
+        changed |= pass_delete_insts(&mut cur, &mut reproduces, &mut stats);
+        changed |= pass_simplify_insts(&mut cur, &mut reproduces, &mut stats);
+        changed |= pass_shrink_consts(&mut cur, &mut reproduces, &mut stats);
+        if !changed {
+            break;
+        }
+    }
+    // Sweep the nop tombstones left by the deletion pass. Compaction is
+    // semantically neutral, but it is still re-checked like every other
+    // step so the invariant "each committed state reproduces" holds.
+    let has_nops = cur
+        .functions
+        .iter()
+        .any(|f| f.blocks.iter().any(|b| b.insts.iter().any(|i| matches!(i, Inst::Nop))));
+    if has_nops {
+        let mut cand = cur.clone();
+        for f in &mut cand.functions {
+            f.compact();
+        }
+        attempt(&mut cur, cand, &mut reproduces, &mut stats);
+    }
+    (cur, stats)
+}
+
+/// Offer `cand` to the predicate; commit it over `cur` on acceptance.
+fn attempt(
+    cur: &mut Module,
+    cand: Module,
+    reproduces: &mut impl FnMut(&Module) -> bool,
+    stats: &mut ReduceStats,
+) -> bool {
+    stats.steps_tried += 1;
+    if reproduces(&cand) {
+        *cur = cand;
+        stats.steps_accepted += 1;
+        true
+    } else {
+        false
+    }
+}
+
+/// Is function `id` the target of any remaining call?
+fn is_called(m: &Module, id: usize) -> bool {
+    m.functions.iter().any(|f| {
+        f.blocks.iter().any(|b| {
+            b.insts
+                .iter()
+                .any(|i| matches!(i, Inst::Call { func, .. } if func.index() == id))
+        })
+    })
+}
+
+fn pass_drop_functions(
+    cur: &mut Module,
+    reproduces: &mut impl FnMut(&Module) -> bool,
+    stats: &mut ReduceStats,
+) -> bool {
+    let mut changed = false;
+    // Highest index first: dropping leaf callees frees their callers'
+    // calls for the deletion pass, and removal only shifts indices we
+    // have already visited.
+    let mut fi = cur.functions.len();
+    while fi > 0 {
+        fi -= 1;
+        if fi >= cur.functions.len() || is_called(cur, fi) {
+            continue;
+        }
+        let mut cand = cur.clone();
+        cand.remove_function(FuncId(fi as u32));
+        changed |= attempt(cur, cand, reproduces, stats);
+    }
+    changed
+}
+
+fn pass_linearize_branches(
+    cur: &mut Module,
+    reproduces: &mut impl FnMut(&Module) -> bool,
+    stats: &mut ReduceStats,
+) -> bool {
+    let mut changed = false;
+    for fi in 0..cur.functions.len() {
+        let mut bi = 0;
+        while bi < cur.functions[fi].blocks.len() {
+            let term = cur.functions[fi].blocks[bi].insts.last().cloned();
+            if let Some(Inst::CondBr { then_bb, else_bb, .. }) = term {
+                for target in [then_bb, else_bb] {
+                    let mut cand = cur.clone();
+                    *cand.functions[fi].blocks[bi].insts.last_mut().unwrap() =
+                        Inst::Br { target };
+                    cand.functions[fi].drop_unreachable_blocks();
+                    if attempt(cur, cand, reproduces, stats) {
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+            bi += 1;
+        }
+    }
+    changed
+}
+
+/// Find a `bi: ... br ci` edge where `ci` is not the entry and has
+/// exactly one predecessor, so `ci`'s body can be spliced into `bi`.
+fn merge_candidate(f: &sxe_ir::Function, bi: usize) -> Option<usize> {
+    let Some(Inst::Br { target }) = f.blocks[bi].insts.last() else { return None };
+    let ci = target.index();
+    if ci == 0 || ci == bi {
+        return None;
+    }
+    let mut preds = 0;
+    for b in &f.blocks {
+        match b.insts.last() {
+            Some(Inst::Br { target }) => preds += usize::from(target.index() == ci),
+            Some(Inst::CondBr { then_bb, else_bb, .. }) => {
+                preds +=
+                    usize::from(then_bb.index() == ci) + usize::from(else_bb.index() == ci);
+            }
+            _ => {}
+        }
+    }
+    (preds == 1).then_some(ci)
+}
+
+fn pass_merge_blocks(
+    cur: &mut Module,
+    reproduces: &mut impl FnMut(&Module) -> bool,
+    stats: &mut ReduceStats,
+) -> bool {
+    let mut changed = false;
+    for fi in 0..cur.functions.len() {
+        let mut bi = 0;
+        while bi < cur.functions[fi].blocks.len() {
+            let Some(ci) = merge_candidate(&cur.functions[fi], bi) else {
+                bi += 1;
+                continue;
+            };
+            let mut cand = cur.clone();
+            let spliced = cand.functions[fi].blocks[ci].insts.clone();
+            let b = &mut cand.functions[fi].blocks[bi];
+            b.insts.pop();
+            b.insts.extend(spliced);
+            cand.functions[fi].drop_unreachable_blocks();
+            if attempt(cur, cand, reproduces, stats) {
+                // The merged block may now end in another mergeable br —
+                // retry the same index (block count shrank, so this
+                // terminates).
+                changed = true;
+            } else {
+                bi += 1;
+            }
+        }
+    }
+    changed
+}
+
+fn pass_delete_insts(
+    cur: &mut Module,
+    reproduces: &mut impl FnMut(&Module) -> bool,
+    stats: &mut ReduceStats,
+) -> bool {
+    let mut changed = false;
+    for fi in 0..cur.functions.len() {
+        for bi in 0..cur.functions[fi].blocks.len() {
+            for ii in 0..cur.functions[fi].blocks[bi].insts.len() {
+                let inst = &cur.functions[fi].blocks[bi].insts[ii];
+                if inst.is_terminator() || matches!(inst, Inst::Nop) {
+                    continue;
+                }
+                let mut cand = cur.clone();
+                cand.functions[fi].blocks[bi].insts[ii] = Inst::Nop;
+                changed |= attempt(cur, cand, reproduces, stats);
+            }
+        }
+    }
+    changed
+}
+
+/// A strictly cheaper replacement reusing the instruction's own
+/// operands, or `None`. Replacements keep the destination's converter
+/// kind (narrow writes stay narrow, wide stays wide, float stays float)
+/// so the candidate still passes kind inference. No rule produces an
+/// instruction any rule fires on, so the simplify pass cannot loop.
+fn simpler(m: &Module, inst: &Inst) -> Option<Inst> {
+    match *inst {
+        Inst::Bin { ty, dst, lhs, .. } => Some(Inst::Copy { dst, src: lhs, ty }),
+        Inst::Un { ty, dst, src, .. } => Some(Inst::Copy { dst, src, ty }),
+        // setcc and arraylen destinations are narrow-kind by definition.
+        Inst::Setcc { dst, .. } | Inst::ArrayLen { dst, .. } => {
+            Some(Inst::Const { dst, value: 0, ty: Ty::I32 })
+        }
+        Inst::ArrayLoad { dst, elem, .. } => Some(if elem == Ty::F64 {
+            Inst::ConstF { dst, value: 0.0 }
+        } else {
+            Inst::Const { dst, value: 0, ty: elem }
+        }),
+        Inst::Call { dst: Some(dst), func, .. } => {
+            let ret = m.functions.get(func.index()).and_then(|f| f.ret)?;
+            Some(match ret {
+                Ty::F64 => Inst::ConstF { dst, value: 0.0 },
+                ty => Inst::Const { dst, value: 0, ty },
+            })
+        }
+        // Extension destinations are narrow-kind.
+        Inst::Extend { dst, src, .. } | Inst::JustExtended { dst, src, .. } => {
+            Some(Inst::Copy { dst, src, ty: Ty::I32 })
+        }
+        _ => None,
+    }
+}
+
+fn pass_simplify_insts(
+    cur: &mut Module,
+    reproduces: &mut impl FnMut(&Module) -> bool,
+    stats: &mut ReduceStats,
+) -> bool {
+    let mut changed = false;
+    for fi in 0..cur.functions.len() {
+        for bi in 0..cur.functions[fi].blocks.len() {
+            for ii in 0..cur.functions[fi].blocks[bi].insts.len() {
+                let Some(repl) = simpler(cur, &cur.functions[fi].blocks[bi].insts[ii]) else {
+                    continue;
+                };
+                let mut cand = cur.clone();
+                cand.functions[fi].blocks[bi].insts[ii] = repl;
+                changed |= attempt(cur, cand, reproduces, stats);
+            }
+        }
+    }
+    changed
+}
+
+/// Reduction rank of an integer constant; shrinking only ever moves to a
+/// strictly lower rank.
+fn int_rank(v: i64) -> u32 {
+    match v {
+        0 => 0,
+        1 => 1,
+        -1 => 2,
+        v if v == i64::from(i32::MIN) => 3,
+        _ => 4,
+    }
+}
+
+fn float_rank(v: f64) -> u32 {
+    if v == 0.0 {
+        0
+    } else if v == 1.0 {
+        1
+    } else {
+        2
+    }
+}
+
+fn pass_shrink_consts(
+    cur: &mut Module,
+    reproduces: &mut impl FnMut(&Module) -> bool,
+    stats: &mut ReduceStats,
+) -> bool {
+    const INT_LADDER: [i64; 4] = [0, 1, -1, i32::MIN as i64];
+    const FLOAT_LADDER: [f64; 2] = [0.0, 1.0];
+    let mut changed = false;
+    for fi in 0..cur.functions.len() {
+        for bi in 0..cur.functions[fi].blocks.len() {
+            for ii in 0..cur.functions[fi].blocks[bi].insts.len() {
+                match cur.functions[fi].blocks[bi].insts[ii] {
+                    Inst::Const { value, .. } => {
+                        for repl in INT_LADDER.into_iter().filter(|&r| int_rank(r) < int_rank(value))
+                        {
+                            let mut cand = cur.clone();
+                            let Inst::Const { value: v, .. } =
+                                &mut cand.functions[fi].blocks[bi].insts[ii]
+                            else {
+                                unreachable!()
+                            };
+                            *v = repl;
+                            if attempt(cur, cand, reproduces, stats) {
+                                changed = true;
+                                break;
+                            }
+                        }
+                    }
+                    Inst::ConstF { value, .. } => {
+                        for repl in
+                            FLOAT_LADDER.into_iter().filter(|&r| float_rank(r) < float_rank(value))
+                        {
+                            let mut cand = cur.clone();
+                            let Inst::ConstF { value: v, .. } =
+                                &mut cand.functions[fi].blocks[bi].insts[ii]
+                            else {
+                                unreachable!()
+                            };
+                            *v = repl;
+                            if attempt(cur, cand, reproduces, stats) {
+                                changed = true;
+                                break;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxe_ir::{parse_module, BinOp, FunctionBuilder};
+
+    /// A module with plenty of fat around one load-bearing `div.i64`:
+    /// dead arithmetic, a diamond, a big constant, and an uncalled
+    /// second function.
+    fn sample() -> Module {
+        let mut b = FunctionBuilder::new("f0".to_string(), vec![], Some(Ty::I64));
+        let a = b.iconst(Ty::I32, 40);
+        let c = b.iconst(Ty::I32, 7);
+        let junk = b.bin(BinOp::Add, Ty::I32, a, c);
+        let junk2 = b.bin(BinOp::Mul, Ty::I32, junk, c);
+        let then_bb = b.new_block();
+        let else_bb = b.new_block();
+        let join = b.new_block();
+        b.cond_br(sxe_ir::Cond::Gt, Ty::I32, junk2, a, then_bb, else_bb);
+        b.switch_to(then_bb);
+        b.bin_to(BinOp::Sub, Ty::I32, junk, a, c);
+        b.br(join);
+        b.switch_to(else_bb);
+        b.bin_to(BinOp::Xor, Ty::I32, junk, a, c);
+        b.br(join);
+        b.switch_to(join);
+        let d = b.bin(BinOp::Div, Ty::I64, a, c);
+        b.ret(Some(d));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let mut b2 = FunctionBuilder::new("f1".to_string(), vec![], None);
+        let x = b2.iconst(Ty::I32, 99);
+        b2.bin_to(BinOp::Add, Ty::I32, x, x, x);
+        b2.ret(None);
+        m.add_function(b2.finish());
+        m
+    }
+
+    fn keeps_div(m: &Module) -> bool {
+        m.functions
+            .iter()
+            .any(|f| f.insts().any(|(_, i)| matches!(i, Inst::Bin { op: BinOp::Div, ty: Ty::I64, .. })))
+    }
+
+    #[test]
+    fn reduces_to_the_load_bearing_instruction() {
+        let m = sample();
+        let before = m.inst_count();
+        let (reduced, stats) = reduce(&m, keeps_div);
+        assert!(keeps_div(&reduced), "result still satisfies the predicate");
+        assert!(stats.steps_accepted > 0);
+        // Everything except the div, its ret, and (at most) operand defs
+        // is gone — in particular the uncalled f1, the diamond, and the
+        // dead arithmetic.
+        assert_eq!(reduced.functions.len(), 1);
+        assert_eq!(reduced.functions[0].blocks.len(), 1, "diamond linearized:\n{reduced}");
+        assert!(
+            reduced.inst_count() <= 3,
+            "{before} insts reduced to {}:\n{reduced}",
+            reduced.inst_count()
+        );
+        // No tombstones survive in the final result.
+        let text = reduced.to_string();
+        assert!(!text.contains("nop"), "compacted:\n{text}");
+    }
+
+    #[test]
+    fn reduction_is_idempotent() {
+        let (once, _) = reduce(&sample(), keeps_div);
+        let (twice, stats) = reduce(&once, keeps_div);
+        assert_eq!(stats.steps_accepted, 0, "second pass accepts nothing:\n{twice}");
+        assert_eq!(once.to_string(), twice.to_string());
+    }
+
+    #[test]
+    fn non_reproducing_input_is_returned_unchanged() {
+        let m = sample();
+        let (out, stats) = reduce(&m, |c| c.functions.len() > 99);
+        assert_eq!(out, m);
+        assert_eq!(stats, ReduceStats { steps_tried: 0, steps_accepted: 0, rounds: 0 });
+    }
+
+    #[test]
+    fn every_committed_state_satisfies_the_predicate() {
+        // Wrap the predicate to log every answer; replaying the accepted
+        // prefix must show each commit point reproducing.
+        let mut answers = Vec::new();
+        let (reduced, stats) = reduce(&sample(), |c| {
+            let ok = keeps_div(c);
+            answers.push((ok, c.to_string()));
+            ok
+        });
+        // First call is the entry guard on the original module.
+        assert!(answers[0].0);
+        assert_eq!(answers.len(), stats.steps_tried + 1);
+        // The final module's text must be one the predicate approved.
+        let final_text = reduced.to_string();
+        assert!(
+            answers.iter().any(|(ok, text)| *ok && *text == final_text),
+            "final state was committed via an approving predicate call"
+        );
+        // Round-trip sanity on the reduced artifact.
+        let reparsed = parse_module(&final_text).expect("reduced module re-parses");
+        assert_eq!(reparsed.to_string(), final_text);
+    }
+}

@@ -206,6 +206,53 @@ impl Function {
         }
     }
 
+    /// Delete every block unreachable from the entry, remapping the
+    /// surviving branch targets. Returns the number of blocks removed.
+    ///
+    /// Unreachable blocks are legal IR (the verifier skips them for
+    /// definite assignment), but test-case reduction wants them gone:
+    /// collapsing a conditional branch strands its untaken arm.
+    pub fn drop_unreachable_blocks(&mut self) -> usize {
+        let n = self.blocks.len();
+        if n == 0 {
+            return 0;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(b) = stack.pop() {
+            for s in self.blocks[b].successors() {
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s.index());
+                }
+            }
+        }
+        if seen.iter().all(|&s| s) {
+            return 0;
+        }
+        let mut remap = vec![crate::BlockId(0); n];
+        let mut next = 0u32;
+        for (i, keep) in seen.iter().enumerate() {
+            if *keep {
+                remap[i] = crate::BlockId(next);
+                next += 1;
+            }
+        }
+        let mut i = 0;
+        self.blocks.retain(|_| {
+            let keep = seen[i];
+            i += 1;
+            keep
+        });
+        for blk in &mut self.blocks {
+            for inst in &mut blk.insts {
+                inst.map_blocks(|t| remap[t.index()]);
+            }
+        }
+        n - self.blocks.len()
+    }
+
     /// A 64-bit structural fingerprint of the function.
     ///
     /// Two calls return the same value iff the textual form (which
@@ -294,6 +341,42 @@ impl Module {
     pub fn count_extends(&self, width: Option<crate::Width>) -> usize {
         self.functions.iter().map(|f| f.count_extends(width)).sum()
     }
+
+    /// Total live (non-tombstone) instruction count across all functions
+    /// — the size metric test-case reduction minimizes.
+    #[must_use]
+    pub fn inst_count(&self) -> usize {
+        self.functions.iter().map(Function::inst_count).sum()
+    }
+
+    /// Remove a function, shifting every later function's [`FuncId`] down
+    /// by one and rewriting all remaining `call` instructions to match.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range, or if a call to the removed
+    /// function remains anywhere in the module (the caller must check —
+    /// there is no meaningful remap for a dangling callee).
+    pub fn remove_function(&mut self, id: FuncId) -> Function {
+        let removed = self.functions.remove(id.index());
+        for f in &mut self.functions {
+            for blk in &mut f.blocks {
+                for inst in &mut blk.insts {
+                    if let Inst::Call { func, .. } = inst {
+                        assert!(
+                            *func != id,
+                            "removed function @{} is still called from @{}",
+                            removed.name,
+                            f.name,
+                        );
+                        if func.index() > id.index() {
+                            *func = FuncId(func.0 - 1);
+                        }
+                    }
+                }
+            }
+        }
+        removed
+    }
 }
 
 #[cfg(test)]
@@ -316,6 +399,48 @@ mod tests {
         f.block_mut(b).insts.push(Inst::Extend { dst: r, src: r, from: Width::W32 });
         f.block_mut(b).insts.push(Inst::Ret { value: Some(r) });
         f
+    }
+
+    #[test]
+    fn unreachable_blocks_are_dropped_and_targets_remapped() {
+        let mut f = Function::new("t", vec![Ty::I32], Some(Ty::I32));
+        let b0 = f.entry();
+        let dead = f.new_block();
+        let tail = f.new_block();
+        f.block_mut(b0).insts.push(Inst::Br { target: tail });
+        f.block_mut(dead).insts.push(Inst::Ret { value: Some(Reg(0)) });
+        f.block_mut(tail).insts.push(Inst::Ret { value: Some(Reg(0)) });
+        assert_eq!(f.drop_unreachable_blocks(), 1);
+        assert_eq!(f.blocks.len(), 2);
+        // The branch to the old b2 now targets the compacted b1.
+        assert_eq!(f.block(BlockId(0)).terminator(), Some(&Inst::Br { target: BlockId(1) }));
+        assert_eq!(f.drop_unreachable_blocks(), 0, "idempotent");
+    }
+
+    #[test]
+    fn remove_function_remaps_later_callees() {
+        let mut m = Module::new();
+        for name in ["a", "b", "c"] {
+            let mut f = Function::new(name, vec![], Some(Ty::I32));
+            let r = f.new_reg();
+            let b = f.entry();
+            f.block_mut(b).insts.push(Inst::Const { dst: r, value: 1, ty: Ty::I32 });
+            f.block_mut(b).insts.push(Inst::Ret { value: Some(r) });
+            m.add_function(f);
+        }
+        // a calls c (FuncId 2); removing b must shift the callee to 1.
+        let call_dst = m.functions[0].new_reg();
+        m.functions[0].blocks[0]
+            .insts
+            .insert(1, Inst::Call { dst: Some(call_dst), func: FuncId(2), args: vec![] });
+        assert_eq!(m.inst_count(), 7);
+        let removed = m.remove_function(FuncId(1));
+        assert_eq!(removed.name, "b");
+        assert_eq!(m.functions.len(), 2);
+        match m.functions[0].blocks[0].insts[1] {
+            Inst::Call { func, .. } => assert_eq!(func, FuncId(1)),
+            ref other => panic!("unexpected inst {other:?}"),
+        }
     }
 
     #[test]

@@ -89,6 +89,33 @@ impl XorShift {
     pub fn fork(&mut self) -> XorShift {
         XorShift::new(self.next_u64())
     }
+
+    /// Pick an index with probability proportional to its weight: index
+    /// `i` is returned with probability `weights[i] / sum`. Zero-weight
+    /// entries are never picked; an all-zero (or empty) slice yields 0.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        if total == 0 {
+            return 0;
+        }
+        let mut roll = self.below(total);
+        for (i, &w) in weights.iter().enumerate() {
+            let w = u64::from(w);
+            if roll < w {
+                return i;
+            }
+            roll -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Uniformly choose an element of a slice.
+    ///
+    /// # Panics
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +152,32 @@ mod tests {
             assert!(i < 3);
         }
         assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn weighted_respects_zero_and_distribution() {
+        let mut r = XorShift::new(9);
+        let mut hits = [0usize; 4];
+        for _ in 0..4000 {
+            hits[r.weighted(&[3, 0, 1, 0])] += 1;
+        }
+        assert_eq!(hits[1], 0);
+        assert_eq!(hits[3], 0);
+        assert!(hits[0] > hits[2], "weight 3 beats weight 1: {hits:?}");
+        assert!(hits[2] > 0);
+        assert_eq!(r.weighted(&[0, 0]), 0);
+        assert_eq!(r.weighted(&[]), 0);
+    }
+
+    #[test]
+    fn choose_picks_every_element_eventually() {
+        let mut r = XorShift::new(3);
+        let items = [10, 20, 30];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(*r.choose(&items));
+        }
+        assert_eq!(seen.len(), 3);
     }
 
     #[test]

@@ -59,6 +59,64 @@ fn parse_variant(s: &str) -> Option<Variant> {
     })
 }
 
+/// Inverse of [`parse_variant`], for reconstructing a repro command.
+fn variant_flag(v: Variant) -> &'static str {
+    match v {
+        Variant::Baseline => "baseline",
+        Variant::GenUse => "gen-use",
+        Variant::FirstAlgorithm => "first",
+        Variant::BasicUdDu => "basic",
+        Variant::Insert => "insert",
+        Variant::Order => "order",
+        Variant::InsertOrder => "insert-order",
+        Variant::Array => "array",
+        Variant::ArrayInsert => "array-insert",
+        Variant::ArrayOrder => "array-order",
+        Variant::AllPde => "all-pde",
+        Variant::All => "all",
+    }
+}
+
+/// The exact one-line command that reproduces a chaos-oracle finding:
+/// same input, variant, target, chaos seed, and (pinned) oracle config.
+fn repro_command(opts: &Options, oracle: &OracleConfig) -> String {
+    use std::fmt::Write as _;
+    let mut c = String::from("cargo run --release -p sxe-jit --bin sxec --");
+    if opts.variant != Variant::All {
+        let _ = write!(c, " --variant {}", variant_flag(opts.variant));
+    }
+    if opts.target == Target::Ppc64 {
+        c.push_str(" --target ppc64");
+    }
+    if let Some(w) = &opts.workload {
+        let _ = write!(c, " --workload {w}");
+        if let Some(s) = opts.size {
+            let _ = write!(c, " --size {s}");
+        }
+    }
+    if let Some(b) = opts.budget {
+        let _ = write!(c, " --budget {b}");
+    }
+    if opts.threads != 1 {
+        let _ = write!(c, " --threads {}", opts.threads);
+    }
+    if !opts.cache {
+        c.push_str(" --no-cache");
+    }
+    if let Some(seed) = opts.chaos_seed {
+        let _ = write!(c, " --chaos-seed {seed}");
+    }
+    let _ = write!(
+        c,
+        " --oracle-runs {} --oracle-fuel {} --oracle-seed {} --no-emit",
+        oracle.runs, oracle.fuel, oracle.seed
+    );
+    if opts.workload.is_none() {
+        let _ = write!(c, " {}", opts.input);
+    }
+    c
+}
+
 struct Options {
     input: String,
     variant: Variant,
@@ -72,6 +130,9 @@ struct Options {
     threads: usize,
     cache: bool,
     chaos_seed: Option<u64>,
+    oracle_runs: Option<usize>,
+    oracle_fuel: Option<u64>,
+    oracle_seed: Option<u64>,
     trace: Option<String>,
     metrics: Option<String>,
     report: bool,
@@ -83,7 +144,8 @@ fn usage() -> &'static str {
     "usage: sxec [--variant V] [--target ia64|ppc64] [--max-array-len N] \
      [--workload NAME] [--size N] \
      [--run ENTRY] [--arg N]... [--budget FUEL] [--threads N] [--no-cache] \
-     [--chaos-seed N] [--trace FILE] [--metrics FILE] \
+     [--chaos-seed N] [--oracle-runs N] [--oracle-fuel N] [--oracle-seed N] \
+     [--trace FILE] [--metrics FILE] \
      [--report] [--stats] [--no-emit] <input.sxe>"
 }
 
@@ -101,6 +163,9 @@ fn parse_args() -> Result<Options, String> {
         threads: 1,
         cache: true,
         chaos_seed: None,
+        oracle_runs: None,
+        oracle_fuel: None,
+        oracle_seed: None,
         trace: None,
         metrics: None,
         report: false,
@@ -168,6 +233,27 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or("--chaos-seed needs an integer seed")?,
                 );
             }
+            "--oracle-runs" => {
+                opts.oracle_runs = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--oracle-runs needs a run count")?,
+                );
+            }
+            "--oracle-fuel" => {
+                opts.oracle_fuel = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--oracle-fuel needs a fuel count")?,
+                );
+            }
+            "--oracle-seed" => {
+                opts.oracle_seed = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--oracle-seed needs an integer seed")?,
+                );
+            }
             "--trace" => opts.trace = Some(it.next().ok_or("--trace needs a file path")?),
             "--metrics" => {
                 opts.metrics = Some(it.next().ok_or("--metrics needs a file path")?);
@@ -191,6 +277,11 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.size.is_some() && opts.workload.is_none() {
         return Err("--size only makes sense with --workload".to_string());
+    }
+    if (opts.oracle_runs.is_some() || opts.oracle_fuel.is_some() || opts.oracle_seed.is_some())
+        && opts.chaos_seed.is_none()
+    {
+        return Err("--oracle-* flags only make sense with --chaos-seed".to_string());
     }
     Ok(opts)
 }
@@ -272,15 +363,17 @@ fn main() -> ExitCode {
             .with_target(opts.target)
             .compile(&module)
             .module;
-        match differential_check(
-            &reference,
-            &compiled.module,
-            opts.target,
-            &OracleConfig::default(),
-        ) {
+        let defaults = OracleConfig::default();
+        let oracle = OracleConfig {
+            runs: opts.oracle_runs.unwrap_or(defaults.runs),
+            fuel: opts.oracle_fuel.unwrap_or(defaults.fuel),
+            seed: opts.oracle_seed.unwrap_or(defaults.seed),
+        };
+        match differential_check(&reference, &compiled.module, opts.target, &oracle) {
             Ok(n) => eprintln!("sxec: oracle agreed on {n} comparisons"),
             Err(m) => {
                 eprintln!("sxec: ORACLE MISMATCH: {m}");
+                eprintln!("sxec: repro: {}", repro_command(&opts, &oracle));
                 return ExitCode::FAILURE;
             }
         }

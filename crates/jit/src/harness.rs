@@ -35,8 +35,10 @@ use sxe_telemetry::{ArgValue, Clock, Event, Lane};
 use crate::report::{CompileReport, InjectedFault, PassRecord, PassStatus, RollbackCause};
 
 /// A deterministic fault to inject during one compilation. At most one
-/// of the three sites is set; boundaries are numbered in execution order
-/// from zero.
+/// of the sites is set; boundaries are numbered in execution order from
+/// zero. The first three kinds are *contained* faults the pipeline must
+/// survive; [`FaultPlan::miscompile_at`] is the deliberately uncontained
+/// one the differential oracle must catch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Seed this plan was derived from; also seeds the corruption RNG.
@@ -47,6 +49,14 @@ pub struct FaultPlan {
     pub corrupt_at: Option<u32>,
     /// Boundary at which the budget is force-exhausted.
     pub exhaust_at: Option<u32>,
+    /// Boundary after which a verifier-clean *semantic* sabotage is
+    /// applied — once the gate has already passed, so no containment
+    /// layer can roll it back. Never chosen by [`FaultPlan::from_seed`]:
+    /// unlike the three contained kinds this is designed to ship a real
+    /// miscompile, and exists so the fuzz subsystem's planted-bug mode
+    /// can prove the differential oracle (and nothing weaker) catches
+    /// one end to end.
+    pub miscompile_at: Option<u32>,
 }
 
 impl FaultPlan {
@@ -65,6 +75,62 @@ impl FaultPlan {
             _ => plan.exhaust_at = at,
         }
         plan
+    }
+
+    /// A plan that plants an uncontained miscompile at `boundary` (see
+    /// [`FaultPlan::miscompile_at`]).
+    #[must_use]
+    pub fn miscompile(seed: u64, boundary: u32) -> FaultPlan {
+        FaultPlan { seed, miscompile_at: Some(boundary), ..FaultPlan::default() }
+    }
+}
+
+/// Verifier-clean semantic sabotage, applied after a boundary's gate has
+/// passed when [`FaultPlan::miscompile_at`] targets it. The change must
+/// be *structurally* untouchable — every verification rule still holds —
+/// while being semantically wrong, which is exactly the class of bug
+/// only the differential oracle can catch.
+pub(crate) trait Miscompilable {
+    /// Apply the sabotage; `false` when there is nothing to sabotage.
+    fn sabotage(&mut self) -> bool;
+}
+
+impl Miscompilable for Function {
+    fn sabotage(&mut self) -> bool {
+        // Flip bit 1 of the first constant: an off-by-two nobody's gate
+        // can object to. Fall back to swapping the first conditional
+        // branch's arms, which is equally well-formed and equally wrong.
+        for blk in &mut self.blocks {
+            for inst in &mut blk.insts {
+                if let Inst::Const { value, .. } = inst {
+                    *value ^= 2;
+                    return true;
+                }
+            }
+        }
+        for blk in &mut self.blocks {
+            for inst in &mut blk.insts {
+                if let Inst::CondBr { then_bb, else_bb, .. } = inst {
+                    std::mem::swap(then_bb, else_bb);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl Miscompilable for Module {
+    fn sabotage(&mut self) -> bool {
+        // Sabotage every function that has something to sabotage. This
+        // keeps the plant stable under test-case reduction: dropping an
+        // unrelated function never moves the sabotage off the one whose
+        // divergence the fuzzer is minimizing.
+        let mut any = false;
+        for f in &mut self.functions {
+            any |= f.sabotage();
+        }
+        any
     }
 }
 
@@ -185,7 +251,7 @@ impl<'a> Harness<'a> {
     /// result when the pass ran to completion and its output verified,
     /// `None` when the pass was skipped, rolled back, or budget-stopped —
     /// in which case `target` holds the last-good IR.
-    pub(crate) fn run_boundary<T: Clone, R>(
+    pub(crate) fn run_boundary<T: Clone + Miscompilable, R>(
         &mut self,
         name: &str,
         function: Option<&str>,
@@ -284,6 +350,11 @@ impl<'a> Harness<'a> {
 
         match verify(target) {
             Ok(()) => {
+                // The plant fires only after the gate passed: the shipped
+                // IR is verifier-clean and semantically wrong, on purpose.
+                if plan.and_then(|p| p.miscompile_at) == Some(ordinal) && target.sabotage() {
+                    injected = Some(InjectedFault::Miscompile);
+                }
                 record(self, PassStatus::Ok, injected, t0, span);
                 Some(value)
             }
@@ -456,6 +527,39 @@ mod tests {
             }
             other => panic!("unexpected status {other:?}"),
         }
+    }
+
+    #[test]
+    fn planted_miscompile_passes_the_gate_and_is_recorded() {
+        let plan = FaultPlan::miscompile(7, 0);
+        let shared = SharedState::new(Some(plan), Budget::unlimited(), None);
+        let mut h = Harness::new(&shared, "test");
+        let mut f = sample();
+        let before = f.clone();
+        let out = h.run_boundary(
+            "victim",
+            Some("f"),
+            &mut f,
+            verify_function,
+            corrupt_nothing,
+            |_, _| 1,
+        );
+        // The boundary reports success — that is the point: the sabotage
+        // is invisible to every containment layer.
+        assert_eq!(out, Some(1));
+        assert_eq!(h.report.records[0].status, PassStatus::Ok);
+        assert_eq!(h.report.records[0].injected, Some(InjectedFault::Miscompile));
+        assert_ne!(f, before, "the IR was semantically sabotaged");
+        assert!(verify_function(&f).is_ok(), "yet it still verifies");
+        // The sabotage flipped bit 1 of the first constant.
+        let flipped = f
+            .insts()
+            .find_map(|(_, i)| match i {
+                sxe_ir::Inst::Const { value, .. } => Some(*value),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(flipped, 2 ^ 2);
     }
 
     #[test]

@@ -49,7 +49,7 @@
 
 pub mod harness;
 pub mod report;
-mod shard;
+pub mod shard;
 
 use std::fmt;
 use std::time::{Duration, Instant};

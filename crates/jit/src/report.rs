@@ -65,6 +65,10 @@ pub enum InjectedFault {
     Corrupt,
     /// The compile budget was force-exhausted at this boundary.
     Exhaust,
+    /// A verifier-clean semantic sabotage was applied *after* the gate
+    /// passed — a planted miscompile no containment layer can catch,
+    /// used to prove the differential fuzzing oracle does.
+    Miscompile,
 }
 
 impl fmt::Display for InjectedFault {
@@ -73,6 +77,7 @@ impl fmt::Display for InjectedFault {
             InjectedFault::Panic => f.write_str("panic"),
             InjectedFault::Corrupt => f.write_str("corrupt"),
             InjectedFault::Exhaust => f.write_str("exhaust"),
+            InjectedFault::Miscompile => f.write_str("miscompile"),
         }
     }
 }

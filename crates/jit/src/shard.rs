@@ -14,7 +14,7 @@
 /// # Panics
 /// Propagates a panic from `work` (workers are expected to contain their
 /// own faults — the compile pipeline wraps every pass in a boundary).
-pub(crate) fn par_map_mut<T, R>(
+pub fn par_map_mut<T, R>(
     items: &mut [T],
     threads: usize,
     work: impl Fn(usize, &mut T) -> R + Sync,
@@ -52,7 +52,7 @@ where
 /// [`par_map_mut`] over shared references, for work that only reads its
 /// item (batch compilation reads each source module and builds a fresh
 /// output).
-pub(crate) fn par_map<T, R>(
+pub fn par_map<T, R>(
     items: &[T],
     threads: usize,
     work: impl Fn(usize, &T) -> R + Sync,

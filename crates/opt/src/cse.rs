@@ -63,8 +63,13 @@ pub fn run(f: &mut Function) -> usize {
                             ExprKey::Bin(_, ty, ..)
                             | ExprKey::Un(_, ty, _)
                             | ExprKey::Const(ty, _) => ty,
-                            ExprKey::Setcc(..) => Ty::I32,
-                            ExprKey::Extend(..) => Ty::I64,
+                            // Setcc and Extend dsts are narrow-kind
+                            // registers (`infer_kinds` classifies them
+                            // Int32 regardless of the instruction ty), and
+                            // an integer copy moves the full register at
+                            // any ty — so the copy must stay at i32 or it
+                            // would flip the register's kind to Wide.
+                            ExprKey::Setcc(..) | ExprKey::Extend(..) => Ty::I32,
                             ExprKey::ConstF(_) => Ty::F64,
                         };
                         *inst = Inst::Copy { dst, src: holder, ty };
@@ -125,6 +130,28 @@ mod tests {
         )
         .unwrap();
         assert_eq!(run(&mut f), 0);
+    }
+
+    #[test]
+    fn extend_cse_preserves_register_kind() {
+        // Found by the fuzzer (sxe-fuzz, module seed 0x9c6a537daa0c6564):
+        // replacing a duplicate extend with a `copy.i64` flips the dst
+        // register's inferred kind from Int32 to Wide, and if that
+        // register has any other narrow definition the conversion
+        // machinery's kind-consistency check panics downstream. The
+        // replacement copy must stay at i32 — integer copies move the
+        // full register at any ty, so no value is lost.
+        let mut f = parse_function(
+            "func @f(i32) -> i64 {\n\
+             b0:\n    r1 = extend.32 r0\n    r2 = add.i16 r0, r0\n    r2 = extend.32 r0\n    \
+             r3 = set.gt.i64 r1, r2\n    ret r3\n}\n",
+        )
+        .unwrap();
+        assert_eq!(run(&mut f), 1);
+        assert!(matches!(
+            f.inst(InstId::new(BlockId(0), 2)),
+            Inst::Copy { src: Reg(1), ty: Ty::I32, .. }
+        ));
     }
 
     #[test]

@@ -48,4 +48,4 @@ pub use counters::{mnemonic, op_index, Counters, SharedCounters, MNEMONICS};
 pub use error::Trap;
 pub use heap::{ArrayObj, Heap, HEAP_LIMIT_ELEMS};
 pub use machine::{Machine, Outcome, DEFAULT_FUEL, MAX_CALL_DEPTH};
-pub use oracle::{differential_check, Mismatch, OracleConfig};
+pub use oracle::{differential_check, differential_replay, oracle_args, Mismatch, OracleConfig};

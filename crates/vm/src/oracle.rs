@@ -46,6 +46,10 @@ impl Default for OracleConfig {
 }
 
 /// A behavioral divergence found by the oracle.
+///
+/// Carries the oracle seed and run index the diverging argument set was
+/// derived from, so the single divergent run can be replayed standalone
+/// with [`differential_replay`] — no need to re-run the whole sweep.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mismatch {
     /// Function that diverged.
@@ -56,14 +60,18 @@ pub struct Mismatch {
     pub left: String,
     /// Outcome on the right (compiled) module.
     pub right: String,
+    /// Oracle seed ([`OracleConfig::seed`]) the sweep ran under.
+    pub seed: u64,
+    /// Zero-based run index within this function's sweep.
+    pub run: usize,
 }
 
 impl std::fmt::Display for Mismatch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "@{}({:?}): left = {}, right = {}",
-            self.function, self.args, self.left, self.right
+            "@{}({:?}): left = {}, right = {} [oracle seed {:#x} run {}]",
+            self.function, self.args, self.left, self.right, self.seed, self.run
         )
     }
 }
@@ -125,9 +133,78 @@ fn sample_arg(rng: &mut XorShift) -> i64 {
     }
 }
 
+/// FNV-1a over a function name, for deriving its argument stream.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in s.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The deterministic argument set the oracle uses for (`function`,
+/// `run`) under `config.seed`. Derivable without replaying any earlier
+/// function or run — this is what makes a [`Mismatch`] (which carries
+/// `seed` and `run`) a standalone reproducer.
+#[must_use]
+pub fn oracle_args(config: &OracleConfig, function: &str, arity: usize, run: usize) -> Vec<i64> {
+    let mut rng = XorShift::new(
+        config.seed
+            ^ fnv1a(function)
+            ^ (run as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    );
+    (0..arity).map(|_| sample_arg(&mut rng)).collect()
+}
+
+/// Did one `(function, run)` comparison agree, or was it skipped?
+enum RunVerdict {
+    Agree,
+    Skipped,
+}
+
+/// Run one `(function, run)` comparison; `lf` comes from `left`.
+fn compare_one(
+    left: &Module,
+    right: &Module,
+    target: Target,
+    config: &OracleConfig,
+    lf: &sxe_ir::Function,
+    run: usize,
+) -> Result<RunVerdict, Mismatch> {
+    let args = oracle_args(config, &lf.name, lf.params.len(), run);
+    let l = run_once(left, target, &lf.name, &args, lf.ret, config.fuel);
+    let r = run_once(right, target, &lf.name, &args, lf.ret, config.fuel);
+    if matches!(l, RunResult::Trapped(TrapKind::ResourceExhausted))
+        || matches!(r, RunResult::Trapped(TrapKind::ResourceExhausted))
+    {
+        return Ok(RunVerdict::Skipped);
+    }
+    let agree = match (&l, &r) {
+        (RunResult::Done { ret: lr, heap: lh }, RunResult::Done { ret: rr, heap: rh }) => {
+            lr == rr && lh == rh
+        }
+        (RunResult::Trapped(lk), RunResult::Trapped(rk)) => lk == rk,
+        _ => false,
+    };
+    if agree {
+        Ok(RunVerdict::Agree)
+    } else {
+        Err(Mismatch {
+            function: lf.name.clone(),
+            args,
+            left: l.describe(),
+            right: r.describe(),
+            seed: config.seed,
+            run,
+        })
+    }
+}
+
 /// Compare `left` (reference) and `right` (optimized) on every function
 /// both modules share by name, over `config.runs` deterministic argument
-/// sets each.
+/// sets each. Argument sets are derived per `(function, run)` — not from
+/// one rolling stream — so any single run replays standalone via
+/// [`differential_replay`].
 ///
 /// Returns the number of comparisons actually performed (skipped
 /// resource-exhausted runs do not count).
@@ -140,42 +217,52 @@ pub fn differential_check(
     target: Target,
     config: &OracleConfig,
 ) -> Result<usize, Mismatch> {
-    let mut rng = XorShift::new(config.seed);
     let mut compared = 0;
     for (_, lf) in left.iter() {
         let Some(rid) = right.function_by_name(&lf.name) else { continue };
         if right.function(rid).params.len() != lf.params.len() {
             continue;
         }
-        for _ in 0..config.runs {
-            let args: Vec<i64> = lf.params.iter().map(|_| sample_arg(&mut rng)).collect();
-            let l = run_once(left, target, &lf.name, &args, lf.ret, config.fuel);
-            let r = run_once(right, target, &lf.name, &args, lf.ret, config.fuel);
-            if matches!(l, RunResult::Trapped(TrapKind::ResourceExhausted))
-                || matches!(r, RunResult::Trapped(TrapKind::ResourceExhausted))
-            {
-                continue;
+        for run in 0..config.runs {
+            if matches!(
+                compare_one(left, right, target, config, lf, run)?,
+                RunVerdict::Agree
+            ) {
+                compared += 1;
             }
-            let agree = match (&l, &r) {
-                (
-                    RunResult::Done { ret: lr, heap: lh },
-                    RunResult::Done { ret: rr, heap: rh },
-                ) => lr == rr && lh == rh,
-                (RunResult::Trapped(lk), RunResult::Trapped(rk)) => lk == rk,
-                _ => false,
-            };
-            if !agree {
-                return Err(Mismatch {
-                    function: lf.name.clone(),
-                    args,
-                    left: l.describe(),
-                    right: r.describe(),
-                });
-            }
-            compared += 1;
         }
     }
     Ok(compared)
+}
+
+/// Replay one `(function, run)` comparison from an earlier sweep, as
+/// carried by [`Mismatch::seed`] / [`Mismatch::run`] (put the seed back
+/// into `config.seed`).
+///
+/// Returns `Ok(true)` when the comparison ran and agreed, `Ok(false)`
+/// when it was skipped (unknown function, arity mismatch, or resource
+/// exhaustion on either side).
+///
+/// # Errors
+/// The reproduced [`Mismatch`].
+pub fn differential_replay(
+    left: &Module,
+    right: &Module,
+    target: Target,
+    config: &OracleConfig,
+    function: &str,
+    run: usize,
+) -> Result<bool, Mismatch> {
+    let Some(lid) = left.function_by_name(function) else { return Ok(false) };
+    let lf = left.function(lid);
+    let Some(rid) = right.function_by_name(function) else { return Ok(false) };
+    if right.function(rid).params.len() != lf.params.len() {
+        return Ok(false);
+    }
+    match compare_one(left, right, target, config, lf, run)? {
+        RunVerdict::Agree => Ok(true),
+        RunVerdict::Skipped => Ok(false),
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +313,38 @@ b0:
         let err = differential_check(&left, &right, Target::Ia64, &OracleConfig::default())
             .expect_err("must diverge");
         assert!(err.left != err.right);
+    }
+
+    #[test]
+    fn a_mismatch_replays_standalone() {
+        let left = parse_module(GOOD).unwrap();
+        let right = parse_module(&GOOD.replace("const.i32 3", "const.i32 4")).unwrap();
+        let config = OracleConfig::default();
+        let err = differential_check(&left, &right, Target::Ia64, &config)
+            .expect_err("must diverge");
+        assert_eq!(err.seed, config.seed);
+        // Replaying exactly (function, run) reproduces the same mismatch
+        // without re-running the rest of the sweep.
+        let replayed =
+            differential_replay(&left, &right, Target::Ia64, &config, &err.function, err.run)
+                .expect_err("replay must reproduce the divergence");
+        assert_eq!(replayed, err);
+        // And the argument derivation is position-independent.
+        assert_eq!(oracle_args(&config, &err.function, err.args.len(), err.run), err.args);
+    }
+
+    #[test]
+    fn replay_of_agreeing_run_is_ok() {
+        let m = parse_module(GOOD).unwrap();
+        let config = OracleConfig::default();
+        assert_eq!(
+            differential_replay(&m, &m.clone(), Target::Ia64, &config, "main", 0),
+            Ok(true)
+        );
+        assert_eq!(
+            differential_replay(&m, &m.clone(), Target::Ia64, &config, "nope", 0),
+            Ok(false)
+        );
     }
 
     #[test]

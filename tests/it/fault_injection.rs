@@ -99,6 +99,12 @@ fn each_fault_kind_is_visible_in_the_report() {
                 );
                 assert!(compiled.report.budget_exhausted);
             }
+            InjectedFault::Miscompile => {
+                // `from_seed` plans only the three contained kinds; the
+                // miscompile plant is reserved for the fuzzer's self-test
+                // (`FaultPlan::miscompile`).
+                panic!("seed {seed}: from_seed must never plant a miscompile");
+            }
         }
     }
     assert_eq!(kinds_seen, [true; 3], "64 seeds cover all three fault kinds");

@@ -1,0 +1,75 @@
+//! Cross-crate fuzzing integration: the 500-module generator property
+//! sweep, campaign determinism across worker counts with reduction
+//! enabled, and a clean sweep on the second target.
+
+use sxe_fuzz::{generate_module, module_seed, run_campaign, Campaign, FuzzConfig, GenConfig};
+use sxe_ir::{parse_module, verify_module, Target};
+use sxe_jit::Telemetry;
+use sxe_vm::OracleConfig;
+
+/// Every generated module is verifier-valid and survives an exact
+/// print -> parse round trip — the property that makes `.sxir` finding
+/// files faithful reproducers.
+#[test]
+fn five_hundred_generated_modules_verify_and_round_trip() {
+    let cfg = GenConfig::default();
+    for index in 0..500 {
+        let seed = module_seed(0x5eed_0500, index);
+        let m = generate_module(seed, &cfg);
+        verify_module(&m).unwrap_or_else(|e| panic!("module {index} (seed {seed:#x}): {e}\n{m}"));
+        let text = m.to_string();
+        let back = parse_module(&text).unwrap_or_else(|e| {
+            panic!("module {index} (seed {seed:#x}) does not re-parse: {e}\n{text}")
+        });
+        assert_eq!(back, m, "module {index} (seed {seed:#x}) round-trips");
+    }
+}
+
+/// The full loop — find, dedup, minimize — produces byte-identical
+/// findings and reduced reproducers at any worker count.
+#[test]
+fn planted_campaign_reduces_identically_at_any_thread_count() {
+    let base = FuzzConfig {
+        count: 6,
+        plant: true,
+        oracle: OracleConfig { runs: 4, ..OracleConfig::default() },
+        ..FuzzConfig::default()
+    };
+    let one = run_campaign(&base, &Telemetry::disabled());
+    let four = run_campaign(&FuzzConfig { threads: 4, ..base }, &Telemetry::disabled());
+    assert!(!one.findings.is_empty(), "the planted miscompile must be found");
+    let key = |c: &Campaign| {
+        c.findings
+            .iter()
+            .map(|f| {
+                (
+                    f.index,
+                    f.module_seed,
+                    f.signature.to_string(),
+                    f.module.to_string(),
+                    f.reduced.as_ref().expect("reduction ran").to_string(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(key(&one), key(&four));
+}
+
+/// A clean campaign on the PowerPC-style target: the pipeline and the
+/// oracle agree there too.
+#[test]
+fn clean_campaign_on_ppc64_finds_nothing() {
+    let config = FuzzConfig {
+        count: 16,
+        target: Target::Ppc64,
+        oracle: OracleConfig { runs: 4, ..OracleConfig::default() },
+        ..FuzzConfig::default()
+    };
+    let campaign = run_campaign(&config, &Telemetry::disabled());
+    assert!(campaign.comparisons > 0);
+    assert!(
+        campaign.findings.is_empty(),
+        "ppc64 campaign must be clean: {:#?}",
+        campaign.findings.iter().map(|f| &f.detail).collect::<Vec<_>>()
+    );
+}

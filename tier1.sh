@@ -1,11 +1,13 @@
 #!/usr/bin/env sh
 # Tier-1 gate: build, full test suite, lints on the robustness- and
 # sharding-touched crates, the sharded-compile determinism check, the
-# fault-injection (chaos) smoke sweep, and the telemetry gate
-# (schema-valid metrics export, disabled-sink output determinism).
+# fault-injection (chaos) smoke sweep, the telemetry gate (schema-valid
+# metrics export, disabled-sink output determinism), and the fuzz gate
+# (clean smoke campaign, planted-miscompile self-test with a minimized
+# reproducer, thread-count independence of findings).
 #
 #   ./tier1.sh            # everything
-#   ./tier1.sh --fast     # skip the determinism/chaos/telemetry sweeps
+#   ./tier1.sh --fast     # skip the determinism/chaos/telemetry/fuzz sweeps
 set -eu
 
 cd "$(dirname "$0")"
@@ -18,8 +20,8 @@ cargo test -q
 
 echo "== tier1: clippy -D warnings (touched crates)"
 cargo clippy -q -p sxe-ir -p sxe-analysis -p sxe-core -p sxe-opt -p sxe-vm \
-    -p sxe-jit -p sxe-bench -p sxe-telemetry -p xelim-integration-tests \
-    --all-targets -- -D warnings
+    -p sxe-jit -p sxe-bench -p sxe-telemetry -p sxe-fuzz \
+    -p xelim-integration-tests --all-targets -- -D warnings
 
 if [ "${1:-}" != "--fast" ]; then
     echo "== tier1: sharded determinism (threads 1 vs 4, 17 workloads)"
@@ -42,6 +44,24 @@ if [ "${1:-}" != "--fast" ]; then
     cmp "$TDIR/traced.out" "$TDIR/plain.out" || {
         echo "tier1: enabling telemetry changed the compiled module output" >&2; exit 1; }
     echo "tier1: telemetry exports valid, disabled-sink output identical"
+
+    echo "== tier1: fuzz smoke (200 modules, clean pipeline, zero findings)"
+    cargo run -q --release -p sxe-bench --bin fuzz -- --count 200 --threads 4 \
+        --oracle-runs 8
+
+    echo "== tier1: fuzz self-test (planted miscompile found, minimized, thread-independent)"
+    cargo run -q --release -p sxe-bench --bin fuzz -- --count 8 --plant --oracle-runs 4 \
+        --out "$TDIR/fuzz1" > "$TDIR/fuzz1.out"
+    ls "$TDIR"/fuzz1/*.min.sxir > /dev/null 2>&1 || {
+        echo "tier1: planted run produced no minimized reproducer" >&2; exit 1; }
+    cargo run -q --release -p sxe-bench --bin fuzz -- --count 8 --plant --oracle-runs 4 \
+        --threads 4 --out "$TDIR/fuzz4" > "$TDIR/fuzz4.out"
+    diff -r "$TDIR/fuzz1" "$TDIR/fuzz4" || {
+        echo "tier1: fuzz findings differ between --threads 1 and 4" >&2; exit 1; }
+    sed -e 's/4 worker/1 worker/' -e 's|/fuzz4/|/fuzz1/|' "$TDIR/fuzz4.out" \
+        | cmp - "$TDIR/fuzz1.out" || {
+        echo "tier1: fuzz reports differ between --threads 1 and 4" >&2; exit 1; }
+    echo "tier1: fuzz gate OK (clean smoke, self-test minimized, findings thread-independent)"
 fi
 
 echo "== tier1: OK"
