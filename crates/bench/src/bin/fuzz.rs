@@ -25,7 +25,6 @@
 //! running a campaign, reporting its outcome (and, on a failure, the
 //! minimized reproducer).
 
-use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use sxe_fuzz::{
@@ -46,22 +45,20 @@ fn parse_u64(s: &str) -> Option<u64> {
 /// The exact one-line command that replays a finding: same module seed,
 /// target, fault mode, and oracle configuration.
 fn repro_command(module_seed: u64, config: &FuzzConfig) -> String {
-    let mut c = String::from("cargo run --release -p sxe-bench --bin fuzz --");
-    let _ = write!(c, " --module-seed {module_seed:#x}");
+    let mut c = sxe_bench::cmdline::ReproCmd::new("sxe-bench", "fuzz")
+        .opt_hex("--module-seed", module_seed);
     if config.target == Target::Ppc64 {
-        c.push_str(" --target ppc64");
+        c = c.opt("--target", "ppc64");
     }
     if config.plant {
-        c.push_str(" --plant");
+        c = c.flag("--plant");
     } else if config.chaos {
-        c.push_str(" --chaos");
+        c = c.flag("--chaos");
     }
-    let _ = write!(
-        c,
-        " --oracle-runs {} --oracle-fuel {} --oracle-seed {:#x}",
-        config.oracle.runs, config.oracle.fuel, config.oracle.seed
-    );
-    c
+    c.opt("--oracle-runs", config.oracle.runs)
+        .opt("--oracle-fuel", config.oracle.fuel)
+        .opt_hex("--oracle-seed", config.oracle.seed)
+        .render()
 }
 
 /// Write a finding's original and minimized modules under `dir`.

@@ -151,12 +151,16 @@ pub fn chaos_sweep_with(
                 match differential_check(&reference, &compiled.module, Target::Ia64, &oracle) {
                     Ok(n) => n,
                     Err(m) => {
+                        let repro = crate::cmdline::ReproCmd::new("sxe-jit", "sxec")
+                            .opt("--workload", name)
+                            .opt("--size", size)
+                            .opt("--chaos-seed", seed)
+                            .opt("--oracle-runs", oracle.runs)
+                            .opt("--oracle-fuel", oracle.fuel)
+                            .opt("--oracle-seed", oracle.seed)
+                            .flag("--no-emit");
                         errors.push(format!(
-                            "{name} seed {seed}: ORACLE MISMATCH: {m}\n    repro: cargo run \
-                             --release -p sxe-jit --bin sxec -- --workload {name} --size {size} \
-                             --chaos-seed {seed} --oracle-runs {} --oracle-fuel {} \
-                             --oracle-seed {} --no-emit",
-                            oracle.runs, oracle.fuel, oracle.seed
+                            "{name} seed {seed}: ORACLE MISMATCH: {m}\n    repro: {repro}"
                         ));
                         0
                     }

@@ -1,0 +1,79 @@
+//! Shared formatting for replay command lines.
+//!
+//! Every harness that finds a failure (the chaos sweep, the fuzz
+//! campaign, the serve stress gate) prints the exact one-line `cargo
+//! run` invocation that reproduces it. [`ReproCmd`] is the single
+//! formatter behind those lines, so the flag syntax can never drift
+//! between harnesses.
+
+use std::fmt::{Display, Write as _};
+
+/// Builder for a `cargo run --release -p <pkg> --bin <bin> -- ...`
+/// reproduction command line.
+#[derive(Debug, Clone)]
+pub struct ReproCmd {
+    cmd: String,
+}
+
+impl ReproCmd {
+    /// Start a command for `--bin bin` of package `pkg`.
+    #[must_use]
+    pub fn new(pkg: &str, bin: &str) -> ReproCmd {
+        ReproCmd { cmd: format!("cargo run --release -p {pkg} --bin {bin} --") }
+    }
+
+    /// Append a bare flag (`--plant`).
+    #[must_use]
+    pub fn flag(mut self, flag: &str) -> ReproCmd {
+        let _ = write!(self.cmd, " {flag}");
+        self
+    }
+
+    /// Append a valued flag (`--size 200`), formatting the value with
+    /// [`Display`].
+    #[must_use]
+    pub fn opt(mut self, flag: &str, value: impl Display) -> ReproCmd {
+        let _ = write!(self.cmd, " {flag} {value}");
+        self
+    }
+
+    /// Append a valued flag whose value is formatted as `0x…` hex
+    /// (`--module-seed 0x2a`) — the form the fuzz harness accepts back.
+    #[must_use]
+    pub fn opt_hex(mut self, flag: &str, value: u64) -> ReproCmd {
+        let _ = write!(self.cmd, " {flag} {value:#x}");
+        self
+    }
+
+    /// The finished command line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.cmd.clone()
+    }
+}
+
+impl Display for ReproCmd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.cmd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_the_exact_flag_syntax() {
+        let cmd = ReproCmd::new("sxe-jit", "sxec")
+            .opt("--workload", "compress")
+            .opt("--size", 200)
+            .opt_hex("--chaos-seed", 42)
+            .flag("--no-emit")
+            .render();
+        assert_eq!(
+            cmd,
+            "cargo run --release -p sxe-jit --bin sxec -- --workload compress \
+             --size 200 --chaos-seed 0x2a --no-emit"
+        );
+    }
+}

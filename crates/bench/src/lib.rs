@@ -17,8 +17,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod chaos;
+pub mod cmdline;
 
 pub use chaos::{chaos_sweep, chaos_sweep_on, chaos_sweep_with, ChaosRecord, ChaosSummary};
+pub use cmdline::ReproCmd;
 
 use std::fmt::Write as _;
 

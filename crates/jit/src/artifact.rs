@@ -1,0 +1,158 @@
+//! Cross-process artifact keys: what a compiled module's identity is.
+//!
+//! The compile-service daemon (`sxed`, in `sxe-serve`) caches whole
+//! compiled modules on disk and across process restarts. A cached
+//! artifact may be served *instead of* compiling only if the key
+//! captures everything the compiled text depends on:
+//!
+//! * **the input functions** — folded in as each
+//!   [`Function::fingerprint`] in module order (the same
+//!   structural fingerprint the [`sxe_analysis::AnalysisCache`]
+//!   validates its facts against, extended here from per-function
+//!   analysis facts to whole compiled functions). Because step-2
+//!   inlining can splice one function's body into another, a single
+//!   function's compiled form depends on its callees; combining *every*
+//!   function fingerprint makes the key sound in the presence of
+//!   inlining at the cost of caching per module rather than per
+//!   function;
+//! * **the pipeline configuration** — the step-3 [`SxeConfig`] and the
+//!   step-2 [`GeneralOpts`] ([`config_key`]), which are the only
+//!   compiler knobs that change the emitted text;
+//! * **the pipeline revision** — [`ARTIFACT_VERSION`], bumped whenever
+//!   a change to the optimizer can alter output for an unchanged input,
+//!   so a cache directory written by an older build misses instead of
+//!   serving stale code.
+//!
+//! Deliberately *excluded* from the key — and therefore part of the
+//! caller's contract:
+//!
+//! * `threads`, `cache`, `verify`, `telemetry` — proven byte-identical
+//!   by the tier-1 determinism gates, so they cannot change the artifact;
+//! * `fuel` / `time_limit` / `fault_plan` — these *can* change the
+//!   output (budget salvage, contained rollbacks), so **callers must
+//!   only cache artifacts from clean compilations**
+//!   ([`CompileReport::clean`] and no fault plan). A clean report means
+//!   every pass ran to completion, which is exactly the case where the
+//!   output equals an unlimited-budget run.
+//!
+//! [`SxeConfig`]: sxe_core::SxeConfig
+//! [`GeneralOpts`]: sxe_opt::GeneralOpts
+//! [`CompileReport::clean`]: crate::CompileReport::clean
+
+use sxe_ir::{Function, Module};
+
+use crate::Compiler;
+
+/// Revision of the compiled-artifact format and of the pipeline's
+/// output-affecting behavior. Mixed into every [`artifact_key`]; bump it
+/// when an optimizer change can alter the compiled text for an
+/// unchanged input + configuration.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold `bytes` into an FNV-1a accumulator.
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fingerprint of the output-affecting compiler configuration: the
+/// step-3 [`sxe_core::SxeConfig`] and step-2 [`sxe_opt::GeneralOpts`],
+/// plus [`ARTIFACT_VERSION`]. Budget, fault-plan, thread-count, and
+/// telemetry knobs are excluded (see the [module docs](self)).
+#[must_use]
+pub fn config_key(compiler: &Compiler) -> u64 {
+    // Debug formatting enumerates every field of both config structs, so
+    // a new output-affecting option cannot silently escape the key.
+    let desc = format!("v{ARTIFACT_VERSION}|{:?}|{:?}", compiler.sxe, compiler.general);
+    fnv1a(FNV_OFFSET, desc.as_bytes())
+}
+
+/// Fingerprint of a module's functions: each [`Function::fingerprint`]
+/// folded in module order (order matters — it is the merge order of the
+/// sharded pipeline and the emission order of the compiled text).
+#[must_use]
+pub fn module_key(module: &Module) -> u64 {
+    let mut h = FNV_OFFSET;
+    for (_, f) in module.iter() {
+        h = fnv1a(h, &f.fingerprint().to_le_bytes());
+    }
+    h
+}
+
+/// The cross-process cache key for compiling `module` with `compiler`:
+/// [`config_key`] and [`module_key`] combined.
+#[must_use]
+pub fn artifact_key(compiler: &Compiler, module: &Module) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, &config_key(compiler).to_le_bytes());
+    h = fnv1a(h, &module_key(module).to_le_bytes());
+    h
+}
+
+/// [`Function::fingerprint`] of one function — re-exported entry point so
+/// artifact-cache consumers name the same primitive the analysis cache
+/// validates against.
+#[must_use]
+pub fn function_key(f: &Function) -> u64 {
+    f.fingerprint()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxe_core::Variant;
+    use sxe_ir::{parse_module, Target};
+
+    const A: &str = "func @f(i32) -> i32 {\nb0:\n    r1 = const.i32 2\n    r2 = add.i32 r0, r1\n    ret r2\n}\n";
+    const B: &str = "func @f(i32) -> i32 {\nb0:\n    r1 = const.i32 3\n    r2 = add.i32 r0, r1\n    ret r2\n}\n";
+
+    #[test]
+    fn key_is_deterministic_and_body_sensitive() {
+        let c = Compiler::for_variant(Variant::All);
+        let a = parse_module(A).unwrap();
+        let b = parse_module(B).unwrap();
+        assert_eq!(artifact_key(&c, &a), artifact_key(&c, &a));
+        assert_ne!(
+            artifact_key(&c, &a),
+            artifact_key(&c, &b),
+            "same name, different body must miss"
+        );
+    }
+
+    #[test]
+    fn key_is_config_sensitive() {
+        let a = parse_module(A).unwrap();
+        let all = Compiler::for_variant(Variant::All);
+        let base = Compiler::for_variant(Variant::Baseline);
+        let ppc = Compiler::for_variant(Variant::All).with_target(Target::Ppc64);
+        assert_ne!(artifact_key(&all, &a), artifact_key(&base, &a));
+        assert_ne!(artifact_key(&all, &a), artifact_key(&ppc, &a));
+    }
+
+    #[test]
+    fn key_ignores_output_neutral_knobs() {
+        let a = parse_module(A).unwrap();
+        let plain = Compiler::for_variant(Variant::All);
+        let tuned = Compiler::for_variant(Variant::All)
+            .with_threads(8)
+            .with_cache(false)
+            .with_budget(Some(10), None);
+        assert_eq!(
+            artifact_key(&plain, &a),
+            artifact_key(&tuned, &a),
+            "threads/cache/budget are not part of the artifact identity"
+        );
+    }
+
+    #[test]
+    fn function_key_matches_fingerprint() {
+        let a = parse_module(A).unwrap();
+        let (_, f) = a.iter().next().unwrap();
+        assert_eq!(function_key(f), f.fingerprint());
+    }
+}

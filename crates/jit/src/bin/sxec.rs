@@ -15,6 +15,9 @@
 //!   --run <entry>        run entry() after compiling and print the result
 //!   --arg <n>            argument for --run (repeatable)
 //!   --budget <fuel>      compile budget in fuel units (default: unlimited)
+//!   --timeout <ms>       wall-clock compile budget in milliseconds
+//!                        (default: unlimited; maps onto the same
+//!                        interior-atomic Budget as --budget)
 //!   --threads <n>        worker threads for sharded compilation (default: 1)
 //!   --no-cache           disable the per-worker analysis cache
 //!   --chaos-seed <n>     inject one deterministic fault derived from n,
@@ -28,6 +31,12 @@
 //!   --no-emit            suppress printing the compiled module
 //! ```
 //!
+//! Exit codes are typed so harnesses can tell failure classes apart:
+//! `0` success, `1` runtime failure (trap, oracle mismatch, output I/O),
+//! `2` usage error, `3` input error (missing/unparseable module or
+//! workload), `4` compile refused (verify error or exhausted budget) —
+//! see the table in README.md.
+//!
 //! Reads the module, compiles it, prints the optimized IR to stdout.
 //! `--trace`/`--metrics` enable the telemetry sink for the main compile
 //! only (a `--chaos-seed` dry run stays untraced, so metrics reconcile
@@ -35,11 +44,21 @@
 //! the same registry as `vm.*` metrics.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use sxe_core::Variant;
 use sxe_ir::Target;
 use sxe_jit::{Compiled, Compiler, FaultPlan, Telemetry};
 use sxe_vm::{differential_check, Machine, OracleConfig};
+
+/// Runtime failure: a trap, an oracle mismatch, or output I/O.
+const EXIT_RUNTIME: u8 = 1;
+/// Usage error (bad flags).
+const EXIT_USAGE: u8 = 2;
+/// Input error: missing or unparseable module, unknown workload.
+const EXIT_INPUT: u8 = 3;
+/// The compiler refused the input (verify error, exhausted budget).
+const EXIT_REFUSED: u8 = 4;
 
 fn parse_variant(s: &str) -> Option<Variant> {
     Some(match s {
@@ -97,6 +116,9 @@ fn repro_command(opts: &Options, oracle: &OracleConfig) -> String {
     if let Some(b) = opts.budget {
         let _ = write!(c, " --budget {b}");
     }
+    if let Some(t) = opts.timeout_ms {
+        let _ = write!(c, " --timeout {t}");
+    }
     if opts.threads != 1 {
         let _ = write!(c, " --threads {}", opts.threads);
     }
@@ -127,6 +149,7 @@ struct Options {
     run: Option<String>,
     args: Vec<i64>,
     budget: Option<u64>,
+    timeout_ms: Option<u64>,
     threads: usize,
     cache: bool,
     chaos_seed: Option<u64>,
@@ -143,7 +166,7 @@ struct Options {
 fn usage() -> &'static str {
     "usage: sxec [--variant V] [--target ia64|ppc64] [--max-array-len N] \
      [--workload NAME] [--size N] \
-     [--run ENTRY] [--arg N]... [--budget FUEL] [--threads N] [--no-cache] \
+     [--run ENTRY] [--arg N]... [--budget FUEL] [--timeout MS] [--threads N] [--no-cache] \
      [--chaos-seed N] [--oracle-runs N] [--oracle-fuel N] [--oracle-seed N] \
      [--trace FILE] [--metrics FILE] \
      [--report] [--stats] [--no-emit] <input.sxe>"
@@ -160,6 +183,7 @@ fn parse_args() -> Result<Options, String> {
         run: None,
         args: Vec::new(),
         budget: None,
+        timeout_ms: None,
         threads: 1,
         cache: true,
         chaos_seed: None,
@@ -216,6 +240,13 @@ fn parse_args() -> Result<Options, String> {
                     it.next()
                         .and_then(|s| s.parse().ok())
                         .ok_or("--budget needs a fuel count")?,
+                );
+            }
+            "--timeout" => {
+                opts.timeout_ms = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--timeout needs a millisecond count")?,
                 );
             }
             "--threads" => {
@@ -291,7 +322,7 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let module = if let Some(name) = &opts.workload {
@@ -300,7 +331,7 @@ fn main() -> ExitCode {
             None => {
                 let known: Vec<_> = sxe_workloads::all().iter().map(|w| w.name).collect();
                 eprintln!("sxec: unknown workload `{name}`; known: {}", known.join(", "));
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_INPUT);
             }
         }
     } else {
@@ -308,20 +339,20 @@ fn main() -> ExitCode {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("sxec: cannot read {}: {e}", opts.input);
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_INPUT);
             }
         };
         match sxe_ir::parse_module(&text) {
             Ok(m) => m,
             Err(e) => {
                 eprintln!("sxec: parse error in {}: {e}", opts.input);
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_INPUT);
             }
         }
     };
     let mut compiler = Compiler::builder(opts.variant)
         .target(opts.target)
-        .budget(opts.budget, None)
+        .budget(opts.budget, opts.timeout_ms.map(Duration::from_millis))
         .threads(opts.threads)
         .cache(opts.cache)
         .build();
@@ -329,7 +360,7 @@ fn main() -> ExitCode {
     let try_compile = |compiler: &Compiler| -> Result<Compiled, ExitCode> {
         compiler.try_compile(&module).map_err(|e| {
             eprintln!("sxec: compile refused: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_REFUSED)
         })
     };
     if let Some(seed) = opts.chaos_seed {
@@ -374,7 +405,7 @@ fn main() -> ExitCode {
             Err(m) => {
                 eprintln!("sxec: ORACLE MISMATCH: {m}");
                 eprintln!("sxec: repro: {}", repro_command(&opts, &oracle));
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_RUNTIME);
             }
         }
     }
@@ -408,20 +439,20 @@ fn main() -> ExitCode {
             }
             Err(t) => {
                 eprintln!("sxec: {entry} trapped: {t}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_RUNTIME);
             }
         }
     }
     if let Some(path) = &opts.trace {
         if let Err(e) = std::fs::write(path, compiler.telemetry.chrome_trace()) {
             eprintln!("sxec: cannot write {path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_RUNTIME);
         }
     }
     if let Some(path) = &opts.metrics {
         if let Err(e) = std::fs::write(path, compiler.telemetry.metrics_json()) {
             eprintln!("sxec: cannot write {path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_RUNTIME);
         }
     }
     ExitCode::SUCCESS

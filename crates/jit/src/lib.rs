@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod artifact;
 pub mod harness;
 pub mod report;
 pub mod shard;
@@ -75,6 +76,7 @@ use shard::{par_map, par_map_mut};
 /// let compiler = Compiler::builder(Variant::All).build();
 /// ```
 pub mod prelude {
+    pub use crate::artifact::{artifact_key, config_key, module_key};
     pub use crate::{
         CompileError, CompileReport, Compiled, Compiler, CompilerBuilder, FaultPlan, PassRecord,
         PassStatus, PhaseTimes, Telemetry,

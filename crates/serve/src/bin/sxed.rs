@@ -1,0 +1,124 @@
+//! `sxed` — the compile-service daemon.
+//!
+//! Binds a loopback TCP socket, serves the frame protocol of
+//! [`sxe_serve::proto`], and runs until a client sends a shutdown
+//! request (which drains in-flight work and fsyncs the cache index).
+//! The first stdout line is machine-readable:
+//!
+//! ```text
+//! sxed: listening on 127.0.0.1:<port> cache=<dir>
+//! ```
+//!
+//! so harnesses can pass `--port 0` and scrape the ephemeral port.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use sxe_serve::{ServeConfig, Server};
+
+const USAGE: &str = "\
+usage: sxed [options]
+
+options:
+  --port <n>             TCP port on 127.0.0.1 (0 = ephemeral; default 7433)
+  --cache-dir <dir>      persistent artifact cache directory (default sxed-cache)
+  --threads <n>          compile worker threads (default 4)
+  --queue-capacity <n>   bounded admission queue size (default 64)
+  --fuel <n>             default per-request fuel budget (default unlimited)
+  --timeout <ms>         default per-request wall-clock budget (default unlimited)
+  --io-timeout <ms>      socket read/write timeout (default 10000)
+  --retry-after <ms>     backoff hint attached to refusals (default 25)
+  --write-delay-ms <ms>  test hook: slow cache writes to widen the crash window
+  --help                 print this help
+";
+
+struct Options {
+    port: u16,
+    config: ServeConfig,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options { port: 7433, config: ServeConfig::default() };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().map(String::as_str).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--port" => {
+                opts.port = value("--port")?.parse().map_err(|_| "bad --port".to_string())?;
+            }
+            "--cache-dir" => opts.config.cache_dir = PathBuf::from(value("--cache-dir")?),
+            "--threads" => {
+                opts.config.threads =
+                    value("--threads")?.parse().map_err(|_| "bad --threads".to_string())?;
+            }
+            "--queue-capacity" => {
+                opts.config.queue_capacity = value("--queue-capacity")?
+                    .parse()
+                    .map_err(|_| "bad --queue-capacity".to_string())?;
+            }
+            "--fuel" => {
+                opts.config.default_fuel =
+                    Some(value("--fuel")?.parse().map_err(|_| "bad --fuel".to_string())?);
+            }
+            "--timeout" => {
+                let ms: u64 =
+                    value("--timeout")?.parse().map_err(|_| "bad --timeout".to_string())?;
+                opts.config.default_time_limit =
+                    (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--io-timeout" => {
+                let ms: u64 =
+                    value("--io-timeout")?.parse().map_err(|_| "bad --io-timeout".to_string())?;
+                opts.config.io_timeout = Duration::from_millis(ms.max(1));
+            }
+            "--retry-after" => {
+                let ms: u64 = value("--retry-after")?
+                    .parse()
+                    .map_err(|_| "bad --retry-after".to_string())?;
+                opts.config.retry_after = Duration::from_millis(ms);
+            }
+            "--write-delay-ms" => {
+                let ms: u64 = value("--write-delay-ms")?
+                    .parse()
+                    .map_err(|_| "bad --write-delay-ms".to_string())?;
+                opts.config.write_delay = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("sxed: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let cache_dir = opts.config.cache_dir.clone();
+    let server = match Server::start(opts.port, opts.config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sxed: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("sxed: listening on 127.0.0.1:{} cache={}", server.port(), cache_dir.display());
+    let _ = std::io::stdout().flush();
+    server.wait();
+    println!("sxed: shut down cleanly");
+    ExitCode::SUCCESS
+}

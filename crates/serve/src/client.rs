@@ -1,0 +1,289 @@
+//! A blocking `sxed` client with bounded, jittered retry.
+//!
+//! One connection per request keeps the client immune to the daemon's
+//! idle-connection timeouts and makes every call independent.
+//! [`Client::compile_with_retry`] is the load-shedding counterpart to
+//! the server's typed refusals: on [`Response::Refused`] it backs off
+//! exponentially — never below the server's `retry_after` hint —
+//! with deterministic jitter from a caller-seeded
+//! [`XorShift`](sxe_ir::rng::XorShift), so a thousand stressed clients
+//! de-synchronize without a single nondeterministic bit.
+
+use std::fmt;
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use sxe_ir::rng::XorShift;
+
+use crate::proto::{
+    read_frame, CacheOutcome, CompileRequest, CompiledArtifact, ProtoError, Refusal, Request,
+    Response,
+};
+
+/// Retry policy for [`Client::compile_with_retry`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per refusal.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(500),
+        }
+    }
+}
+
+/// What a retried compile went through before returning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Attempts made (1 = no retry was needed).
+    pub attempts: u32,
+    /// Typed refusals absorbed along the way.
+    pub refusals: u32,
+    /// Total time spent backing off.
+    pub backed_off: Duration,
+}
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, timeout).
+    Io(io::Error),
+    /// The daemon answered with something unparseable or unexpected.
+    Proto(ProtoError),
+    /// The daemon rejected the request itself (parse/verify error);
+    /// retrying the same request cannot succeed.
+    Rejected(String),
+    /// Every attempt was refused; the last refusal is included.
+    Exhausted(Refusal),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Proto(e) => write!(f, "{e}"),
+            ClientError::Rejected(msg) => write!(f, "request rejected: {msg}"),
+            ClientError::Exhausted(r) => {
+                write!(f, "retries exhausted (last refusal: {})", r.reason)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> ClientError {
+        ClientError::Proto(e)
+    }
+}
+
+/// Handle to a daemon at `127.0.0.1:port`. Cheap to clone; holds no
+/// open connection.
+#[derive(Debug, Clone)]
+pub struct Client {
+    port: u16,
+    io_timeout: Duration,
+}
+
+impl Client {
+    /// A client for the daemon on `port` with a 30 s I/O timeout.
+    #[must_use]
+    pub fn new(port: u16) -> Client {
+        Client { port, io_timeout: Duration::from_secs(30) }
+    }
+
+    /// Override the per-request socket timeout.
+    #[must_use]
+    pub fn with_io_timeout(self, timeout: Duration) -> Client {
+        Client { io_timeout: timeout, ..self }
+    }
+
+    /// One request/response exchange over a fresh connection.
+    ///
+    /// # Errors
+    /// Transport errors, or [`ClientError::Proto`] if the response frame
+    /// does not parse.
+    pub fn request(&self, request: &Request) -> Result<Response, ClientError> {
+        let stream = TcpStream::connect(("127.0.0.1", self.port))?;
+        stream.set_read_timeout(Some(self.io_timeout))?;
+        stream.set_write_timeout(Some(self.io_timeout))?;
+        stream.set_nodelay(true)?;
+        let mut stream = stream;
+        request.write_to(&mut stream)?;
+        let (kind, payload) = read_frame(&mut stream)?
+            .ok_or_else(|| ProtoError("daemon closed the connection mid-request".into()))?;
+        Ok(Response::decode(kind, &payload)?)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    /// Transport/protocol errors, or an unexpected response kind.
+    pub fn ping(&self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch the daemon's `serve.*` stats snapshot.
+    ///
+    /// # Errors
+    /// Transport/protocol errors, or an unexpected response kind.
+    pub fn stats(&self) -> Result<String, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(text) => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Request a graceful shutdown; returns the number of requests the
+    /// daemon drained before acking.
+    ///
+    /// # Errors
+    /// Transport/protocol errors, or an unexpected response kind.
+    pub fn shutdown(&self) -> Result<u64, ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShutdownAck { drained } => Ok(drained),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// One compile attempt, no retry.
+    ///
+    /// # Errors
+    /// Transport/protocol errors; a refusal is returned in the `Ok`
+    /// response, not as an error.
+    pub fn compile_once(&self, req: &CompileRequest) -> Result<Response, ClientError> {
+        self.request(&Request::Compile(req.clone()))
+    }
+
+    /// Compile with bounded retry: typed refusals back off (exponential,
+    /// floored at the server's `retry_after` hint, jittered by `rng`)
+    /// and retry up to `policy.max_attempts`; transport errors also
+    /// retry, since the daemon may be mid-restart. Rejections
+    /// ([`Response::Error`]) fail immediately — the request itself is
+    /// bad.
+    ///
+    /// # Errors
+    /// [`ClientError::Exhausted`] when every attempt was refused,
+    /// [`ClientError::Rejected`] on a daemon-side request error,
+    /// [`ClientError::Io`] when the final attempt failed in transport.
+    pub fn compile_with_retry(
+        &self,
+        req: &CompileRequest,
+        policy: &RetryPolicy,
+        rng: &mut XorShift,
+    ) -> Result<(CacheOutcome, CompiledArtifact, RetryStats), ClientError> {
+        let mut stats = RetryStats::default();
+        let mut last_refusal: Option<Refusal> = None;
+        let mut last_io: Option<ClientError> = None;
+        while stats.attempts < policy.max_attempts.max(1) {
+            stats.attempts += 1;
+            match self.compile_once(req) {
+                Ok(Response::Compiled(outcome, artifact)) => {
+                    return Ok((outcome, artifact, stats));
+                }
+                Ok(Response::Refused(refusal)) => {
+                    stats.refusals += 1;
+                    last_refusal = Some(refusal);
+                    let wait = self.backoff(policy, stats.attempts, refusal.retry_after(), rng);
+                    stats.backed_off += wait;
+                    std::thread::sleep(wait);
+                }
+                Ok(Response::Error(msg)) => return Err(ClientError::Rejected(msg)),
+                Ok(other) => return Err(unexpected(&other)),
+                Err(e @ (ClientError::Io(_) | ClientError::Proto(_))) => {
+                    last_io = Some(e);
+                    let wait = self.backoff(policy, stats.attempts, policy.base_backoff, rng);
+                    stats.backed_off += wait;
+                    std::thread::sleep(wait);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        match (last_refusal, last_io) {
+            (Some(r), _) => Err(ClientError::Exhausted(r)),
+            (None, Some(e)) => Err(e),
+            (None, None) => unreachable!("no attempt was made"),
+        }
+    }
+
+    /// Exponential backoff with full jitter: `base * 2^(attempt-1)`
+    /// capped at `max_backoff`, never below the server's hint, scaled by
+    /// a deterministic factor in `[0.5, 1.5)` from `rng`.
+    fn backoff(
+        &self,
+        policy: &RetryPolicy,
+        attempt: u32,
+        server_hint: Duration,
+        rng: &mut XorShift,
+    ) -> Duration {
+        let exp = policy
+            .base_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+            .min(policy.max_backoff);
+        let floor = exp.max(server_hint);
+        let jitter_pct = 50 + rng.below(100); // 50..150
+        floor.mul_f64(jitter_pct as f64 / 100.0)
+    }
+}
+
+fn unexpected(resp: &Response) -> ClientError {
+    ClientError::Proto(ProtoError(format!("unexpected response: {resp:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_monotonic_in_cap() {
+        let client = Client::new(1);
+        let policy = RetryPolicy::default();
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        for attempt in 1..10 {
+            let hint = Duration::from_millis(25);
+            let wa = client.backoff(&policy, attempt, hint, &mut a);
+            let wb = client.backoff(&policy, attempt, hint, &mut b);
+            assert_eq!(wa, wb, "same seed, same schedule");
+            assert!(wa >= hint / 2, "never collapses below half the server hint");
+            assert!(
+                wa <= policy.max_backoff.mul_f64(1.5),
+                "cap plus jitter bounds the wait"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_desynchronize() {
+        let client = Client::new(1);
+        let policy = RetryPolicy::default();
+        let mut a = XorShift::new(1);
+        let mut b = XorShift::new(2);
+        let hint = Duration::ZERO;
+        let waits_a: Vec<_> =
+            (1..8).map(|i| client.backoff(&policy, i, hint, &mut a)).collect();
+        let waits_b: Vec<_> =
+            (1..8).map(|i| client.backoff(&policy, i, hint, &mut b)).collect();
+        assert_ne!(waits_a, waits_b, "jitter must separate distinct clients");
+    }
+}

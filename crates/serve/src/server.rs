@@ -1,0 +1,476 @@
+//! The `sxed` daemon: admission control, worker-pool dispatch, and
+//! graceful drain around the persistent [`ArtifactStore`].
+//!
+//! Threading model:
+//!
+//! * an **accept loop** polls a non-blocking TCP listener (loopback
+//!   only) and spawns one handler thread per connection, each with
+//!   socket read/write timeouts so a stalled peer cannot pin a thread
+//!   forever;
+//! * handlers perform **admission control** inline: a compile request
+//!   either enters the bounded queue or is answered immediately with a
+//!   typed [`Refusal`] carrying a `retry_after_ms` hint — the daemon
+//!   sheds load, it never hangs or aborts;
+//! * a single **dispatcher** drains the queue in batches into
+//!   [`sxe_jit::shard::par_map`] — the same fixed-size fork/join pool
+//!   the sharded compiler uses — and each worker sends its response
+//!   directly to the waiting handler the moment it is done (no batch
+//!   barrier on the reply path). Workers compile with `threads(1)`,
+//!   so every response is byte-identical to a sequential `sxec` run
+//!   regardless of the pool size;
+//! * **graceful shutdown** ([`Request::Shutdown`]) stops admitting,
+//!   drains every queued and in-flight request, persists and fsyncs
+//!   the cache index, then acks with the number of requests drained.
+//!
+//! Every compile resolves against the [`ArtifactStore`] keyed by
+//! [`artifact_key`]; only clean compilations (no incidents, no budget
+//! exhaustion, no fault plan) are cached — see
+//! [`sxe_jit::artifact`] for the soundness argument.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sxe_ir::parse_module;
+use sxe_jit::artifact::artifact_key;
+use sxe_jit::{shard, Compiler};
+use sxe_telemetry::Telemetry;
+
+use crate::proto::{
+    read_frame, CacheOutcome, CompileRequest, CompiledArtifact, Refusal, RefusalReason, Request,
+    Response,
+};
+use crate::store::ArtifactStore;
+
+/// Daemon configuration. `Default` gives production-ish settings; the
+/// gates tighten `queue_capacity` / `write_delay` to force the edges.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Directory of the persistent artifact cache.
+    pub cache_dir: PathBuf,
+    /// Worker threads for the compile pool (also the dispatch batch
+    /// width). Responses are byte-identical at any value.
+    pub threads: usize,
+    /// Bounded admission queue: compile requests beyond this many
+    /// *waiting* (not yet dispatched) are refused.
+    pub queue_capacity: usize,
+    /// Default per-request fuel budget when the request names none.
+    pub default_fuel: Option<u64>,
+    /// Default per-request wall-clock budget when the request names none.
+    pub default_time_limit: Option<Duration>,
+    /// Socket read/write timeout per connection; a peer that stalls
+    /// longer is disconnected.
+    pub io_timeout: Duration,
+    /// Backoff hint attached to refusals.
+    pub retry_after: Duration,
+    /// Test hook: widen the cache-write crash window (see
+    /// [`ArtifactStore::open`]). `None` in production.
+    pub write_delay: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            cache_dir: PathBuf::from("sxed-cache"),
+            threads: 4,
+            queue_capacity: 64,
+            default_fuel: None,
+            default_time_limit: None,
+            io_timeout: Duration::from_secs(10),
+            retry_after: Duration::from_millis(25),
+            write_delay: None,
+        }
+    }
+}
+
+struct Job {
+    req: CompileRequest,
+    reply: mpsc::Sender<Response>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    pending: VecDeque<Job>,
+    in_flight: usize,
+}
+
+struct Shared {
+    config: ServeConfig,
+    queue: Mutex<QueueState>,
+    cond: Condvar,
+    store: Mutex<ArtifactStore>,
+    tel: Telemetry,
+    /// No new compile admissions; drain has begun.
+    shutting_down: AtomicBool,
+    /// Drain complete and index persisted; accept loop and dispatcher
+    /// may exit.
+    done: AtomicBool,
+    active_conns: AtomicU64,
+}
+
+/// A running daemon. Dropping the handle does not stop it; send
+/// [`Request::Shutdown`] (e.g. via [`Client::shutdown`]) and then
+/// [`wait`](Server::wait).
+///
+/// [`Client::shutdown`]: crate::client::Client::shutdown
+pub struct Server {
+    shared: Arc<Shared>,
+    port: u16,
+    accept: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind a loopback TCP listener on `port` (`0` picks an ephemeral
+    /// port — read it back with [`port`](Server::port)), open the
+    /// artifact cache, and start serving.
+    ///
+    /// # Errors
+    /// I/O errors binding the socket or opening the cache directory.
+    pub fn start(port: u16, config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        listener.set_nonblocking(true)?;
+        let port = listener.local_addr()?.port();
+        let store = ArtifactStore::open(&config.cache_dir, config.write_delay)?;
+        let tel = Telemetry::enabled();
+        tel.metrics(|m| {
+            m.add("serve.cache.recovered_entries", store.len() as u64);
+            m.add("serve.cache.swept_tmp", store.stats().swept_tmp);
+        });
+        let shared = Arc::new(Shared {
+            config,
+            queue: Mutex::new(QueueState::default()),
+            cond: Condvar::new(),
+            store: Mutex::new(store),
+            tel,
+            shutting_down: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            active_conns: AtomicU64::new(0),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || dispatch_loop(&shared))
+        };
+        Ok(Server { shared, port, accept: Some(accept), dispatcher: Some(dispatcher) })
+    }
+
+    /// The bound TCP port (loopback).
+    #[must_use]
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// The daemon's telemetry handle (live counters and histograms).
+    #[must_use]
+    pub fn telemetry(&self) -> Telemetry {
+        self.shared.tel.clone()
+    }
+
+    /// Block until the daemon has shut down (a client sent
+    /// [`Request::Shutdown`] and the drain finished), then reap the
+    /// service threads and linger briefly for handler threads to flush
+    /// their final frames.
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.shared.active_conns.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.done.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.active_conns.fetch_add(1, Ordering::AcqRel);
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || {
+                    handle_conn(stream, &shared);
+                    shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // clean EOF
+            Err(_) => return,   // timeout or broken peer: drop the connection
+        };
+        let request = match Request::decode(frame.0, &frame.1) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = Response::Error(e.to_string()).write_to(&mut stream);
+                continue;
+            }
+        };
+        shared.tel.metrics(|m| m.add("serve.requests", 1));
+        let stop = matches!(request, Request::Shutdown);
+        let response = match request {
+            Request::Ping => Response::Pong,
+            Request::Stats => Response::Stats(render_stats_shared(shared)),
+            Request::Compile(req) => handle_compile(shared, req),
+            Request::Shutdown => handle_shutdown(shared),
+        };
+        if response.write_to(&mut stream).is_err() || stop {
+            return;
+        }
+    }
+}
+
+/// Admission control + dispatch for one compile request. Returns a
+/// typed [`Refusal`] instead of queueing when the daemon is draining or
+/// the bounded queue is full; otherwise blocks until a worker answers.
+fn handle_compile(shared: &Arc<Shared>, req: CompileRequest) -> Response {
+    let started = Instant::now();
+    let refusal = |reason: RefusalReason| {
+        let name = match reason {
+            RefusalReason::QueueFull => "serve.refused.queue_full",
+            RefusalReason::ShuttingDown => "serve.refused.shutting_down",
+        };
+        shared.tel.metrics(|m| m.add(name, 1));
+        Response::Refused(Refusal {
+            retry_after_ms: shared.config.retry_after.as_millis() as u64,
+            reason,
+        })
+    };
+    if shared.shutting_down.load(Ordering::Acquire) {
+        return refusal(RefusalReason::ShuttingDown);
+    }
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut q = shared.queue.lock().unwrap();
+        // Re-check under the lock so no admission races a shutdown drain.
+        if shared.shutting_down.load(Ordering::Acquire) {
+            return refusal(RefusalReason::ShuttingDown);
+        }
+        if q.pending.len() >= shared.config.queue_capacity {
+            return refusal(RefusalReason::QueueFull);
+        }
+        q.pending.push_back(Job { req, reply: tx });
+        let depth = q.pending.len();
+        shared.tel.metrics(|m| m.set_gauge("serve.queue.depth", depth as f64));
+        shared.cond.notify_all();
+    }
+    let response = rx
+        .recv()
+        .unwrap_or_else(|_| Response::Error("daemon dropped the request".into()));
+    shared.tel.metrics(|m| {
+        m.observe("serve.latency_ns", started.elapsed().as_nanos() as u64);
+    });
+    response
+}
+
+/// Begin the graceful drain, block until every queued and in-flight
+/// request has been answered, persist the cache index, and release the
+/// service threads.
+fn handle_shutdown(shared: &Arc<Shared>) -> Response {
+    let already = shared.shutting_down.swap(true, Ordering::AcqRel);
+    let mut q = shared.queue.lock().unwrap();
+    let drained = (q.pending.len() + q.in_flight) as u64;
+    shared.cond.notify_all();
+    while !q.pending.is_empty() || q.in_flight > 0 {
+        q = shared.cond.wait(q).unwrap();
+    }
+    drop(q);
+    if !already {
+        let store = shared.store.lock().unwrap();
+        if let Err(e) = store.persist_index() {
+            shared.tel.metrics(|m| m.add("serve.index_persist_errors", 1));
+            eprintln!("sxed: failed to persist cache index: {e}");
+        }
+    }
+    shared.done.store(true, Ordering::Release);
+    shared.cond.notify_all();
+    Response::ShutdownAck { drained }
+}
+
+/// The dispatcher: pull batches off the admission queue and run them
+/// through the shared fork/join pool. Each worker replies to its own
+/// handler as soon as its job finishes — batching bounds concurrency,
+/// not latency.
+fn dispatch_loop(shared: &Arc<Shared>) {
+    loop {
+        let batch: Vec<Job> = {
+            let mut q = shared.queue.lock().unwrap();
+            while q.pending.is_empty() {
+                if shared.done.load(Ordering::Acquire)
+                    || (shared.shutting_down.load(Ordering::Acquire) && q.in_flight == 0)
+                {
+                    return;
+                }
+                let (guard, _) =
+                    shared.cond.wait_timeout(q, Duration::from_millis(50)).unwrap();
+                q = guard;
+            }
+            let batch: Vec<Job> = q.pending.drain(..).collect();
+            q.in_flight += batch.len();
+            shared.tel.metrics(|m| m.set_gauge("serve.queue.depth", 0.0));
+            batch
+        };
+        let n = batch.len();
+        shard::par_map(&batch, shared.config.threads, |_, job| {
+            let response = compile_one(shared, &job.req);
+            // The handler may have died with its connection; the queue
+            // already counted the job, so a send failure is just a
+            // wasted compile.
+            let _ = job.reply.send(response);
+        });
+        let mut q = shared.queue.lock().unwrap();
+        q.in_flight -= n;
+        shared.cond.notify_all();
+    }
+}
+
+/// Compile (or replay) one request. Cache policy: look up by
+/// [`artifact_key`]; on a miss compile with the request's budget and
+/// only insert when the report is clean — a salvaged partial
+/// optimization is served to its requester but never cached.
+fn compile_one(shared: &Arc<Shared>, req: &CompileRequest) -> Response {
+    let module = match parse_module(&req.source) {
+        Ok(m) => m,
+        Err(e) => return Response::Error(format!("parse error: {e}")),
+    };
+    let compiler = Compiler::builder(req.variant).target(req.target).build();
+    let key = artifact_key(&compiler, &module);
+    {
+        let mut store = shared.store.lock().unwrap();
+        let cached = store.get(key);
+        let quarantined = store.stats().quarantined;
+        drop(store);
+        shared.tel.metrics(|m| {
+            let prev = m.counter("serve.cache.quarantined");
+            if quarantined > prev {
+                m.add("serve.cache.quarantined", quarantined - prev);
+            }
+        });
+        if let Some(bytes) = cached {
+            // Entries are checksummed, so this parse cannot fail for a
+            // served payload; fall through to a recompile if it somehow
+            // does rather than trusting the cache over the compiler.
+            if let Ok(artifact) = CompiledArtifact::from_bytes(&bytes) {
+                shared.tel.metrics(|m| m.add("serve.cache.hits", 1));
+                return Response::Compiled(CacheOutcome::Hit, artifact);
+            }
+        }
+        shared.tel.metrics(|m| m.add("serve.cache.misses", 1));
+    }
+    let fuel = req.fuel.or(shared.config.default_fuel);
+    let time_limit = match req.timeout_ms {
+        Some(0) => None,
+        Some(ms) => Some(Duration::from_millis(ms)),
+        None => shared.config.default_time_limit,
+    };
+    // threads(1): workers are already parallel across requests, and the
+    // sequential path guarantees the response bytes are independent of
+    // the pool size.
+    let compiler = compiler.with_budget(fuel, time_limit).with_threads(1);
+    let compiled = match compiler.try_compile(&module) {
+        Ok(c) => c,
+        Err(e) => return Response::Error(format!("compile refused: {e}")),
+    };
+    shared.tel.metrics(|m| m.add("serve.compiles", 1));
+    let artifact = CompiledArtifact {
+        key,
+        boundaries: compiled.report.boundaries() as u64,
+        incidents: compiled.report.incidents() as u64,
+        budget_exhausted: compiled.report.budget_exhausted,
+        eliminated: compiled.stats.eliminated as u64,
+        text: compiled.module.to_string(),
+    };
+    if compiled.report.clean() {
+        let mut store = shared.store.lock().unwrap();
+        if store.insert(key, &artifact.to_bytes()) {
+            shared.tel.metrics(|m| m.add("serve.cache.inserts", 1));
+        } else {
+            shared.tel.metrics(|m| m.add("serve.cache.write_errors", 1));
+        }
+    }
+    Response::Compiled(CacheOutcome::Miss, artifact)
+}
+
+/// Render the `serve.*` stats snapshot as deterministic plain-text
+/// `name value` lines (cache state from the store, the rest from the
+/// telemetry registry).
+#[must_use]
+pub fn render_stats(shared_store: &Mutex<ArtifactStore>, tel: &Telemetry, queue_depth: usize) -> String {
+    let (len, stats) = {
+        let store = shared_store.lock().unwrap();
+        (store.len(), store.stats())
+    };
+    let reg = tel.metrics_snapshot();
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "serve.cache.entries {len}");
+    let _ = writeln!(out, "serve.cache.hits {}", stats.hits);
+    let _ = writeln!(out, "serve.cache.misses {}", stats.misses);
+    let _ = writeln!(out, "serve.cache.inserts {}", stats.inserts);
+    let _ = writeln!(out, "serve.cache.quarantined {}", stats.quarantined);
+    let _ = writeln!(out, "serve.cache.swept_tmp {}", stats.swept_tmp);
+    let _ = writeln!(out, "serve.cache.write_errors {}", stats.write_errors);
+    let _ = writeln!(out, "serve.queue.depth {queue_depth}");
+    let _ = writeln!(out, "serve.requests {}", reg.counter("serve.requests"));
+    let _ = writeln!(out, "serve.compiles {}", reg.counter("serve.compiles"));
+    let _ = writeln!(out, "serve.refused.queue_full {}", reg.counter("serve.refused.queue_full"));
+    let _ = writeln!(
+        out,
+        "serve.refused.shutting_down {}",
+        reg.counter("serve.refused.shutting_down")
+    );
+    let p99 = reg.histogram("serve.latency_ns").map_or(0, |h| h.quantile(0.99));
+    let _ = writeln!(out, "serve.latency.p99_ns {p99}");
+    out
+}
+
+fn render_stats_shared(shared: &Arc<Shared>) -> String {
+    let depth = shared.queue.lock().unwrap().pending.len();
+    render_stats(&shared.store, &shared.tel, depth)
+}
+
+/// Parse one value back out of a [`render_stats`] snapshot.
+#[must_use]
+pub fn stat_value(stats_text: &str, name: &str) -> Option<u64> {
+    stats_text.lines().find_map(|line| {
+        let (k, v) = line.split_once(' ')?;
+        (k == name).then(|| v.parse().ok())?
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_value_parses_rendered_lines() {
+        let text = "serve.cache.hits 12\nserve.latency.p99_ns 4096\n";
+        assert_eq!(stat_value(text, "serve.cache.hits"), Some(12));
+        assert_eq!(stat_value(text, "serve.latency.p99_ns"), Some(4096));
+        assert_eq!(stat_value(text, "serve.cache.misses"), None);
+    }
+}

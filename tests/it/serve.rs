@@ -1,0 +1,194 @@
+//! Cross-request behavior of the `sxed` compile service: artifact-key
+//! identity across requests, refusal under load, and quarantine of
+//! corrupted cache entries — plus the [`AnalysisCache`] companion
+//! properties the artifact cache's keying is built on.
+
+use std::time::Duration;
+
+use sxe_analysis::AnalysisCache;
+use sxe_ir::parse_module;
+use sxe_serve::{
+    stat_value, CacheOutcome, Client, CompileRequest, RefusalReason, Response, ServeConfig, Server,
+};
+
+const BODY_A: &str = "\
+func @work(i32) -> i32 {
+b0:
+    r1 = const.i32 2
+    r2 = add.i32 r0, r1
+    r3 = mul.i32 r2, r2
+    ret r3
+}
+";
+
+/// Same function name, different body (the constant changed).
+const BODY_B: &str = "\
+func @work(i32) -> i32 {
+b0:
+    r1 = const.i32 3
+    r2 = add.i32 r0, r1
+    r3 = mul.i32 r2, r2
+    ret r3
+}
+";
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sxe-it-serve-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(tag: &str, config: ServeConfig) -> (Server, Client, std::path::PathBuf) {
+    let dir = fresh_dir(tag);
+    let server = Server::start(0, ServeConfig { cache_dir: dir.clone(), ..config }).unwrap();
+    let client = Client::new(server.port());
+    (server, client, dir)
+}
+
+fn compiled(resp: Response) -> (CacheOutcome, sxe_serve::CompiledArtifact) {
+    match resp {
+        Response::Compiled(outcome, artifact) => (outcome, artifact),
+        other => panic!("expected a compiled response, got {other:?}"),
+    }
+}
+
+/// Two sequential daemon requests with the same function name but
+/// different bodies must get different artifacts: the key is the
+/// structural fingerprint, not the name, so request B can never be
+/// served request A's code.
+#[test]
+fn same_name_different_body_is_a_miss_not_a_stale_hit() {
+    let (server, client, dir) = start("fingerprint", ServeConfig::default());
+    let (o1, a1) = compiled(client.compile_once(&CompileRequest::new(BODY_A)).unwrap());
+    let (o2, a2) = compiled(client.compile_once(&CompileRequest::new(BODY_B)).unwrap());
+    assert_eq!(o1, CacheOutcome::Miss);
+    assert_eq!(o2, CacheOutcome::Miss, "changed body with the same name must re-compile");
+    assert_ne!(a1.key, a2.key, "artifact keys must separate the two bodies");
+    assert_ne!(a1.text, a2.text, "the compiled constants differ");
+
+    // Replaying each body hits its own entry, byte-identically.
+    let (o3, a3) = compiled(client.compile_once(&CompileRequest::new(BODY_A)).unwrap());
+    let (o4, a4) = compiled(client.compile_once(&CompileRequest::new(BODY_B)).unwrap());
+    assert_eq!((o3, o4), (CacheOutcome::Hit, CacheOutcome::Hit));
+    assert_eq!(a3, a1);
+    assert_eq!(a4, a2);
+    client.shutdown().unwrap();
+    server.wait();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The AnalysisCache companion property: rewriting a function bumps its
+/// generation and invalidates its facts, and a function whose body
+/// changed under the same name is a fingerprint miss, not a stale hit.
+#[test]
+fn analysis_cache_generation_bump_and_fingerprint_miss() {
+    let module_a = parse_module(BODY_A).unwrap();
+    let module_b = parse_module(BODY_B).unwrap();
+    let (_, fa) = module_a.iter().next().unwrap();
+    let (_, fb) = module_b.iter().next().unwrap();
+    assert_ne!(fa.fingerprint(), fb.fingerprint(), "bodies differ, fingerprints must too");
+
+    let mut cache = AnalysisCache::new();
+    let before = cache.generation("work");
+    let _ = cache.udu(fa);
+    let _ = cache.udu(fa);
+    // Each udu query goes through the cfg first, so a warm re-query
+    // scores two hits (cfg + udu).
+    assert_eq!(cache.hits(), 2, "second query of the same body is memoized");
+
+    // A pass that rewrote the function bumps the generation and drops
+    // the facts.
+    cache.note_rewrites("work", 3);
+    assert!(cache.generation("work") > before, "rewrites must bump the generation");
+    let invalidations = cache.invalidations();
+    assert!(invalidations >= 1);
+
+    // Same name, different body: the fingerprint check forces a
+    // recompute even though the cache has an entry under this name.
+    let _ = cache.udu(fa);
+    let hits = cache.hits();
+    let _ = cache.udu(fb);
+    assert_eq!(cache.hits(), hits, "body B must not hit body A's facts");
+    assert_eq!(
+        cache.misses(),
+        6,
+        "A, A-after-invalidation, and B all recomputed (cfg + udu each)"
+    );
+}
+
+/// Saturating a one-slot queue yields typed `queue-full` refusals with
+/// the configured retry hint — and every connection gets an orderly
+/// answer (no hangs, no aborts).
+#[test]
+fn overload_sheds_with_typed_refusals() {
+    let (server, client, dir) = start(
+        "overload",
+        ServeConfig {
+            threads: 1,
+            queue_capacity: 1,
+            write_delay: Some(Duration::from_millis(250)),
+            retry_after: Duration::from_millis(15),
+            ..ServeConfig::default()
+        },
+    );
+    let sources: Vec<String> =
+        (0..6).map(|i| BODY_A.replace("@work", &format!("@work{i}"))).collect();
+    let responses: Vec<Response> = std::thread::scope(|s| {
+        let client = &client;
+        let handles: Vec<_> = sources
+            .iter()
+            .map(|src| s.spawn(move || client.compile_once(&CompileRequest::new(src.clone())).unwrap()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let refused: Vec<_> =
+        responses.iter().filter_map(|r| match r {
+            Response::Refused(refusal) => Some(refusal),
+            _ => None,
+        }).collect();
+    assert!(!refused.is_empty(), "a six-deep burst against one slot must shed load");
+    for refusal in refused {
+        assert_eq!(refusal.reason, RefusalReason::QueueFull);
+        assert_eq!(refusal.retry_after_ms, 15);
+    }
+    let stats = client.stats().unwrap();
+    assert!(stat_value(&stats, "serve.refused.queue_full").unwrap() >= 1);
+    client.shutdown().unwrap();
+    server.wait();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A cache entry corrupted on disk between daemon runs is quarantined on
+/// read: the response is recompiled (byte-identical to the original),
+/// never served from the damaged bytes.
+#[test]
+fn corrupted_entry_is_quarantined_and_recompiled() {
+    let config = ServeConfig::default();
+    let dir = fresh_dir("quarantine");
+    let config = ServeConfig { cache_dir: dir.clone(), ..config };
+
+    let server = Server::start(0, config.clone()).unwrap();
+    let client = Client::new(server.port());
+    let (_, original) = compiled(client.compile_once(&CompileRequest::new(BODY_A)).unwrap());
+    client.shutdown().unwrap();
+    server.wait();
+
+    // Flip one byte of the committed entry behind the daemon's back.
+    let victim = dir.join(format!("{:016x}.art", original.key));
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&victim, bytes).unwrap();
+
+    let server = Server::start(0, config).unwrap();
+    let client = Client::new(server.port());
+    let (outcome, replay) = compiled(client.compile_once(&CompileRequest::new(BODY_A)).unwrap());
+    assert_eq!(outcome, CacheOutcome::Miss, "damaged entry must not be served");
+    assert_eq!(replay, original, "recompile must match the pre-corruption artifact");
+    let stats = client.stats().unwrap();
+    assert_eq!(stat_value(&stats, "serve.cache.quarantined"), Some(1));
+    assert!(dir.join("quarantine").join(format!("{:016x}.art", original.key)).exists());
+    client.shutdown().unwrap();
+    server.wait();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

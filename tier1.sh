@@ -4,10 +4,12 @@
 # fault-injection (chaos) smoke sweep, the telemetry gate (schema-valid
 # metrics export, disabled-sink output determinism), and the fuzz gate
 # (clean smoke campaign, planted-miscompile self-test with a minimized
-# reproducer, thread-count independence of findings).
+# reproducer, thread-count independence of findings), and the serve gate
+# (daemon warm-pass hit rate, SIGKILL crash recovery with quarantine,
+# clean drain, overload shedding with typed refusals).
 #
 #   ./tier1.sh            # everything
-#   ./tier1.sh --fast     # skip the determinism/chaos/telemetry/fuzz sweeps
+#   ./tier1.sh --fast     # skip the determinism/chaos/telemetry/fuzz/serve sweeps
 set -eu
 
 cd "$(dirname "$0")"
@@ -20,7 +22,7 @@ cargo test -q
 
 echo "== tier1: clippy -D warnings (touched crates)"
 cargo clippy -q -p sxe-ir -p sxe-analysis -p sxe-core -p sxe-opt -p sxe-vm \
-    -p sxe-jit -p sxe-bench -p sxe-telemetry -p sxe-fuzz \
+    -p sxe-jit -p sxe-bench -p sxe-telemetry -p sxe-fuzz -p sxe-serve \
     -p xelim-integration-tests --all-targets -- -D warnings
 
 if [ "${1:-}" != "--fast" ]; then
@@ -62,6 +64,9 @@ if [ "${1:-}" != "--fast" ]; then
         | cmp - "$TDIR/fuzz1.out" || {
         echo "tier1: fuzz reports differ between --threads 1 and 4" >&2; exit 1; }
     echo "tier1: fuzz gate OK (clean smoke, self-test minimized, findings thread-independent)"
+
+    echo "== tier1: serve gate (daemon warm pass, SIGKILL crash recovery, quarantine, overload shedding)"
+    cargo run -q --release -p sxe-bench --bin stress -- --gate
 fi
 
 echo "== tier1: OK"
