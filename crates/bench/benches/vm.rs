@@ -6,17 +6,26 @@ use sxe_bench::bench_loop;
 use sxe_core::Variant;
 use sxe_ir::Target;
 use sxe_jit::Compiler;
-use sxe_vm::Machine;
+use sxe_vm::{Engine, Vm};
 
 fn main() {
     for name in ["compress", "huffman", "mpegaudio"] {
         let m = sxe_workloads::by_name(name).expect("exists").build(96);
         for v in [Variant::Baseline, Variant::All] {
             let compiled = Compiler::for_variant(v).compile(&m);
-            bench_loop(&format!("vm_execution/{name}/{}", v.label()), 2, 15, || {
-                let mut vm = Machine::new(&compiled.module, Target::Ia64);
-                vm.run("main", &[]).expect("no trap")
-            });
+            for engine in [Engine::Decoded, Engine::Tree] {
+                let mut vm =
+                    Vm::builder(&compiled.module).target(Target::Ia64).engine(engine).build();
+                bench_loop(
+                    &format!("vm_execution/{name}/{}/{engine}", v.label()),
+                    2,
+                    15,
+                    || {
+                        vm.reset();
+                        vm.run("main", &[]).expect("no trap")
+                    },
+                );
+            }
         }
     }
 }

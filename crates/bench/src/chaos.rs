@@ -146,7 +146,7 @@ pub fn chaos_sweep_with(
                      (plan {plan:?})"
                 ));
             }
-            let oracle = OracleConfig { seed, ..OracleConfig::default() };
+            let oracle = OracleConfig::new().seed(seed);
             let comparisons =
                 match differential_check(&reference, &compiled.module, Target::Ia64, &oracle) {
                     Ok(n) => n,

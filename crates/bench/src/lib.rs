@@ -27,7 +27,7 @@ use std::fmt::Write as _;
 use sxe_core::Variant;
 use sxe_ir::{Target, Width};
 use sxe_jit::{Compiled, Compiler};
-use sxe_vm::Machine;
+use sxe_vm::Vm;
 use sxe_workloads::{Suite, Workload};
 
 /// Execution fuel for harness runs.
@@ -65,13 +65,12 @@ pub struct CountTable {
 }
 
 fn run_counting(compiled: &Compiled, target: Target) -> (u64, u64, u64) {
-    let mut vm = Machine::new(&compiled.module, target);
-    vm.set_fuel(FUEL);
+    let mut vm = Vm::builder(&compiled.module).target(target).fuel(FUEL).build();
     vm.run("main", &[]).expect("workload must not trap");
     (
-        vm.counters.extend_count(Some(Width::W32)),
-        vm.counters.cycles,
-        vm.counters.insts,
+        vm.counters().extend_count(Some(Width::W32)),
+        vm.counters().cycles,
+        vm.counters().insts,
     )
 }
 
@@ -208,9 +207,11 @@ pub fn speedup_figure(suite: Suite, scale: f64) -> Vec<SpeedupBar> {
             let (_, base_cycles, _) = run_counting(&base, Target::Ia64);
             let (_, all_cycles, _) = run_counting(&all, Target::Ia64);
             let sched = |c: &Compiled| -> u64 {
-                let mut vm = Machine::new(&c.module, Target::Ia64);
-                vm.enable_profile();
-                vm.set_fuel(FUEL);
+                let mut vm = Vm::builder(&c.module)
+                    .target(Target::Ia64)
+                    .profile(true)
+                    .fuel(FUEL)
+                    .build();
                 vm.run("main", &[]).expect("no trap");
                 c.module
                     .iter()

@@ -284,7 +284,7 @@ mod tests {
     fn quick(count: usize) -> FuzzConfig {
         FuzzConfig {
             count,
-            oracle: OracleConfig { runs: 4, ..OracleConfig::default() },
+            oracle: OracleConfig::new().runs(4),
             ..FuzzConfig::default()
         }
     }

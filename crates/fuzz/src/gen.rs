@@ -576,20 +576,20 @@ mod tests {
     fn generated_modules_terminate_quickly() {
         // Executing every function on a few argument sets stays far under
         // the default oracle fuel: termination is structural, not lucky.
-        use sxe_vm::Machine;
+        use sxe_vm::Vm;
         let cfg = GenConfig::default();
         for seed in 0..16u64 {
             let m = generate_module(seed, &cfg);
             for f in &m.functions {
                 let args = vec![1i64; f.params.len()];
-                let mut vm = Machine::new(&m, sxe_ir::Target::Ia64);
-                vm.set_fuel(2_000_000);
+                let mut vm =
+                    Vm::builder(&m).target(sxe_ir::Target::Ia64).fuel(2_000_000).build();
                 let _ = vm.run(&f.name, &args);
                 assert!(
-                    vm.counters.insts < 200_000,
+                    vm.counters().insts < 200_000,
                     "seed {seed} @{} executed {} insts",
                     f.name,
-                    vm.counters.insts
+                    vm.counters().insts
                 );
             }
         }

@@ -14,6 +14,7 @@ use crate::BinOp;
 /// bits of the result equal the true 32-bit result; the upper 32 bits are
 /// whatever the 64-bit operation produces. Returns `None` for division by
 /// zero (a trap at run time; not folded at compile time).
+#[inline]
 #[must_use]
 pub fn int_bin(op: BinOp, a: i64, b: i64, ty: Ty) -> Option<i64> {
     let w32 = ty != Ty::I64;
@@ -57,6 +58,7 @@ pub fn int_bin(op: BinOp, a: i64, b: i64, ty: Ty) -> Option<i64> {
 
 /// Evaluate a float binary op. Non-arithmetic ops (bitwise on floats) are
 /// not representable in well-formed IR and return `None`.
+#[inline]
 #[must_use]
 pub fn f64_bin(op: BinOp, x: f64, y: f64) -> Option<f64> {
     Some(match op {
@@ -92,6 +94,7 @@ pub fn int_cond(cond: Cond, ty: Ty, a: i64, b: i64) -> bool {
 
 /// Java `d2i`: NaN → 0, otherwise truncate toward zero with saturation.
 /// The result is sign-extended.
+#[inline]
 #[must_use]
 pub fn d2i(v: f64) -> i64 {
     if v.is_nan() {
@@ -106,6 +109,7 @@ pub fn d2i(v: f64) -> i64 {
 }
 
 /// Java `d2l`: NaN → 0, saturating.
+#[inline]
 #[must_use]
 pub fn d2l(v: f64) -> i64 {
     if v.is_nan() {

@@ -98,6 +98,7 @@ impl Width {
     }
 
     /// Sign-extend the low `self.bits()` bits of `v` to a full `i64`.
+    #[inline]
     #[must_use]
     pub fn sign_extend(self, v: i64) -> i64 {
         match self {
@@ -108,6 +109,7 @@ impl Width {
     }
 
     /// Zero-extend the low `self.bits()` bits of `v` to a full `i64`.
+    #[inline]
     #[must_use]
     pub fn zero_extend(self, v: i64) -> i64 {
         match self {

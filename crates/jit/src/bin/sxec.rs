@@ -14,6 +14,10 @@
 //!   --size <n>           workload size (default: the workload's own)
 //!   --run <entry>        run entry() after compiling and print the result
 //!   --arg <n>            argument for --run (repeatable)
+//!   --vm <engine>        decoded|tree — interpreter engine for --run and
+//!                        the chaos oracle (default: decoded; both are
+//!                        observably identical, tree is the reference)
+//!   --vm-fuel <n>        instruction budget for --run (default: 4e9)
 //!   --budget <fuel>      compile budget in fuel units (default: unlimited)
 //!   --timeout <ms>       wall-clock compile budget in milliseconds
 //!                        (default: unlimited; maps onto the same
@@ -49,7 +53,7 @@ use std::time::Duration;
 use sxe_core::Variant;
 use sxe_ir::Target;
 use sxe_jit::{Compiled, Compiler, FaultPlan, Telemetry};
-use sxe_vm::{differential_check, Machine, OracleConfig};
+use sxe_vm::{differential_check, Engine, OracleConfig, Vm, VmError};
 
 /// Runtime failure: a trap, an oracle mismatch, or output I/O.
 const EXIT_RUNTIME: u8 = 1;
@@ -128,6 +132,9 @@ fn repro_command(opts: &Options, oracle: &OracleConfig) -> String {
     if let Some(seed) = opts.chaos_seed {
         let _ = write!(c, " --chaos-seed {seed}");
     }
+    if oracle.engine != Engine::default() {
+        let _ = write!(c, " --vm {}", oracle.engine);
+    }
     let _ = write!(
         c,
         " --oracle-runs {} --oracle-fuel {} --oracle-seed {} --no-emit",
@@ -148,6 +155,8 @@ struct Options {
     size: Option<u32>,
     run: Option<String>,
     args: Vec<i64>,
+    engine: Engine,
+    vm_fuel: Option<u64>,
     budget: Option<u64>,
     timeout_ms: Option<u64>,
     threads: usize,
@@ -166,7 +175,8 @@ struct Options {
 fn usage() -> &'static str {
     "usage: sxec [--variant V] [--target ia64|ppc64] [--max-array-len N] \
      [--workload NAME] [--size N] \
-     [--run ENTRY] [--arg N]... [--budget FUEL] [--timeout MS] [--threads N] [--no-cache] \
+     [--run ENTRY] [--arg N]... [--vm decoded|tree] [--vm-fuel N] \
+     [--budget FUEL] [--timeout MS] [--threads N] [--no-cache] \
      [--chaos-seed N] [--oracle-runs N] [--oracle-fuel N] [--oracle-seed N] \
      [--trace FILE] [--metrics FILE] \
      [--report] [--stats] [--no-emit] <input.sxe>"
@@ -182,6 +192,8 @@ fn parse_args() -> Result<Options, String> {
         size: None,
         run: None,
         args: Vec::new(),
+        engine: Engine::default(),
+        vm_fuel: None,
         budget: None,
         timeout_ms: None,
         threads: 1,
@@ -228,6 +240,17 @@ fn parse_args() -> Result<Options, String> {
                 );
             }
             "--run" => opts.run = Some(it.next().ok_or("--run needs an entry name")?),
+            "--vm" => {
+                let v = it.next().ok_or("--vm needs an engine name")?;
+                opts.engine = v.parse()?;
+            }
+            "--vm-fuel" => {
+                opts.vm_fuel = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--vm-fuel needs an instruction count")?,
+                );
+            }
             "--arg" => {
                 opts.args.push(
                     it.next()
@@ -395,11 +418,11 @@ fn main() -> ExitCode {
             .compile(&module)
             .module;
         let defaults = OracleConfig::default();
-        let oracle = OracleConfig {
-            runs: opts.oracle_runs.unwrap_or(defaults.runs),
-            fuel: opts.oracle_fuel.unwrap_or(defaults.fuel),
-            seed: opts.oracle_seed.unwrap_or(defaults.seed),
-        };
+        let oracle = OracleConfig::new()
+            .runs(opts.oracle_runs.unwrap_or(defaults.runs))
+            .fuel(opts.oracle_fuel.unwrap_or(defaults.fuel))
+            .seed(opts.oracle_seed.unwrap_or(defaults.seed))
+            .engine(opts.engine);
         match differential_check(&reference, &compiled.module, opts.target, &oracle) {
             Ok(n) => eprintln!("sxec: oracle agreed on {n} comparisons"),
             Err(m) => {
@@ -426,19 +449,30 @@ fn main() -> ExitCode {
         );
     }
     if let Some(entry) = opts.run {
-        let mut vm = Machine::new(&compiled.module, opts.target);
+        let mut builder = Vm::builder(&compiled.module)
+            .target(opts.target)
+            .engine(opts.engine);
+        if let Some(fuel) = opts.vm_fuel {
+            builder = builder.fuel(fuel);
+        }
+        let mut vm = builder.build();
         match vm.run(&entry, &opts.args) {
             Ok(out) => {
                 eprintln!(
-                    "sxec: {entry}(...) = {:?}   [{} insts, {} extends executed]",
+                    "sxec: {entry}(...) = {:?}   [{} insts, {} extends executed, {} engine]",
                     out.ret,
-                    vm.counters.insts,
-                    vm.counters.extend_count(None)
+                    vm.counters().insts,
+                    vm.counters().extend_count(None),
+                    vm.engine()
                 );
-                compiler.telemetry.metrics(|m| vm.counters.record_into(m));
+                compiler.telemetry.metrics(|m| vm.counters().record_into(m));
             }
-            Err(t) => {
-                eprintln!("sxec: {entry} trapped: {t}");
+            Err(e @ (VmError::UnknownFunction { .. } | VmError::ArityMismatch { .. })) => {
+                eprintln!("sxec: cannot run {entry}: {e}");
+                return ExitCode::from(EXIT_INPUT);
+            }
+            Err(e) => {
+                eprintln!("sxec: {entry} trapped: {e}");
                 return ExitCode::from(EXIT_RUNTIME);
             }
         }

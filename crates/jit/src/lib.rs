@@ -60,7 +60,7 @@ use sxe_core::{GenStrategy, SxeConfig, SxeStats, Variant};
 use sxe_ir::{verify_function, verify_module, Budget, Function, Module, Target, VerifyError};
 use sxe_opt::{GeneralOpts, OptStats};
 use sxe_telemetry::{ArgValue, Event, Lane};
-use sxe_vm::Machine;
+use sxe_vm::Vm;
 
 pub use harness::FaultPlan;
 pub use report::{CompileReport, InjectedFault, PassRecord, PassStatus, RollbackCause};
@@ -420,8 +420,7 @@ impl Compiler {
             profile_run.is_some().then(|| driver.begin("profile-interpret", "vm"));
         let mut use_profile = self.sxe.use_profile;
         let profile: Option<sxe_core::ModuleProfile> = profile_run.and_then(|(entry, args)| {
-            let mut vm = Machine::new(&module, self.sxe.target);
-            vm.enable_profile();
+            let mut vm = Vm::builder(&module).target(self.sxe.target).profile(true).build();
             let ok = vm.run(entry, args).is_ok();
             ok.then(|| {
                 (0..module.functions.len())
@@ -944,7 +943,7 @@ b2:
         let mut reference: Option<(Option<i64>, u64)> = None;
         for v in Variant::ALL {
             let c = Compiler::for_variant(v).compile(&src);
-            let mut vm = Machine::new(&c.module, Target::Ia64);
+            let mut vm = Vm::new(&c.module, Target::Ia64);
             let out = vm.run("main", &[40]).expect("no trap");
             let key = (out.ret, out.heap_checksum);
             match &reference {
@@ -959,9 +958,9 @@ b2:
         let src = parse_module(LOOPY).unwrap();
         let count = |v: Variant| {
             let c = Compiler::for_variant(v).compile(&src);
-            let mut vm = Machine::new(&c.module, Target::Ia64);
+            let mut vm = Vm::new(&c.module, Target::Ia64);
             vm.run("main", &[200]).expect("no trap");
-            vm.counters.extend_count(None)
+            vm.counters().extend_count(None)
         };
         let baseline = count(Variant::Baseline);
         let first = count(Variant::FirstAlgorithm);
@@ -977,7 +976,7 @@ b2:
     fn profiled_compile_works() {
         let src = parse_module(LOOPY).unwrap();
         let c = Compiler::for_variant(Variant::All).compile_profiled(&src, "main", &[40]);
-        let mut vm = Machine::new(&c.module, Target::Ia64);
+        let mut vm = Vm::new(&c.module, Target::Ia64);
         let out = vm.run("main", &[40]).expect("no trap");
         assert!(out.ret.is_some());
     }
@@ -1004,7 +1003,7 @@ b2:
         assert_eq!(count_zext(&optimized.module), 0);
         // Behaviour preserved.
         let run = |m: &sxe_ir::Module| {
-            let mut vm = Machine::new(m, Target::Ia64);
+            let mut vm = Vm::new(m, Target::Ia64);
             vm.run("main", &[2]).expect("no trap").ret
         };
         assert_eq!(run(&plain.module), run(&optimized.module));
@@ -1016,10 +1015,10 @@ b2:
         let mut c = Compiler::for_variant(Variant::All);
         c.general = sxe_opt::GeneralOpts::none();
         let compiled = c.compile(&src);
-        let mut vm = Machine::new(&compiled.module, Target::Ia64);
+        let mut vm = Vm::new(&compiled.module, Target::Ia64);
         let out = vm.run("main", &[40]).expect("no trap");
         let reference = Compiler::for_variant(Variant::All).compile(&src);
-        let mut vm2 = Machine::new(&reference.module, Target::Ia64);
+        let mut vm2 = Vm::new(&reference.module, Target::Ia64);
         assert_eq!(out.ret, vm2.run("main", &[40]).expect("no trap").ret);
     }
 
@@ -1038,7 +1037,7 @@ b2:
         let src = parse_module(LOOPY).unwrap();
         let reference = Compiler::for_variant(Variant::All).compile(&src);
         let boundaries = reference.report.boundaries() as u32;
-        let mut vm = Machine::new(&reference.module, Target::Ia64);
+        let mut vm = Vm::new(&reference.module, Target::Ia64);
         let want = vm.run("main", &[40]).expect("no trap");
         for seed in 0..48 {
             let plan = FaultPlan::from_seed(seed, boundaries);
@@ -1047,7 +1046,7 @@ b2:
                 c.report.incidents() >= 1,
                 "seed {seed}: the injected fault must appear in the report"
             );
-            let mut vm = Machine::new(&c.module, Target::Ia64);
+            let mut vm = Vm::new(&c.module, Target::Ia64);
             let got = vm.run("main", &[40]).expect("no trap");
             assert_eq!(
                 (got.ret, got.heap_checksum),
@@ -1062,10 +1061,10 @@ b2:
         let src = parse_module(LOOPY).unwrap();
         let c = Compiler::for_variant(Variant::All).with_budget(Some(3), None).compile(&src);
         assert!(c.report.budget_exhausted);
-        let mut vm = Machine::new(&c.module, Target::Ia64);
+        let mut vm = Vm::new(&c.module, Target::Ia64);
         let got = vm.run("main", &[40]).expect("no trap");
         let reference = Compiler::for_variant(Variant::All).compile(&src);
-        let mut vm2 = Machine::new(&reference.module, Target::Ia64);
+        let mut vm2 = Vm::new(&reference.module, Target::Ia64);
         let want = vm2.run("main", &[40]).expect("no trap");
         assert_eq!((got.ret, got.heap_checksum), (want.ret, want.heap_checksum));
     }

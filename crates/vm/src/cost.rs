@@ -19,19 +19,8 @@ pub fn cost_of(inst: &Inst) -> u64 {
         Inst::Extend { .. } => ALU_COST,
         Inst::JustExtended { .. } => 0, // pseudo-instruction
         Inst::Const { .. } | Inst::ConstF { .. } | Inst::Copy { .. } => ALU_COST,
-        Inst::Un { op, .. } => match op {
-            UnOp::Neg | UnOp::Not | UnOp::Zext(_) => ALU_COST,
-            UnOp::I32ToF64 | UnOp::I64ToF64 | UnOp::F64ToI32 | UnOp::F64ToI64 => FP_CONV_COST,
-            UnOp::FNeg | UnOp::FAbs => FP_COST,
-            UnOp::FSqrt => FP_SQRT_COST,
-        },
-        Inst::Bin { op, ty, .. } => match (op, ty) {
-            (BinOp::Div | BinOp::Rem, Ty::F64) => FP_DIV_COST,
-            (BinOp::Div | BinOp::Rem, _) => INT_DIV_COST,
-            (_, Ty::F64) => FP_COST,
-            (BinOp::Mul, _) => MUL_COST,
-            _ => ALU_COST,
-        },
+        Inst::Un { op, .. } => un_cost(*op),
+        Inst::Bin { op, ty, .. } => bin_cost(*op, *ty),
         Inst::Setcc { .. } => ALU_COST,
         Inst::NewArray { .. } => ALLOC_COST,
         Inst::ArrayLen { .. } => ALU_COST,
@@ -42,6 +31,31 @@ pub fn cost_of(inst: &Inst) -> u64 {
         Inst::Br { .. } => BRANCH_COST,
         Inst::CondBr { .. } => BRANCH_COST,
         Inst::Ret { .. } => BRANCH_COST,
+    }
+}
+
+/// Cost of a unary operation (shared by [`cost_of`] and the decoded
+/// engine, which dispatches on pre-decoded ops rather than [`Inst`]s).
+#[must_use]
+pub fn un_cost(op: UnOp) -> u64 {
+    match op {
+        UnOp::Neg | UnOp::Not | UnOp::Zext(_) => ALU_COST,
+        UnOp::I32ToF64 | UnOp::I64ToF64 | UnOp::F64ToI32 | UnOp::F64ToI64 => FP_CONV_COST,
+        UnOp::FNeg | UnOp::FAbs => FP_COST,
+        UnOp::FSqrt => FP_SQRT_COST,
+    }
+}
+
+/// Cost of a binary operation (shared by [`cost_of`] and the decoded
+/// engine).
+#[must_use]
+pub fn bin_cost(op: BinOp, ty: Ty) -> u64 {
+    match (op, ty) {
+        (BinOp::Div | BinOp::Rem, Ty::F64) => FP_DIV_COST,
+        (BinOp::Div | BinOp::Rem, _) => INT_DIV_COST,
+        (_, Ty::F64) => FP_COST,
+        (BinOp::Mul, _) => MUL_COST,
+        _ => ALU_COST,
     }
 }
 

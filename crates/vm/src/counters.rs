@@ -196,11 +196,86 @@ impl SharedCounters {
     }
 }
 
-fn width_index(w: Width) -> usize {
+pub(crate) fn width_index(w: Width) -> usize {
     match w {
         Width::W8 => 0,
         Width::W16 => 1,
         Width::W32 => 2,
+    }
+}
+
+/// [`MNEMONICS`] indices as named constants, for recording surfaces that
+/// dispatch on pre-decoded ops rather than [`Inst`] values (the decoded
+/// engine). Kept next to the table so the two cannot drift; the
+/// `opidx_matches_op_index` test pins every pairing.
+pub(crate) mod opidx {
+    pub const CONST: usize = 1;
+    pub const CONSTF: usize = 2;
+    pub const COPY: usize = 3;
+    pub const UN: usize = 4;
+    pub const BIN: usize = 5;
+    pub const SET: usize = 6;
+    pub const EXTEND: usize = 7;
+    pub const JUSTEXT: usize = 8;
+    pub const NEWARRAY: usize = 9;
+    pub const LEN: usize = 10;
+    pub const ALOAD: usize = 11;
+    pub const ASTORE: usize = 12;
+    pub const CALL: usize = 13;
+    pub const BR: usize = 14;
+    pub const CONDBR: usize = 15;
+    pub const RET: usize = 16;
+}
+
+/// Fixed-slot counters for the decoded engine's hot loop: one add per
+/// recorded instruction instead of a `BTreeMap` entry lookup.
+/// [`FlatCounters::materialize`] folds the slots into an ordinary
+/// [`Counters`] (zero-count ops omitted, exactly like per-instruction
+/// recording and [`SharedCounters::snapshot`] produce).
+#[derive(Debug, Default)]
+pub(crate) struct FlatCounters {
+    pub insts: u64,
+    pub cycles: u64,
+    pub extends: [u64; 3],
+    pub per_op: [u64; MNEMONICS.len()],
+}
+
+impl FlatCounters {
+    /// Record one executed instruction of mnemonic slot `op`. The
+    /// engine's hot loop charges through its own register-resident
+    /// accumulators (see `exec::Hot`); this all-in-memory variant
+    /// remains the reference the equivalence test checks against.
+    #[cfg(test)]
+    pub fn bump(&mut self, op: usize, cycles: u64) {
+        self.insts += 1;
+        self.cycles += cycles;
+        self.per_op[op] += 1;
+    }
+
+    /// Record the width of an executed `extend` (call alongside
+    /// [`FlatCounters::bump`] with [`opidx::EXTEND`]).
+    #[inline]
+    pub fn note_extend(&mut self, from: Width) {
+        self.extends[width_index(from)] += 1;
+    }
+
+    /// Fold into a plain [`Counters`].
+    pub fn materialize(&self) -> Counters {
+        let mut c = Counters::new();
+        c.insts = self.insts;
+        c.cycles = self.cycles;
+        c.extends = self.extends;
+        for (i, &n) in self.per_op.iter().enumerate() {
+            if n > 0 {
+                c.per_op.insert(MNEMONICS[i], n);
+            }
+        }
+        c
+    }
+
+    /// Zero all slots.
+    pub fn clear(&mut self) {
+        *self = FlatCounters::default();
     }
 }
 
@@ -287,6 +362,58 @@ mod tests {
         assert_eq!(c.insts, 4000);
         assert_eq!(c.extend_count(Some(Width::W16)), 4000);
         assert_eq!(c.per_op["extend"], 4000);
+    }
+
+    #[test]
+    fn opidx_matches_op_index() {
+        use sxe_ir::{BinOp, BlockId, Cond, FuncId, Ty, UnOp};
+        let r = Reg(0);
+        let pairs: [(usize, Inst); 16] = [
+            (opidx::CONST, Inst::Const { dst: r, value: 0, ty: Ty::I32 }),
+            (opidx::CONSTF, Inst::ConstF { dst: r, value: 0.0 }),
+            (opidx::COPY, Inst::Copy { dst: r, src: r, ty: Ty::I64 }),
+            (opidx::UN, Inst::Un { op: UnOp::Not, ty: Ty::I64, dst: r, src: r }),
+            (opidx::BIN, Inst::Bin { op: BinOp::Add, ty: Ty::I32, dst: r, lhs: r, rhs: r }),
+            (opidx::SET, Inst::Setcc { cond: Cond::Eq, ty: Ty::I32, dst: r, lhs: r, rhs: r }),
+            (opidx::EXTEND, Inst::Extend { dst: r, src: r, from: Width::W32 }),
+            (opidx::JUSTEXT, Inst::JustExtended { dst: r, src: r, from: Width::W32 }),
+            (opidx::NEWARRAY, Inst::NewArray { dst: r, len: r, elem: Ty::I32 }),
+            (opidx::LEN, Inst::ArrayLen { dst: r, array: r }),
+            (opidx::ALOAD, Inst::ArrayLoad { dst: r, array: r, index: r, elem: Ty::I32 }),
+            (opidx::ASTORE, Inst::ArrayStore { array: r, index: r, src: r, elem: Ty::I32 }),
+            (opidx::CALL, Inst::Call { dst: None, func: FuncId(0), args: vec![] }),
+            (opidx::BR, Inst::Br { target: BlockId(0) }),
+            (opidx::CONDBR, Inst::CondBr {
+                cond: Cond::Eq,
+                ty: Ty::I32,
+                lhs: r,
+                rhs: r,
+                then_bb: BlockId(0),
+                else_bb: BlockId(0),
+            }),
+            (opidx::RET, Inst::Ret { value: None }),
+        ];
+        for (idx, inst) in &pairs {
+            assert_eq!(*idx, op_index(inst), "{}", mnemonic(inst));
+        }
+    }
+
+    #[test]
+    fn flat_counters_materialize_like_recording() {
+        let e = Inst::Extend { dst: Reg(0), src: Reg(0), from: Width::W32 };
+        let b = Inst::Br { target: sxe_ir::BlockId(0) };
+        let mut reference = Counters::new();
+        let mut flat = FlatCounters::default();
+        for _ in 0..3 {
+            reference.record(&e, 10);
+            flat.bump(opidx::EXTEND, 10);
+            flat.note_extend(Width::W32);
+        }
+        reference.record(&b, 12);
+        flat.bump(opidx::BR, 12);
+        assert_eq!(flat.materialize(), reference);
+        flat.clear();
+        assert_eq!(flat.materialize(), Counters::new());
     }
 
     #[test]

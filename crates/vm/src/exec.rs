@@ -1,0 +1,568 @@
+//! The decoded engine: a tight dispatch loop over pre-decoded op arrays
+//! (see [`crate::decode`]).
+//!
+//! Semantics are a bit-exact replica of the tree-walking reference
+//! engine ([`crate::Machine::call`]); the two are interchangeable
+//! observably (outcome, trap kind, heap checksum, dynamic counters, and
+//! block profiles). The loop upholds the same per-instruction contract
+//! the tree engine does, component by component for superinstructions:
+//!
+//! 1. if fuel is zero, trap [`TrapKind::ResourceExhausted`] *without*
+//!    recording the instruction;
+//! 2. otherwise burn one fuel unit and record the instruction's
+//!    mnemonic and cycle cost — *then* execute it, so instructions that
+//!    trap (division by zero, bounds faults) are counted, exactly as a
+//!    real machine retires the faulting instruction's issue slot;
+//! 3. block-entry bookkeeping (profiles, hooks) runs when a branch is
+//!    taken, before any instruction of the target block.
+//!
+//! The one deliberate divergence: when fuel runs out at the second or
+//! third component of a superinstruction, the reported [`Trap::at`]
+//! location is the superinstruction's *first* component (the trap kind,
+//! counters, and heap state still match the tree engine exactly). Trap
+//! locations of real machine faults are unaffected — fusion never spans
+//! a trapping component boundary except after `aload`, whose fault is
+//! the first component.
+
+use sxe_ir::{eval, BlockId, FuncId, InstId, Target, TrapKind, Ty, UnOp};
+
+use crate::cost::{
+    bin_cost, un_cost, ALLOC_COST, ALU_COST, BRANCH_COST, CALL_COST, MEM_COST,
+};
+use crate::counters::{opidx, FlatCounters};
+use crate::decode::{DecodedModule, Op, Simple, NO_REG};
+use crate::error::Trap;
+use crate::heap::Heap;
+use crate::machine::{eval_cond, BlockHook, MAX_CALL_DEPTH};
+
+/// Mutable run state of a decoded-engine VM, separated from the
+/// (immutable once built) [`DecodedModule`] so the dispatch loop can
+/// borrow both at once.
+pub(crate) struct ExecState {
+    pub heap: Heap,
+    pub fuel: u64,
+    pub flat: FlatCounters,
+    pub profile: Option<Vec<Vec<u64>>>,
+    pub hook: Option<BlockHook>,
+    pub target: Target,
+}
+
+impl std::fmt::Debug for ExecState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecState")
+            .field("fuel", &self.fuel)
+            .field("target", &self.target)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Block-entry bookkeeping: profile count and hook, in tree-engine
+/// order.
+#[inline]
+fn enter_block(st: &mut ExecState, func: usize, block: u32, regs: &[i64]) {
+    if let Some(p) = st.profile.as_mut() {
+        p[func][block as usize] += 1;
+    }
+    if let Some(h) = st.hook.as_mut() {
+        h(FuncId(func as u32), BlockId(block), regs);
+    }
+}
+
+/// The three accumulators every single instruction touches, hoisted out
+/// of [`ExecState`] into a stack local for the duration of a run.
+///
+/// Why: `st` is a caller-provided `&mut`, so every store through it must
+/// be materialized in memory at each point the loop could unwind — the
+/// optimizer cannot keep `st.fuel` in a register across the dispatch
+/// loop, and the resulting load/store chains serialize the hot path. A
+/// local that never escapes has no such obligation. [`run_decoded`]
+/// loads these from `ExecState` at entry and stores them back on every
+/// (non-panicking) exit path.
+struct Hot {
+    fuel: u64,
+    insts: u64,
+    cycles: u64,
+}
+
+/// Charge fuel and record one (component) instruction. `Err` means the
+/// tank ran dry *before* this instruction — it is not recorded.
+#[inline]
+fn charge(hot: &mut Hot, flat: &mut FlatCounters, op: usize, cycles: u64) -> Result<(), TrapKind> {
+    if hot.fuel == 0 {
+        return Err(TrapKind::ResourceExhausted);
+    }
+    hot.fuel -= 1;
+    hot.insts += 1;
+    hot.cycles += cycles;
+    flat.per_op[op] += 1;
+    Ok(())
+}
+
+/// Batched charge for an `n`-component superinstruction none of whose
+/// components can trap (other than on fuel): one fuel check and one
+/// `insts`/`cycles` update instead of `n`. Returns `false` when fewer
+/// than `n` fuel units remain — the caller must then take the exact
+/// per-component path so the trap-on-empty point (and the counters at
+/// that point) stay bit-identical with the tree engine.
+#[inline(always)]
+fn charge_batch(hot: &mut Hot, n: u64, cycles: u64) -> bool {
+    if hot.fuel < n {
+        return false;
+    }
+    hot.fuel -= n;
+    hot.insts += n;
+    hot.cycles += cycles;
+    true
+}
+
+/// One micro-op whose fuel/insts/cycles were already charged in a
+/// batch: bump only its mnemonic slot, then execute.
+#[inline(always)]
+fn exec_prepaid(st: &mut ExecState, regs: &mut [i64], s: Simple) {
+    match s {
+        Simple::Const { dst, value } => {
+            st.flat.per_op[opidx::CONST] += 1;
+            regs[dst as usize] = value;
+        }
+        Simple::Copy { dst, src } => {
+            st.flat.per_op[opidx::COPY] += 1;
+            regs[dst as usize] = regs[src as usize];
+        }
+        Simple::Un { op, ty, dst, src } => {
+            st.flat.per_op[opidx::UN] += 1;
+            regs[dst as usize] = eval_un(op, ty, regs[src as usize]);
+        }
+        Simple::Bin { op, ty, dst, lhs, rhs } => {
+            st.flat.per_op[opidx::BIN] += 1;
+            // Non-trapping by construction (`fusable_bin`).
+            regs[dst as usize] =
+                eval::int_bin(op, regs[lhs as usize], regs[rhs as usize], ty).unwrap_or(0);
+        }
+        Simple::Setcc { cond, ty, dst, lhs, rhs } => {
+            st.flat.per_op[opidx::SET] += 1;
+            regs[dst as usize] =
+                eval_cond(cond, ty, regs[lhs as usize], regs[rhs as usize]) as i64;
+        }
+        Simple::Extend { dst, src, from } => {
+            st.flat.per_op[opidx::EXTEND] += 1;
+            st.flat.note_extend(from);
+            regs[dst as usize] = from.sign_extend(regs[src as usize]);
+        }
+        Simple::JustExt { dst, src } => {
+            st.flat.per_op[opidx::JUSTEXT] += 1;
+            regs[dst as usize] = regs[src as usize];
+        }
+    }
+}
+
+/// Unary-op evaluation, shared by the plain and paired paths.
+#[inline(always)]
+fn eval_un(op: UnOp, ty: Ty, v: i64) -> i64 {
+    match op {
+        UnOp::Neg => match ty {
+            Ty::F64 => (-f64::from_bits(v as u64)).to_bits() as i64,
+            _ => v.wrapping_neg(),
+        },
+        UnOp::Not => !v,
+        // Reads the FULL register: garbage upper bits produce a wrong
+        // double — by design.
+        UnOp::I32ToF64 | UnOp::I64ToF64 => (v as f64).to_bits() as i64,
+        UnOp::F64ToI32 => eval::d2i(f64::from_bits(v as u64)),
+        UnOp::F64ToI64 => eval::d2l(f64::from_bits(v as u64)),
+        UnOp::Zext(w) => w.zero_extend(v),
+        UnOp::FNeg => (-f64::from_bits(v as u64)).to_bits() as i64,
+        UnOp::FSqrt => f64::from_bits(v as u64).sqrt().to_bits() as i64,
+        UnOp::FAbs => f64::from_bits(v as u64).abs().to_bits() as i64,
+    }
+}
+
+/// One component of an [`Op::Pair`]: charge, record, execute. These
+/// micro-ops never trap on their own — only the fuel check can fail.
+#[inline(always)]
+fn exec_simple(
+    hot: &mut Hot,
+    st: &mut ExecState,
+    regs: &mut [i64],
+    s: Simple,
+) -> Result<(), TrapKind> {
+    match s {
+        Simple::Const { dst, value } => {
+            charge(hot, &mut st.flat, opidx::CONST, ALU_COST)?;
+            regs[dst as usize] = value;
+        }
+        Simple::Copy { dst, src } => {
+            charge(hot, &mut st.flat, opidx::COPY, ALU_COST)?;
+            regs[dst as usize] = regs[src as usize];
+        }
+        Simple::Un { op, ty, dst, src } => {
+            charge(hot, &mut st.flat, opidx::UN, un_cost(op))?;
+            regs[dst as usize] = eval_un(op, ty, regs[src as usize]);
+        }
+        Simple::Bin { op, ty, dst, lhs, rhs } => {
+            charge(hot, &mut st.flat, opidx::BIN, bin_cost(op, ty))?;
+            // Non-trapping by construction (`fusable_bin`).
+            regs[dst as usize] =
+                eval::int_bin(op, regs[lhs as usize], regs[rhs as usize], ty).unwrap_or(0);
+        }
+        Simple::Setcc { cond, ty, dst, lhs, rhs } => {
+            charge(hot, &mut st.flat, opidx::SET, ALU_COST)?;
+            regs[dst as usize] =
+                eval_cond(cond, ty, regs[lhs as usize], regs[rhs as usize]) as i64;
+        }
+        Simple::Extend { dst, src, from } => {
+            charge(hot, &mut st.flat, opidx::EXTEND, ALU_COST)?;
+            st.flat.note_extend(from);
+            regs[dst as usize] = from.sign_extend(regs[src as usize]);
+        }
+        Simple::JustExt { dst, src } => {
+            charge(hot, &mut st.flat, opidx::JUSTEXT, 0)?;
+            regs[dst as usize] = regs[src as usize];
+        }
+    }
+    Ok(())
+}
+
+/// A suspended caller awaiting an inner call's return. Frames live on
+/// the heap, not the native stack, so [`MAX_CALL_DEPTH`] is the only
+/// recursion bound in play.
+struct Frame {
+    func: usize,
+    /// Resume point: the op *after* the call.
+    pc: usize,
+    /// Caller register receiving the return value ([`NO_REG`] if none).
+    ret_dst: u32,
+    regs: Vec<i64>,
+}
+
+/// Execute `func` (already-canonicalized `args`) on the decoded module.
+pub(crate) fn run_decoded(
+    dm: &DecodedModule,
+    st: &mut ExecState,
+    func: usize,
+    args: &[i64],
+) -> Result<Option<i64>, Trap> {
+    let mut hot = Hot { fuel: st.fuel, insts: st.flat.insts, cycles: st.flat.cycles };
+    let result = dispatch(dm, st, &mut hot, func, args);
+    st.fuel = hot.fuel;
+    st.flat.insts = hot.insts;
+    st.flat.cycles = hot.cycles;
+    result
+}
+
+/// The dispatch loop proper. Reads and writes fuel/insts/cycles only
+/// through `hot` — [`run_decoded`] owns the load/store-back protocol.
+#[allow(clippy::too_many_lines)]
+fn dispatch(
+    dm: &DecodedModule,
+    st: &mut ExecState,
+    hot: &mut Hot,
+    func: usize,
+    args: &[i64],
+) -> Result<Option<i64>, Trap> {
+    let trap = |func: usize, kind: TrapKind, at: InstId| Trap {
+        kind,
+        func: FuncId(func as u32),
+        func_name: dm.funcs[func].name.clone(),
+        at,
+    };
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut func = func;
+    let mut f = &dm.funcs[func];
+    let mut regs = vec![0i64; f.reg_count];
+    for (&(r, _), &v) in f.params.iter().zip(args) {
+        regs[r as usize] = v;
+    }
+    enter_block(st, func, 0, &regs);
+    let mut pc = 0usize;
+    loop {
+        match f.ops[pc] {
+            Op::Const { dst, value } => {
+                charge(hot, &mut st.flat, opidx::CONST, ALU_COST).map_err(|k| trap(func, k, f.ids[pc]))?;
+                regs[dst as usize] = value;
+            }
+            Op::ConstF { dst, bits } => {
+                charge(hot, &mut st.flat, opidx::CONSTF, ALU_COST).map_err(|k| trap(func, k, f.ids[pc]))?;
+                regs[dst as usize] = bits;
+            }
+            Op::Copy { dst, src } => {
+                charge(hot, &mut st.flat, opidx::COPY, ALU_COST).map_err(|k| trap(func, k, f.ids[pc]))?;
+                regs[dst as usize] = regs[src as usize];
+            }
+            Op::Un { op, ty, dst, src } => {
+                charge(hot, &mut st.flat, opidx::UN, un_cost(op)).map_err(|k| trap(func, k, f.ids[pc]))?;
+                regs[dst as usize] = eval_un(op, ty, regs[src as usize]);
+            }
+            Op::Bin { op, ty, dst, lhs, rhs } => {
+                charge(hot, &mut st.flat, opidx::BIN, bin_cost(op, ty)).map_err(|k| trap(func, k, f.ids[pc]))?;
+                let a = regs[lhs as usize];
+                let b = regs[rhs as usize];
+                regs[dst as usize] = match ty {
+                    Ty::F64 => {
+                        let (x, y) = (f64::from_bits(a as u64), f64::from_bits(b as u64));
+                        match eval::f64_bin(op, x, y) {
+                            Some(r) => r.to_bits() as i64,
+                            // Bitwise float ops are rejected by
+                            // construction; treat as raw int ops on the
+                            // bits for robustness.
+                            None => eval::int_bin(op, a, b, Ty::I64).unwrap_or(0),
+                        }
+                    }
+                    _ => match eval::int_bin(op, a, b, ty) {
+                        Some(v) => v,
+                        None => return Err(trap(func, TrapKind::DivisionByZero, f.ids[pc])),
+                    },
+                };
+            }
+            Op::Setcc { cond, ty, dst, lhs, rhs } => {
+                charge(hot, &mut st.flat, opidx::SET, ALU_COST).map_err(|k| trap(func, k, f.ids[pc]))?;
+                let t = eval_cond(cond, ty, regs[lhs as usize], regs[rhs as usize]);
+                regs[dst as usize] = t as i64;
+            }
+            Op::Extend { dst, src, from } => {
+                charge(hot, &mut st.flat, opidx::EXTEND, ALU_COST).map_err(|k| trap(func, k, f.ids[pc]))?;
+                st.flat.note_extend(from);
+                regs[dst as usize] = from.sign_extend(regs[src as usize]);
+            }
+            // Semantically a register move; the assertion it carries is a
+            // compiler-internal fact.
+            Op::JustExt { dst, src } => {
+                charge(hot, &mut st.flat, opidx::JUSTEXT, 0).map_err(|k| trap(func, k, f.ids[pc]))?;
+                regs[dst as usize] = regs[src as usize];
+            }
+            Op::NewArray { dst, len, elem } => {
+                charge(hot, &mut st.flat, opidx::NEWARRAY, ALLOC_COST).map_err(|k| trap(func, k, f.ids[pc]))?;
+                // Length check is a 32-bit compare.
+                let l32 = regs[len as usize] as i32;
+                if l32 < 0 {
+                    return Err(trap(func, TrapKind::NegativeArraySize, f.ids[pc]));
+                }
+                match st.heap.alloc(elem, l32 as u32) {
+                    Some(r) => regs[dst as usize] = r,
+                    None => return Err(trap(func, TrapKind::ResourceExhausted, f.ids[pc])),
+                }
+            }
+            Op::ArrayLen { dst, array } => {
+                charge(hot, &mut st.flat, opidx::LEN, ALU_COST).map_err(|k| trap(func, k, f.ids[pc]))?;
+                let a = st
+                    .heap
+                    .get(regs[array as usize])
+                    .ok_or_else(|| trap(func, TrapKind::WildAddress, f.ids[pc]))?;
+                regs[dst as usize] = i64::from(a.len());
+            }
+            Op::Load { dst, array, index } => {
+                charge(hot, &mut st.flat, opidx::ALOAD, MEM_COST).map_err(|k| trap(func, k, f.ids[pc]))?;
+                regs[dst as usize] = st
+                    .heap
+                    .load_checked(regs[array as usize], regs[index as usize], st.target)
+                    .map_err(|k| trap(func, k, f.ids[pc]))?;
+            }
+            Op::Store { array, index, src } => {
+                charge(hot, &mut st.flat, opidx::ASTORE, MEM_COST).map_err(|k| trap(func, k, f.ids[pc]))?;
+                st.heap
+                    .store_checked(regs[array as usize], regs[index as usize], regs[src as usize])
+                    .map_err(|k| trap(func, k, f.ids[pc]))?;
+            }
+            Op::Call { dst, callee, args_at, args_len } => {
+                charge(hot, &mut st.flat, opidx::CALL, CALL_COST).map_err(|k| trap(func, k, f.ids[pc]))?;
+                let callee = callee as usize;
+                if stack.len() + 1 > MAX_CALL_DEPTH {
+                    return Err(trap(
+                        callee,
+                        TrapKind::ResourceExhausted,
+                        InstId::new(BlockId(0), 0),
+                    ));
+                }
+                let g = &dm.funcs[callee];
+                // Inner calls pass raw register values — canonicalization
+                // is an entry-boundary convenience only, same as the tree
+                // engine.
+                let mut callee_regs = vec![0i64; g.reg_count];
+                let arg_regs = &f.call_args[args_at as usize..(args_at + args_len) as usize];
+                for (&(r, _), &a) in g.params.iter().zip(arg_regs) {
+                    callee_regs[r as usize] = regs[a as usize];
+                }
+                stack.push(Frame {
+                    func,
+                    pc: pc + 1,
+                    ret_dst: dst,
+                    regs: std::mem::replace(&mut regs, callee_regs),
+                });
+                func = callee;
+                f = g;
+                enter_block(st, func, 0, &regs);
+                pc = 0;
+                continue;
+            }
+            Op::Br { pc: t, block } => {
+                charge(hot, &mut st.flat, opidx::BR, BRANCH_COST).map_err(|k| trap(func, k, f.ids[pc]))?;
+                pc = t as usize;
+                enter_block(st, func, block, &regs);
+                continue;
+            }
+            Op::CondBr { cond, ty, lhs, rhs, then_pc, then_block, else_pc, else_block } => {
+                charge(hot, &mut st.flat, opidx::CONDBR, BRANCH_COST).map_err(|k| trap(func, k, f.ids[pc]))?;
+                let t = eval_cond(cond, ty, regs[lhs as usize], regs[rhs as usize]);
+                let (p, b) = if t { (then_pc, then_block) } else { (else_pc, else_block) };
+                pc = p as usize;
+                enter_block(st, func, b, &regs);
+                continue;
+            }
+            Op::Ret { src } => {
+                charge(hot, &mut st.flat, opidx::RET, BRANCH_COST).map_err(|k| trap(func, k, f.ids[pc]))?;
+                let ret = if src == NO_REG { None } else { Some(regs[src as usize]) };
+                let Some(fr) = stack.pop() else { return Ok(ret) };
+                func = fr.func;
+                f = &dm.funcs[func];
+                regs = fr.regs;
+                pc = fr.pc;
+                if fr.ret_dst != NO_REG {
+                    regs[fr.ret_dst as usize] = ret.unwrap_or(0);
+                }
+                continue;
+            }
+            Op::BinExt { op, ty, dst, lhs, rhs, ext_dst, from } => {
+                let c = bin_cost(op, ty);
+                let v = eval::int_bin(op, regs[lhs as usize], regs[rhs as usize], ty)
+                    .unwrap_or(0); // non-trapping by decode
+                if charge_batch(hot, 2, c + ALU_COST) {
+                    st.flat.per_op[opidx::BIN] += 1;
+                    st.flat.per_op[opidx::EXTEND] += 1;
+                } else {
+                    let at = f.ids[pc];
+                    charge(hot, &mut st.flat, opidx::BIN, c).map_err(|k| trap(func, k, at))?;
+                    regs[dst as usize] = v;
+                    charge(hot, &mut st.flat, opidx::EXTEND, ALU_COST).map_err(|k| trap(func, k, at))?;
+                }
+                st.flat.note_extend(from);
+                regs[dst as usize] = v;
+                regs[ext_dst as usize] = from.sign_extend(v);
+            }
+            Op::SetccExt { cond, ty, dst, lhs, rhs, ext_dst, from } => {
+                let t = eval_cond(cond, ty, regs[lhs as usize], regs[rhs as usize]) as i64;
+                if charge_batch(hot, 2, ALU_COST + ALU_COST) {
+                    st.flat.per_op[opidx::SET] += 1;
+                    st.flat.per_op[opidx::EXTEND] += 1;
+                } else {
+                    let at = f.ids[pc];
+                    charge(hot, &mut st.flat, opidx::SET, ALU_COST).map_err(|k| trap(func, k, at))?;
+                    regs[dst as usize] = t;
+                    charge(hot, &mut st.flat, opidx::EXTEND, ALU_COST).map_err(|k| trap(func, k, at))?;
+                }
+                st.flat.note_extend(from);
+                regs[dst as usize] = t;
+                regs[ext_dst as usize] = from.sign_extend(t);
+            }
+            Op::LoadExt { dst, array, index, ext_dst, from } => {
+                let at = f.ids[pc];
+                charge(hot, &mut st.flat, opidx::ALOAD, MEM_COST).map_err(|k| trap(func, k, at))?;
+                let v = st
+                    .heap
+                    .load_checked(regs[array as usize], regs[index as usize], st.target)
+                    .map_err(|k| trap(func, k, at))?;
+                regs[dst as usize] = v;
+                charge(hot, &mut st.flat, opidx::EXTEND, ALU_COST).map_err(|k| trap(func, k, at))?;
+                st.flat.note_extend(from);
+                regs[ext_dst as usize] = from.sign_extend(v);
+            }
+            Op::BinExtBr {
+                op,
+                ty,
+                dst,
+                lhs,
+                rhs,
+                ext_dst,
+                from,
+                cond,
+                cty,
+                clhs,
+                crhs,
+                then_pc,
+                then_block,
+                else_pc,
+                else_block,
+            } => {
+                let c = bin_cost(op, ty);
+                let v = eval::int_bin(op, regs[lhs as usize], regs[rhs as usize], ty)
+                    .unwrap_or(0); // non-trapping by decode
+                if charge_batch(hot, 3, c + ALU_COST + BRANCH_COST) {
+                    st.flat.per_op[opidx::BIN] += 1;
+                    st.flat.per_op[opidx::EXTEND] += 1;
+                    st.flat.per_op[opidx::CONDBR] += 1;
+                } else {
+                    let at = f.ids[pc];
+                    charge(hot, &mut st.flat, opidx::BIN, c).map_err(|k| trap(func, k, at))?;
+                    regs[dst as usize] = v;
+                    charge(hot, &mut st.flat, opidx::EXTEND, ALU_COST).map_err(|k| trap(func, k, at))?;
+                    st.flat.note_extend(from);
+                    regs[ext_dst as usize] = from.sign_extend(v);
+                    charge(hot, &mut st.flat, opidx::CONDBR, BRANCH_COST).map_err(|k| trap(func, k, at))?;
+                    unreachable!("fuel < 3 cannot satisfy three charges");
+                }
+                st.flat.note_extend(from);
+                regs[dst as usize] = v;
+                regs[ext_dst as usize] = from.sign_extend(v);
+                let t = eval_cond(cond, cty, regs[clhs as usize], regs[crhs as usize]);
+                let (p, blk) = if t { (then_pc, then_block) } else { (else_pc, else_block) };
+                pc = p as usize;
+                enter_block(st, func, blk, &regs);
+                continue;
+            }
+            Op::Pair { a, b, cost } => {
+                if charge_batch(hot, 2, u64::from(cost)) {
+                    exec_prepaid(st, &mut regs, a);
+                    exec_prepaid(st, &mut regs, b);
+                } else {
+                    let at = f.ids[pc];
+                    exec_simple(hot, st, &mut regs, a).map_err(|k| trap(func, k, at))?;
+                    exec_simple(hot, st, &mut regs, b).map_err(|k| trap(func, k, at))?;
+                }
+            }
+            Op::Triple { a, b, c, cost } => {
+                if charge_batch(hot, 3, u64::from(cost)) {
+                    exec_prepaid(st, &mut regs, a);
+                    exec_prepaid(st, &mut regs, b);
+                    exec_prepaid(st, &mut regs, c);
+                } else {
+                    let at = f.ids[pc];
+                    exec_simple(hot, st, &mut regs, a).map_err(|k| trap(func, k, at))?;
+                    exec_simple(hot, st, &mut regs, b).map_err(|k| trap(func, k, at))?;
+                    exec_simple(hot, st, &mut regs, c).map_err(|k| trap(func, k, at))?;
+                }
+            }
+            Op::PairBr { a, target_pc, block, cost } => {
+                if charge_batch(hot, 2, u64::from(cost)) {
+                    exec_prepaid(st, &mut regs, a);
+                    st.flat.per_op[opidx::BR] += 1;
+                } else {
+                    let at = f.ids[pc];
+                    exec_simple(hot, st, &mut regs, a).map_err(|k| trap(func, k, at))?;
+                    charge(hot, &mut st.flat, opidx::BR, BRANCH_COST).map_err(|k| trap(func, k, at))?;
+                }
+                pc = target_pc as usize;
+                enter_block(st, func, block, &regs);
+                continue;
+            }
+            Op::PairCondBr {
+                a, cond, ty, lhs, rhs, then_pc, then_block, else_pc, else_block, cost
+            } => {
+                if charge_batch(hot, 2, u64::from(cost)) {
+                    exec_prepaid(st, &mut regs, a);
+                    st.flat.per_op[opidx::CONDBR] += 1;
+                } else {
+                    let at = f.ids[pc];
+                    exec_simple(hot, st, &mut regs, a).map_err(|k| trap(func, k, at))?;
+                    charge(hot, &mut st.flat, opidx::CONDBR, BRANCH_COST).map_err(|k| trap(func, k, at))?;
+                }
+                let t = eval_cond(cond, ty, regs[lhs as usize], regs[rhs as usize]);
+                let (p, b) = if t { (then_pc, then_block) } else { (else_pc, else_block) };
+                pc = p as usize;
+                enter_block(st, func, b, &regs);
+                continue;
+            }
+            Op::NoTerm => {
+                panic!("block must end in a terminator");
+            }
+        }
+        pc += 1;
+    }
+}

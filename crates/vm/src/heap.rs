@@ -115,6 +115,50 @@ impl Heap {
         self.arrays.get_mut(idx)
     }
 
+    /// The §3 machine model's address check, shared by both engines:
+    /// bounds check on the **low 32 bits** of the index (IA64
+    /// `cmp4.ltu`), effective address from the **full register**
+    /// (`shladd`). If the check passes but the full value differs (upper
+    /// bits were garbage), the access is a wild address.
+    pub(crate) fn check_index(&self, aref: i64, raw_index: i64) -> Result<u32, sxe_ir::TrapKind> {
+        let a = self.get(aref).ok_or(sxe_ir::TrapKind::WildAddress)?;
+        checked_low(a, raw_index)
+    }
+
+    /// [`Heap::check_index`] + [`ArrayObj::load`] in a single array
+    /// lookup — the decoded engine's fast path (the tree engine keeps
+    /// the two-step reference shape; the semantics are identical).
+    #[inline]
+    pub(crate) fn load_checked(
+        &self,
+        aref: i64,
+        raw_index: i64,
+        target: Target,
+    ) -> Result<i64, sxe_ir::TrapKind> {
+        let a = self.get(aref).ok_or(sxe_ir::TrapKind::WildAddress)?;
+        let low = checked_low(a, raw_index)?;
+        Ok(a.load(low, target))
+    }
+
+    /// [`Heap::check_index`] + [`ArrayObj::store`] in a single array
+    /// lookup.
+    #[inline]
+    pub(crate) fn store_checked(
+        &mut self,
+        aref: i64,
+        raw_index: i64,
+        v: i64,
+    ) -> Result<(), sxe_ir::TrapKind> {
+        let idx = usize::try_from(aref)
+            .ok()
+            .and_then(|i| i.checked_sub(1))
+            .ok_or(sxe_ir::TrapKind::WildAddress)?;
+        let a = self.arrays.get_mut(idx).ok_or(sxe_ir::TrapKind::WildAddress)?;
+        let low = checked_low(a, raw_index)?;
+        a.store(low, v);
+        Ok(())
+    }
+
     /// Number of live arrays.
     #[must_use]
     pub fn array_count(&self) -> usize {
@@ -139,6 +183,22 @@ impl Heap {
         }
         h
     }
+}
+
+/// The low-32-bit bounds check against an already-resolved array (the
+/// second half of [`Heap::check_index`]).
+#[inline]
+fn checked_low(a: &ArrayObj, raw_index: i64) -> Result<u32, sxe_ir::TrapKind> {
+    let low = raw_index as u32; // cmp4.ltu low, len
+    if low >= a.len() {
+        return Err(sxe_ir::TrapKind::IndexOutOfBounds);
+    }
+    // shladd uses the full register: valid only if it equals the
+    // zero-extended checked index.
+    if raw_index as u64 != low as u64 {
+        return Err(sxe_ir::TrapKind::WildAddress);
+    }
+    Ok(low)
 }
 
 #[cfg(test)]

@@ -19,17 +19,24 @@
 //! block-level profiles, playing the role of the paper's interpreter in
 //! the combined interpreter + dynamic compiler system.
 //!
+//! Execution goes through the [`VmBuilder`] → [`Vm`] API. Two engines
+//! share the semantics: [`Engine::Decoded`] (the default) pre-decodes
+//! every function once into dense op arrays with fused superinstructions
+//! and dispatches over them in a tight loop; [`Engine::Tree`] walks the
+//! instruction tree directly ([`Machine`], the executable reference the
+//! decoded engine is differentially tested against).
+//!
 //! ```
 //! use sxe_ir::{parse_module, Target, Width};
-//! use sxe_vm::Machine;
+//! use sxe_vm::Vm;
 //!
 //! let m = parse_module(
 //!     "func @f(i32) -> i32 {\nb0:\n    r0 = extend.32 r0\n    ret r0\n}\n",
 //! )?;
-//! let mut vm = Machine::new(&m, Target::Ia64);
+//! let mut vm = Vm::builder(&m).target(Target::Ia64).build();
 //! let out = vm.run("f", &[7]).expect("no trap");
 //! assert_eq!(out.ret, Some(7));
-//! assert_eq!(vm.counters.extend_count(Some(Width::W32)), 1);
+//! assert_eq!(vm.counters().extend_count(Some(Width::W32)), 1);
 //! # Ok::<(), sxe_ir::ParseError>(())
 //! ```
 
@@ -40,12 +47,24 @@ pub mod cost;
 pub mod oracle;
 pub mod sched;
 mod counters;
+mod decode;
 mod error;
+mod exec;
 mod heap;
 mod machine;
+mod vm;
 
 pub use counters::{mnemonic, op_index, Counters, SharedCounters, MNEMONICS};
 pub use error::Trap;
 pub use heap::{ArrayObj, Heap, HEAP_LIMIT_ELEMS};
-pub use machine::{Machine, Outcome, DEFAULT_FUEL, MAX_CALL_DEPTH};
+pub use machine::{BlockHook, Machine, Outcome, DEFAULT_FUEL, MAX_CALL_DEPTH};
 pub use oracle::{differential_check, differential_replay, oracle_args, Mismatch, OracleConfig};
+pub use vm::{Engine, Vm, VmBuilder, VmError};
+
+/// The types a VM harness typically needs, in one import.
+pub mod prelude {
+    pub use crate::{
+        differential_check, Counters, Engine, Mismatch, OracleConfig, Outcome, Trap, Vm,
+        VmBuilder, VmError, DEFAULT_FUEL,
+    };
+}

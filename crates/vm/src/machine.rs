@@ -115,19 +115,16 @@ impl<'m> Machine<'m> {
         &self.heap
     }
 
-    /// Run the function named `name`.
-    ///
-    /// # Errors
-    /// Returns a [`Trap`] on any machine fault; see [`TrapKind`].
-    ///
-    /// # Panics
-    /// Panics if no function has that name.
-    pub fn run(&mut self, name: &str, args: &[i64]) -> Result<Outcome, Trap> {
-        let id = self
-            .module
-            .function_by_name(name)
-            .unwrap_or_else(|| panic!("no function named `{name}`"));
-        self.call(id, args)
+    /// Discard all run state: fresh heap, zeroed counters and profile
+    /// counts (profiling stays enabled if it was), fuel untouched — pair
+    /// with [`Machine::set_fuel`] to refill. Installed block hooks are
+    /// kept. Lets a harness reuse one machine across independent runs.
+    pub fn reset(&mut self) {
+        self.heap = Heap::new();
+        self.counters = Counters::new();
+        if self.profile.is_some() {
+            self.enable_profile();
+        }
     }
 
     /// Call `func` with raw argument values.
@@ -304,28 +301,23 @@ impl<'m> Machine<'m> {
         }
     }
 
-    /// The §3 machine model: bounds check on the **low 32 bits**, address
-    /// from the **full register**. If the check passes but the full value
-    /// differs (upper bits were garbage), the access is a wild address.
+    /// The §3 machine model's address check; see [`Heap::check_index`].
     fn check_index(&self, aref: i64, raw_index: i64) -> Result<u32, TrapKind> {
-        let a = self.heap.get(aref).ok_or(TrapKind::WildAddress)?;
-        let low = raw_index as u32; // cmp4.ltu low, len
-        if low >= a.len() {
-            return Err(TrapKind::IndexOutOfBounds);
-        }
-        // shladd uses the full register: valid only if it equals the
-        // zero-extended checked index.
-        if raw_index as u64 != low as u64 {
-            return Err(TrapKind::WildAddress);
-        }
-        Ok(low)
+        self.heap.check_index(aref, raw_index)
     }
 
     fn eval_cond(&self, cond: Cond, ty: Ty, a: i64, b: i64) -> bool {
-        match ty {
-            Ty::F64 => cond.eval_f64(f64::from_bits(a as u64), f64::from_bits(b as u64)),
-            _ => eval::int_cond(cond, ty, a, b),
-        }
+        eval_cond(cond, ty, a, b)
+    }
+}
+
+/// Condition evaluation under the machine model (shared by both
+/// engines): `f64` compares bit-pattern floats, integer widths defer to
+/// [`eval::int_cond`].
+pub(crate) fn eval_cond(cond: Cond, ty: Ty, a: i64, b: i64) -> bool {
+    match ty {
+        Ty::F64 => cond.eval_f64(f64::from_bits(a as u64), f64::from_bits(b as u64)),
+        _ => eval::int_cond(cond, ty, a, b),
     }
 }
 
@@ -334,11 +326,14 @@ mod tests {
     use super::*;
     use sxe_ir::{parse_module, Width};
 
+    fn run_named(vm: &mut Machine, m: &Module, name: &str, args: &[i64]) -> Result<Outcome, Trap> {
+        vm.call(m.function_by_name(name).expect("function exists"), args)
+    }
+
     fn run_one(src: &str, args: &[i64]) -> Result<Outcome, Trap> {
         let m = parse_module(src).unwrap();
         let mut vm = Machine::new(&m, Target::Ia64);
-        let name = m.functions[0].name.clone();
-        vm.run(&name, args)
+        vm.call(FuncId(0), args)
     }
 
     #[test]
@@ -446,7 +441,7 @@ b0:
         let m = parse_module(src).unwrap();
         let mut vm = Machine::new(&m, Target::Ia64);
         vm.enable_profile();
-        let out = vm.run("main", &[5]).unwrap();
+        let out = run_named(&mut vm, &m, "main", &[5]).unwrap();
         assert_eq!(out.ret, Some(2));
         let main = m.function_by_name("main").unwrap();
         let p = vm.profile_counts(main).unwrap();
@@ -463,7 +458,10 @@ b0:
         let m = parse_module(src).unwrap();
         let mut vm = Machine::new(&m, Target::Ia64);
         vm.set_fuel(1000);
-        assert_eq!(vm.run("f", &[]).unwrap_err().kind, TrapKind::ResourceExhausted);
+        assert_eq!(
+            run_named(&mut vm, &m, "f", &[]).unwrap_err().kind,
+            TrapKind::ResourceExhausted
+        );
     }
 
     #[test]
@@ -505,7 +503,7 @@ b0:
             let m = parse_module(&src).unwrap();
             let mut vm = Machine::new(&m, Target::Ia64);
             assert_eq!(
-                vm.run("f", &[0]).unwrap_err().kind,
+                run_named(&mut vm, &m, "f", &[0]).unwrap_err().kind,
                 TrapKind::WildAddress,
                 "{body}"
             );
@@ -518,8 +516,8 @@ b0:
             b0:\n    r1 = newarray.i32 r0\n    r2 = const.i32 0\n    r3 = const.i32 -5\n    astore.i32 r1, r2, r3\n    r4 = aload.i32 r1, r2\n    ret r4\n}\n";
         let m = parse_module(src).unwrap();
         let mut ia = Machine::new(&m, Target::Ia64);
-        assert_eq!(ia.run("f", &[1]).unwrap().ret, Some(0xFFFF_FFFB)); // zero-extended
+        assert_eq!(run_named(&mut ia, &m, "f", &[1]).unwrap().ret, Some(0xFFFF_FFFB)); // zero-extended
         let mut ppc = Machine::new(&m, Target::Ppc64);
-        assert_eq!(ppc.run("f", &[1]).unwrap().ret, Some(-5)); // lwa
+        assert_eq!(run_named(&mut ppc, &m, "f", &[1]).unwrap().ret, Some(-5)); // lwa
     }
 }

@@ -26,10 +26,20 @@
 use sxe_ir::rng::XorShift;
 use sxe_ir::{Module, Target, TrapKind, Ty};
 
-use crate::machine::Machine;
+use crate::vm::{Engine, Vm, VmError};
 
 /// Configuration for one oracle sweep.
+///
+/// `#[non_exhaustive]` with builder-style setters, so growing a new knob
+/// (as [`OracleConfig::engine`] did) is never a breaking change:
+///
+/// ```
+/// use sxe_vm::{Engine, OracleConfig};
+/// let config = OracleConfig::new().runs(8).fuel(500_000).engine(Engine::Tree);
+/// assert_eq!(config.runs, 8);
+/// ```
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct OracleConfig {
     /// Pseudo-random argument sets per function.
     pub runs: usize,
@@ -37,11 +47,57 @@ pub struct OracleConfig {
     pub fuel: u64,
     /// Seed for the argument generator.
     pub seed: u64,
+    /// Engine both sides execute on (decoded by default — the sweep's
+    /// throughput comes from decoding each module once and resetting the
+    /// VM between runs).
+    pub engine: Engine,
 }
 
 impl Default for OracleConfig {
     fn default() -> OracleConfig {
-        OracleConfig { runs: 16, fuel: 2_000_000, seed: 0xd1ff_5eed }
+        OracleConfig {
+            runs: 16,
+            fuel: 2_000_000,
+            seed: 0xd1ff_5eed,
+            engine: Engine::Decoded,
+        }
+    }
+}
+
+impl OracleConfig {
+    /// The default configuration (alias of [`OracleConfig::default`],
+    /// reads better at the head of a builder chain).
+    #[must_use]
+    pub fn new() -> OracleConfig {
+        OracleConfig::default()
+    }
+
+    /// Set the number of argument sets per function.
+    #[must_use]
+    pub fn runs(mut self, runs: usize) -> OracleConfig {
+        self.runs = runs;
+        self
+    }
+
+    /// Set the per-run fuel tank.
+    #[must_use]
+    pub fn fuel(mut self, fuel: u64) -> OracleConfig {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Set the argument-generator seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> OracleConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the execution engine.
+    #[must_use]
+    pub fn engine(mut self, engine: Engine) -> OracleConfig {
+        self.engine = engine;
+        self
     }
 }
 
@@ -103,21 +159,20 @@ fn canonical_ret(ret: Option<i64>, ty: Option<Ty>) -> Option<i64> {
     }
 }
 
-fn run_once(
-    m: &Module,
-    target: Target,
-    name: &str,
-    args: &[i64],
-    ret_ty: Option<Ty>,
-    fuel: u64,
-) -> RunResult {
-    let mut vm = Machine::new(m, target);
-    vm.set_fuel(fuel);
+/// Build one side's VM for a sweep: decode (for the decoded engine)
+/// happens here, once; every run then goes through [`Vm::reset`].
+fn sweep_vm<'m>(m: &'m Module, target: Target, config: &OracleConfig) -> Vm<'m> {
+    Vm::builder(m).target(target).engine(config.engine).fuel(config.fuel).build()
+}
+
+fn run_once(vm: &mut Vm, name: &str, args: &[i64], ret_ty: Option<Ty>) -> RunResult {
+    vm.reset();
     match vm.run(name, args) {
         Ok(out) => {
             RunResult::Done { ret: canonical_ret(out.ret, ret_ty), heap: out.heap_checksum }
         }
-        Err(trap) => RunResult::Trapped(trap.kind),
+        Err(VmError::Trap(trap)) => RunResult::Trapped(trap.kind),
+        Err(e) => unreachable!("oracle pre-checks name and arity: {e}"),
     }
 }
 
@@ -162,18 +217,18 @@ enum RunVerdict {
     Skipped,
 }
 
-/// Run one `(function, run)` comparison; `lf` comes from `left`.
+/// Run one `(function, run)` comparison; `lf` comes from the left
+/// module (`lvm`'s).
 fn compare_one(
-    left: &Module,
-    right: &Module,
-    target: Target,
+    lvm: &mut Vm,
+    rvm: &mut Vm,
     config: &OracleConfig,
     lf: &sxe_ir::Function,
     run: usize,
 ) -> Result<RunVerdict, Mismatch> {
     let args = oracle_args(config, &lf.name, lf.params.len(), run);
-    let l = run_once(left, target, &lf.name, &args, lf.ret, config.fuel);
-    let r = run_once(right, target, &lf.name, &args, lf.ret, config.fuel);
+    let l = run_once(lvm, &lf.name, &args, lf.ret);
+    let r = run_once(rvm, &lf.name, &args, lf.ret);
     if matches!(l, RunResult::Trapped(TrapKind::ResourceExhausted))
         || matches!(r, RunResult::Trapped(TrapKind::ResourceExhausted))
     {
@@ -217,6 +272,8 @@ pub fn differential_check(
     target: Target,
     config: &OracleConfig,
 ) -> Result<usize, Mismatch> {
+    let mut lvm = sweep_vm(left, target, config);
+    let mut rvm = sweep_vm(right, target, config);
     let mut compared = 0;
     for (_, lf) in left.iter() {
         let Some(rid) = right.function_by_name(&lf.name) else { continue };
@@ -225,7 +282,7 @@ pub fn differential_check(
         }
         for run in 0..config.runs {
             if matches!(
-                compare_one(left, right, target, config, lf, run)?,
+                compare_one(&mut lvm, &mut rvm, config, lf, run)?,
                 RunVerdict::Agree
             ) {
                 compared += 1;
@@ -259,7 +316,9 @@ pub fn differential_replay(
     if right.function(rid).params.len() != lf.params.len() {
         return Ok(false);
     }
-    match compare_one(left, right, target, config, lf, run)? {
+    let mut lvm = sweep_vm(left, target, config);
+    let mut rvm = sweep_vm(right, target, config);
+    match compare_one(&mut lvm, &mut rvm, config, lf, run)? {
         RunVerdict::Agree => Ok(true),
         RunVerdict::Skipped => Ok(false),
     }
@@ -345,6 +404,25 @@ b0:
             differential_replay(&m, &m.clone(), Target::Ia64, &config, "nope", 0),
             Ok(false)
         );
+    }
+
+    #[test]
+    fn engines_agree_in_the_oracle() {
+        let m = parse_module(GOOD).unwrap();
+        let decoded = differential_check(
+            &m,
+            &m.clone(),
+            Target::Ia64,
+            &OracleConfig::new().engine(Engine::Decoded),
+        );
+        let tree = differential_check(
+            &m,
+            &m.clone(),
+            Target::Ia64,
+            &OracleConfig::new().engine(Engine::Tree),
+        );
+        assert_eq!(decoded, tree);
+        assert!(decoded.is_ok_and(|n| n > 0));
     }
 
     #[test]

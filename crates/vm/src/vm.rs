@@ -1,0 +1,550 @@
+//! The VM execution API: [`VmBuilder`] → [`Vm`], mirroring the compile
+//! pipeline's `CompilerBuilder` → `Compiler` surface.
+//!
+//! A [`Vm`] owns one engine instance over one module:
+//!
+//! * [`Engine::Decoded`] (the default) pre-decodes the module once into
+//!   dense op arrays and executes with the tight dispatch loop of
+//!   [`crate::exec`] — the fast path every harness should use;
+//! * [`Engine::Tree`] walks the `Inst` tree via the reference
+//!   [`Machine`] — the executable specification the decoded engine is
+//!   differentially tested against.
+//!
+//! Both engines are observably identical: outcome, trap kind, heap
+//! checksum, dynamic [`Counters`], and block profiles.
+//!
+//! Errors are typed ([`VmError`], `#[non_exhaustive]`): an unknown entry
+//! function or an arity mismatch is a caller error reported as a value,
+//! not a panic; machine faults surface as [`VmError::Trap`].
+
+use sxe_ir::{FuncId, Module, Target, TrapKind};
+
+use crate::counters::{Counters, FlatCounters};
+use crate::decode::{decode_module, DecodedModule};
+use crate::error::Trap;
+use crate::exec::{run_decoded, ExecState};
+use crate::heap::Heap;
+use crate::machine::{BlockHook, Machine, Outcome, DEFAULT_FUEL};
+
+/// Which interpreter executes the module.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Pre-decoded op arrays with a tight dispatch loop and fused
+    /// superinstructions (the fast path, and the default).
+    #[default]
+    Decoded,
+    /// The tree-walking reference interpreter ([`Machine`]).
+    Tree,
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Engine::Decoded => "decoded",
+            Engine::Tree => "tree",
+        })
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Engine, String> {
+        match s {
+            "decoded" => Ok(Engine::Decoded),
+            "tree" => Ok(Engine::Tree),
+            other => Err(format!("unknown engine `{other}` (expected `decoded` or `tree`)")),
+        }
+    }
+}
+
+/// A typed execution error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VmError {
+    /// No function with the requested name exists in the module.
+    UnknownFunction {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// The argument count does not match the function's parameter list.
+    ArityMismatch {
+        /// Function being called.
+        function: String,
+        /// Its declared parameter count.
+        expected: usize,
+        /// Arguments actually supplied.
+        got: usize,
+    },
+    /// The machine trapped while executing.
+    Trap(Trap),
+}
+
+impl VmError {
+    /// The underlying [`Trap`], if this error is a machine fault.
+    #[must_use]
+    pub fn trap(&self) -> Option<&Trap> {
+        match self {
+            VmError::Trap(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The [`TrapKind`], if this error is a machine fault.
+    #[must_use]
+    pub fn trap_kind(&self) -> Option<TrapKind> {
+        self.trap().map(|t| t.kind)
+    }
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::UnknownFunction { name } => write!(f, "no function named `{name}`"),
+            VmError::ArityMismatch { function, expected, got } => write!(
+                f,
+                "arity mismatch calling @{function}: expected {expected} arguments, got {got}"
+            ),
+            VmError::Trap(t) => t.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for VmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VmError::Trap(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl From<Trap> for VmError {
+    fn from(t: Trap) -> VmError {
+        VmError::Trap(t)
+    }
+}
+
+/// Builder for a [`Vm`]. Consuming-`self` setters, like
+/// `CompilerBuilder`.
+///
+/// ```
+/// use sxe_ir::{parse_module, Target};
+/// use sxe_vm::{Engine, Vm};
+///
+/// let m = parse_module("func @f(i32) -> i32 {\nb0:\n    ret r0\n}\n")?;
+/// let mut vm = Vm::builder(&m).target(Target::Ia64).engine(Engine::Tree).fuel(1_000).build();
+/// assert_eq!(vm.run("f", &[7])?.ret, Some(7));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub struct VmBuilder<'m> {
+    module: &'m Module,
+    target: Target,
+    engine: Engine,
+    fuel: u64,
+    profile: bool,
+    hook: Option<BlockHook>,
+}
+
+impl std::fmt::Debug for VmBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VmBuilder")
+            .field("target", &self.target)
+            .field("engine", &self.engine)
+            .field("fuel", &self.fuel)
+            .field("profile", &self.profile)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'m> VmBuilder<'m> {
+    /// Start a builder over `module` with the default target, the
+    /// decoded engine, and [`DEFAULT_FUEL`].
+    pub fn new(module: &'m Module) -> VmBuilder<'m> {
+        VmBuilder {
+            module,
+            target: Target::default(),
+            engine: Engine::default(),
+            fuel: DEFAULT_FUEL,
+            profile: false,
+            hook: None,
+        }
+    }
+
+    /// Select the execution target (load-extension behaviour).
+    pub fn target(mut self, target: Target) -> VmBuilder<'m> {
+        self.target = target;
+        self
+    }
+
+    /// Select the engine.
+    pub fn engine(mut self, engine: Engine) -> VmBuilder<'m> {
+        self.engine = engine;
+        self
+    }
+
+    /// Set the instruction budget refilled by [`Vm::reset`].
+    pub fn fuel(mut self, fuel: u64) -> VmBuilder<'m> {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Collect block-level execution profiles (the paper's
+    /// interpreter-collected branch statistics; read back with
+    /// [`Vm::profile_counts`]).
+    pub fn profile(mut self, on: bool) -> VmBuilder<'m> {
+        self.profile = on;
+        self
+    }
+
+    /// Install a callback invoked at every basic-block entry with the
+    /// current register file (before any instruction of the block runs).
+    pub fn block_hook(mut self, hook: BlockHook) -> VmBuilder<'m> {
+        self.hook = Some(hook);
+        self
+    }
+
+    /// Build the VM. For [`Engine::Decoded`] this runs the pre-decoding
+    /// pass over every function now.
+    pub fn build(self) -> Vm<'m> {
+        let profile_vecs = || {
+            self.module
+                .functions
+                .iter()
+                .map(|f| vec![0u64; f.blocks.len()])
+                .collect::<Vec<_>>()
+        };
+        let inner = match self.engine {
+            Engine::Tree => {
+                let mut m = Machine::new(self.module, self.target);
+                m.set_fuel(self.fuel);
+                if self.profile {
+                    m.enable_profile();
+                }
+                if let Some(h) = self.hook {
+                    m.set_block_hook(h);
+                }
+                Inner::Tree(m)
+            }
+            Engine::Decoded => Inner::Decoded(DecodedState {
+                dm: decode_module(self.module),
+                st: ExecState {
+                    heap: Heap::new(),
+                    fuel: self.fuel,
+                    flat: FlatCounters::default(),
+                    profile: self.profile.then(profile_vecs),
+                    hook: self.hook,
+                    target: self.target,
+                },
+                counters: Counters::new(),
+            }),
+        };
+        Vm { module: self.module, fuel_tank: self.fuel, profile: self.profile, inner }
+    }
+}
+
+struct DecodedState {
+    dm: DecodedModule,
+    st: ExecState,
+    /// [`ExecState::flat`] folded into ordinary counters after the most
+    /// recent run (so [`Vm::counters`] can hand out a reference).
+    counters: Counters,
+}
+
+enum Inner<'m> {
+    Tree(Machine<'m>),
+    Decoded(DecodedState),
+}
+
+/// A virtual machine over one module; build with [`Vm::builder`].
+pub struct Vm<'m> {
+    module: &'m Module,
+    fuel_tank: u64,
+    profile: bool,
+    inner: Inner<'m>,
+}
+
+impl std::fmt::Debug for Vm<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vm")
+            .field("engine", &self.engine())
+            .field("fuel_tank", &self.fuel_tank)
+            .field("profile", &self.profile)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'m> Vm<'m> {
+    /// Shorthand: the default (decoded) engine on `target` with
+    /// [`DEFAULT_FUEL`].
+    #[must_use]
+    pub fn new(module: &'m Module, target: Target) -> Vm<'m> {
+        Vm::builder(module).target(target).build()
+    }
+
+    /// Start building a VM over `module`.
+    pub fn builder(module: &'m Module) -> VmBuilder<'m> {
+        VmBuilder::new(module)
+    }
+
+    /// The engine this VM runs on.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        match self.inner {
+            Inner::Tree(_) => Engine::Tree,
+            Inner::Decoded(_) => Engine::Decoded,
+        }
+    }
+
+    /// Run the function named `name`.
+    ///
+    /// # Errors
+    /// [`VmError::UnknownFunction`] if no function has that name,
+    /// [`VmError::ArityMismatch`] on a wrong argument count, or
+    /// [`VmError::Trap`] on any machine fault.
+    pub fn run(&mut self, name: &str, args: &[i64]) -> Result<Outcome, VmError> {
+        let Some(id) = self.module.function_by_name(name) else {
+            return Err(VmError::UnknownFunction { name: name.to_string() });
+        };
+        self.call(id, args)
+    }
+
+    /// Call `func` with raw argument values. Narrow integer arguments
+    /// are canonicalized (sign-extended) at this entry boundary, the
+    /// calling convention's invariant.
+    ///
+    /// # Errors
+    /// [`VmError::ArityMismatch`] or [`VmError::Trap`].
+    pub fn call(&mut self, func: FuncId, args: &[i64]) -> Result<Outcome, VmError> {
+        let f = self.module.function(func);
+        if args.len() != f.params.len() {
+            return Err(VmError::ArityMismatch {
+                function: f.name.clone(),
+                expected: f.params.len(),
+                got: args.len(),
+            });
+        }
+        match &mut self.inner {
+            Inner::Tree(m) => m.call(func, args).map_err(VmError::from),
+            Inner::Decoded(d) => {
+                let canon: Vec<i64> = args
+                    .iter()
+                    .zip(&d.dm.funcs[func.index()].params)
+                    .map(|(&v, &(_, w))| match w {
+                        Some(w) => w.sign_extend(v),
+                        None => v,
+                    })
+                    .collect();
+                let res = run_decoded(&d.dm, &mut d.st, func.index(), &canon);
+                // Fold counters even when the run trapped — partial
+                // executions count, exactly like the tree engine.
+                d.counters = d.st.flat.materialize();
+                match res {
+                    Ok(ret) => Ok(Outcome { ret, heap_checksum: d.st.heap.checksum() }),
+                    Err(t) => Err(VmError::Trap(t)),
+                }
+            }
+        }
+    }
+
+    /// Dynamic counters accumulated over all runs since the last
+    /// [`Vm::reset`].
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        match &self.inner {
+            Inner::Tree(m) => &m.counters,
+            Inner::Decoded(d) => &d.counters,
+        }
+    }
+
+    /// Execution counts per block of `func` (requires
+    /// [`VmBuilder::profile`]).
+    #[must_use]
+    pub fn profile_counts(&self, func: FuncId) -> Option<&[u64]> {
+        match &self.inner {
+            Inner::Tree(m) => m.profile_counts(func),
+            Inner::Decoded(d) => d.st.profile.as_ref().map(|p| p[func.index()].as_slice()),
+        }
+    }
+
+    /// The heap (for checksums and assertions).
+    #[must_use]
+    pub fn heap(&self) -> &Heap {
+        match &self.inner {
+            Inner::Tree(m) => m.heap(),
+            Inner::Decoded(d) => &d.st.heap,
+        }
+    }
+
+    /// Remaining instruction budget.
+    #[must_use]
+    pub fn fuel_remaining(&self) -> u64 {
+        match &self.inner {
+            Inner::Tree(m) => m.fuel(),
+            Inner::Decoded(d) => d.st.fuel,
+        }
+    }
+
+    /// Discard all run state and refill the fuel tank: fresh heap,
+    /// zeroed counters and profiles. The decoded module, profiling mode,
+    /// and installed hooks are kept — this is what lets a harness decode
+    /// once and execute many independent runs (the oracle's hot path).
+    pub fn reset(&mut self) {
+        match &mut self.inner {
+            Inner::Tree(m) => {
+                m.reset();
+                m.set_fuel(self.fuel_tank);
+            }
+            Inner::Decoded(d) => {
+                d.st.heap = Heap::new();
+                d.st.fuel = self.fuel_tank;
+                d.st.flat.clear();
+                d.counters = Counters::new();
+                if let Some(p) = d.st.profile.as_mut() {
+                    for counts in p {
+                        counts.iter_mut().for_each(|c| *c = 0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxe_ir::{parse_module, Width};
+
+    const LOOPY: &str = "\
+func @main(i32) -> i32 {
+b0:
+    br b1
+b1:
+    r1 = const.i32 1
+    r0 = sub.i32 r0, r1
+    r0 = extend.32 r0
+    condbr gt.i32 r0, r1, b1, b2
+b2:
+    r2 = call @double(r0)
+    ret r2
+}
+func @double(i32) -> i32 {
+b0:
+    r1 = add.i32 r0, r0
+    r1 = extend.32 r1
+    ret r1
+}
+";
+
+    #[test]
+    fn engines_agree_on_outcome_counters_and_profile() {
+        let m = parse_module(LOOPY).unwrap();
+        let mut outs = Vec::new();
+        for engine in [Engine::Decoded, Engine::Tree] {
+            let mut vm = Vm::builder(&m).engine(engine).profile(true).build();
+            let out = vm.run("main", &[5]).expect("no trap");
+            let main = m.function_by_name("main").unwrap();
+            outs.push((
+                out,
+                vm.counters().clone(),
+                vm.profile_counts(main).unwrap().to_vec(),
+            ));
+        }
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[0].0.ret, Some(2));
+        // The fused back-edge still counts its components: 4 loop
+        // extends + 1 in @double.
+        assert_eq!(outs[0].1.extend_count(Some(Width::W32)), 5);
+        assert_eq!(outs[0].2, vec![1, 4, 1]);
+    }
+
+    #[test]
+    fn unknown_function_is_a_typed_error() {
+        let m = parse_module(LOOPY).unwrap();
+        for engine in [Engine::Decoded, Engine::Tree] {
+            let mut vm = Vm::builder(&m).engine(engine).build();
+            let err = vm.run("nope", &[]).unwrap_err();
+            assert_eq!(err, VmError::UnknownFunction { name: "nope".into() });
+            assert!(err.to_string().contains("nope"));
+            assert!(err.trap_kind().is_none());
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_is_a_typed_error() {
+        let m = parse_module(LOOPY).unwrap();
+        let mut vm = Vm::new(&m, Target::Ia64);
+        let err = vm.run("main", &[1, 2]).unwrap_err();
+        assert_eq!(
+            err,
+            VmError::ArityMismatch { function: "main".into(), expected: 1, got: 2 }
+        );
+    }
+
+    #[test]
+    fn fuel_exhaustion_matches_across_engines() {
+        let src = "func @f() {\nb0:\n    br b0\n}\n";
+        let m = parse_module(src).unwrap();
+        for engine in [Engine::Decoded, Engine::Tree] {
+            let mut vm = Vm::builder(&m).engine(engine).fuel(1000).build();
+            let err = vm.run("f", &[]).unwrap_err();
+            assert_eq!(err.trap_kind(), Some(sxe_ir::TrapKind::ResourceExhausted));
+            assert_eq!(vm.counters().insts, 1000, "{engine}");
+            assert_eq!(vm.fuel_remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn reset_refills_fuel_and_clears_state() {
+        let m = parse_module(LOOPY).unwrap();
+        let mut vm = Vm::builder(&m).profile(true).fuel(10_000).build();
+        vm.run("main", &[5]).unwrap();
+        let first = (vm.counters().clone(), vm.fuel_remaining());
+        vm.reset();
+        assert_eq!(vm.counters().insts, 0);
+        assert_eq!(vm.fuel_remaining(), 10_000);
+        let main = m.function_by_name("main").unwrap();
+        assert!(vm.profile_counts(main).unwrap().iter().all(|&c| c == 0));
+        vm.run("main", &[5]).unwrap();
+        assert_eq!((vm.counters().clone(), vm.fuel_remaining()), first);
+    }
+
+    #[test]
+    fn block_hooks_fire_on_the_decoded_engine() {
+        let m = parse_module(LOOPY).unwrap();
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let log = std::rc::Rc::clone(&seen);
+        let mut vm = Vm::builder(&m)
+            .block_hook(Box::new(move |f, b, regs| {
+                log.borrow_mut().push((f.0, b.0, regs[0]));
+            }))
+            .build();
+        vm.run("main", &[2]).unwrap();
+        let seen = seen.borrow();
+        // main b0, main b1 (r0 = 2 on entry), main b2, double b0.
+        assert_eq!(seen[0], (0, 0, 2));
+        assert_eq!(seen[1], (0, 1, 2));
+        assert!(seen.iter().any(|&(f, _, _)| f == 1));
+    }
+
+    #[test]
+    fn narrow_args_are_canonicalized_on_both_engines() {
+        let src = "func @f(i32) -> f64 {\nb0:\n    r1 = i32tof64.f64 r0\n    ret r1\n}\n";
+        let m = parse_module(src).unwrap();
+        for engine in [Engine::Decoded, Engine::Tree] {
+            let mut vm = Vm::builder(&m).engine(engine).build();
+            let out = vm.run("f", &[0xFFFF_FFFF]).unwrap(); // -1 unextended
+            assert_eq!(f64::from_bits(out.ret.unwrap() as u64), -1.0, "{engine}");
+        }
+    }
+
+    #[test]
+    fn engine_parses_and_displays() {
+        assert_eq!("decoded".parse::<Engine>(), Ok(Engine::Decoded));
+        assert_eq!("tree".parse::<Engine>(), Ok(Engine::Tree));
+        assert!("fast".parse::<Engine>().is_err());
+        assert_eq!(Engine::Decoded.to_string(), "decoded");
+        assert_eq!(Engine::default(), Engine::Decoded);
+    }
+}

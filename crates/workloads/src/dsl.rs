@@ -208,13 +208,13 @@ pub fn checksum_i32(fb: &mut FunctionBuilder, arr: Reg) -> Reg {
 mod tests {
     use super::*;
     use sxe_ir::{verify_function, Module, Target};
-    use sxe_vm::Machine;
+    use sxe_vm::Vm;
 
     fn run_main(f: sxe_ir::Function) -> i64 {
         verify_function(&f).unwrap();
         let mut m = Module::new();
         m.add_function(f);
-        let mut vm = Machine::new(&m, Target::Ia64);
+        let mut vm = Vm::new(&m, Target::Ia64);
         vm.run("main", &[]).expect("no trap").ret.expect("value")
     }
 

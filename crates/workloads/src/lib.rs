@@ -207,7 +207,7 @@ pub fn by_name(name: &str) -> Option<Workload> {
 mod tests {
     use super::*;
     use sxe_ir::{verify_module, Target};
-    use sxe_vm::Machine;
+    use sxe_vm::Vm;
 
     #[test]
     fn seventeen_workloads() {
@@ -233,8 +233,7 @@ mod tests {
         for w in all() {
             let m = w.build(16);
             verify_module(&m).unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            let mut vm = Machine::new(&m, Target::Ia64);
-            vm.set_fuel(200_000_000);
+            let mut vm = Vm::builder(&m).target(Target::Ia64).fuel(200_000_000).build();
             let out = vm.run("main", &[]).unwrap_or_else(|t| panic!("{}: {t}", w.name));
             assert!(out.ret.is_some(), "{} returns a checksum", w.name);
         }
@@ -267,8 +266,7 @@ mod tests {
         for (name, expect) in golden {
             let w = by_name(name).expect(name);
             let m = w.build(20);
-            let mut vm = Machine::new(&m, Target::Ia64);
-            vm.set_fuel(200_000_000);
+            let mut vm = Vm::builder(&m).target(Target::Ia64).fuel(200_000_000).build();
             let got = vm.run("main", &[]).expect("no trap").ret.expect("value");
             assert_eq!(got, expect, "{name} checksum drifted");
         }
@@ -279,8 +277,7 @@ mod tests {
         for w in all() {
             let run = || {
                 let m = w.build(16);
-                let mut vm = Machine::new(&m, Target::Ia64);
-                vm.set_fuel(200_000_000);
+                let mut vm = Vm::builder(&m).target(Target::Ia64).fuel(200_000_000).build();
                 vm.run("main", &[]).expect("no trap").ret
             };
             assert_eq!(run(), run(), "{} must be deterministic", w.name);

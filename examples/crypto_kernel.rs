@@ -10,7 +10,7 @@
 use sxe_core::Variant;
 use sxe_ir::{Target, Width};
 use sxe_jit::Compiler;
-use sxe_vm::Machine;
+use sxe_vm::Vm;
 
 fn main() {
     // The IDEA workload is exactly this scenario; reuse it at a nontrivial
@@ -25,12 +25,12 @@ fn main() {
     let mut baseline_cycles = 0u64;
     for variant in Variant::ALL {
         let compiled = Compiler::for_variant(variant).compile(&module);
-        let mut vm = Machine::new(&compiled.module, Target::Ia64);
+        let mut vm = Vm::new(&compiled.module, Target::Ia64);
         let out = vm.run("main", &[]).expect("no trap");
-        let dynamic = vm.counters.extend_count(Some(Width::W32));
+        let dynamic = vm.counters().extend_count(Some(Width::W32));
         if variant == Variant::Baseline {
             baseline_dyn = dynamic.max(1);
-            baseline_cycles = vm.counters.cycles;
+            baseline_cycles = vm.counters().cycles;
         }
         println!(
             "{:28} {:>10} {:>12} {:>9.2}% {:>9}",
@@ -38,12 +38,12 @@ fn main() {
             compiled.module.count_extends(None),
             dynamic,
             100.0 * dynamic as f64 / baseline_dyn as f64,
-            vm.counters.cycles,
+            vm.counters().cycles,
         );
         if variant == Variant::All {
             println!(
                 "\nestimated speedup of the full algorithm: {:.2}%  (checksum {:?})\n",
-                100.0 * (baseline_cycles as f64 / vm.counters.cycles as f64 - 1.0),
+                100.0 * (baseline_cycles as f64 / vm.counters().cycles as f64 - 1.0),
                 out.ret
             );
         }

@@ -11,7 +11,7 @@
 use sxe_core::Variant;
 use sxe_ir::{parse_module, Target, Width};
 use sxe_jit::Compiler;
-use sxe_vm::Machine;
+use sxe_vm::Vm;
 
 /// Two sibling loops guarded by a flag: statically they look equally
 /// hot, but at run time only one executes. Each loop needs an extension
@@ -56,12 +56,12 @@ fn main() {
     let profiled = compiler.compile_profiled(&module, "main", &[100_000, 0]);
 
     for (label, compiled) in [("static order", &plain), ("profile-guided", &profiled)] {
-        let mut vm = Machine::new(&compiled.module, Target::Ia64);
+        let mut vm = Vm::new(&compiled.module, Target::Ia64);
         let out = vm.run("main", &[100_000, 0]).expect("no trap");
         println!(
             "{label:15} static extends: {:2}  dynamic extends: {:6}  result: {:?}",
             compiled.module.count_extends(None),
-            vm.counters.extend_count(Some(Width::W32)),
+            vm.counters().extend_count(Some(Width::W32)),
             out.ret.map(|b| f64::from_bits(b as u64)),
         );
     }

@@ -8,7 +8,7 @@
 use sxe_core::Variant;
 use sxe_ir::{BinOp, Cond, FunctionBuilder, Module, Target, Ty, UnOp};
 use sxe_jit::Compiler;
-use sxe_vm::Machine;
+use sxe_vm::Vm;
 
 fn main() {
     // int sum(int n) {
@@ -65,12 +65,12 @@ fn main() {
 
     for variant in [Variant::Baseline, Variant::FirstAlgorithm, Variant::All] {
         let compiled = Compiler::for_variant(variant).compile(&module);
-        let mut vm = Machine::new(&compiled.module, Target::Ia64);
+        let mut vm = Vm::new(&compiled.module, Target::Ia64);
         let out = vm.run("sum", &[1000]).expect("no trap");
         println!(
             "{variant:28} static extends: {:3}   dynamic extends: {:6}   result: {:?}",
             compiled.module.count_extends(None),
-            vm.counters.extend_count(None),
+            vm.counters().extend_count(None),
             out.ret
         );
         if variant == Variant::All {

@@ -9,7 +9,7 @@ use sxe_analysis::{AvailableExt, FlowRanges, Freq, UdDu};
 use sxe_core::Variant;
 use sxe_ir::{Cfg, DomTree, LoopForest, Reg, Target, Width};
 use sxe_jit::Compiler;
-use sxe_vm::Machine;
+use sxe_vm::Vm;
 use xelim_integration_tests::gen;
 
 const FUEL: u64 = 500_000;
@@ -20,15 +20,17 @@ where
 {
     let viol: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
     let sink = Rc::clone(&viol);
-    let mut vm = Machine::new(m, Target::Ia64);
-    vm.set_fuel(FUEL);
-    vm.set_block_hook(Box::new(move |func, block, regs| {
-        if func == watched {
-            if let Some(msg) = check(block, regs) {
-                sink.borrow_mut().push(msg);
+    let mut vm = Vm::builder(m)
+        .target(Target::Ia64)
+        .fuel(FUEL)
+        .block_hook(Box::new(move |func, block, regs| {
+            if func == watched {
+                if let Some(msg) = check(block, regs) {
+                    sink.borrow_mut().push(msg);
+                }
             }
-        }
-    }));
+        }))
+        .build();
     let _ = vm.run("main", &[]); // traps are fine; claims must hold up to them
     drop(vm); // releases the hook's Rc clone
     Rc::try_unwrap(viol).expect("sole owner").into_inner()
@@ -136,9 +138,7 @@ fn chains_incremental_equals_recompute() {
 fn profile_counts_match_execution() {
     for (_, p) in gen::program_corpus(0xa5a5_0004, CASES) {
         let m = gen::lower(&p);
-        let mut vm = Machine::new(&m, Target::Ia64);
-        vm.set_fuel(FUEL);
-        vm.enable_profile();
+        let mut vm = Vm::builder(&m).target(Target::Ia64).fuel(FUEL).profile(true).build();
         if vm.run("main", &[]).is_err() {
             // Trapping programs still produce a (partial) profile, but
             // the invariants below are about completed runs.

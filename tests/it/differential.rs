@@ -25,7 +25,7 @@ fn check_all_variants(p: &gen::Program, target: Target) {
 #[test]
 fn zext_elimination_preserves_semantics() {
     use sxe_jit::Compiler;
-    use sxe_vm::Machine;
+    use sxe_vm::Vm;
     for (i, p) in gen::program_corpus(0xd1ff_0001, CASES) {
         let m = gen::lower(&p);
         let (reference, _) =
@@ -33,16 +33,16 @@ fn zext_elimination_preserves_semantics() {
         let mut compiler = Compiler::for_variant(Variant::All);
         compiler.sxe.eliminate_zext = true;
         let compiled = compiler.compile(&m);
-        let mut vm = Machine::new(&compiled.module, Target::Ia64);
-        vm.set_fuel(FUEL);
+        let mut vm =
+            Vm::builder(&compiled.module).target(Target::Ia64).fuel(FUEL).build();
         let key = match vm.run("main", &[]) {
             Ok(out) => xelim_integration_tests::RunKey {
                 ret: out.ret,
                 heap: Some(out.heap_checksum),
                 trap: None,
             },
-            Err(t) => {
-                xelim_integration_tests::RunKey { ret: None, heap: None, trap: Some(t.kind) }
+            Err(e) => {
+                xelim_integration_tests::RunKey { ret: None, heap: None, trap: e.trap_kind() }
             }
         };
         assert_eq!(reference, key, "zext elimination diverged on case {i}: {p:?}");

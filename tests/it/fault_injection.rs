@@ -44,7 +44,7 @@ fn injected_faults_are_contained_reported_and_harmless() {
                 &reference,
                 &compiled.module,
                 Target::Ia64,
-                &OracleConfig { runs: 4, ..OracleConfig::default() },
+                &OracleConfig::new().runs(4),
             )
             .unwrap_or_else(|mis| {
                 panic!("case {case} seed {seed}: oracle mismatch: {mis}")
@@ -147,7 +147,7 @@ fn starved_budget_still_ships_correct_code() {
                 &reference,
                 &compiled.module,
                 Target::Ia64,
-                &OracleConfig { runs: 4, ..OracleConfig::default() },
+                &OracleConfig::new().runs(4),
             )
             .unwrap_or_else(|mis| {
                 panic!("case {case} fuel {fuel}: oracle mismatch: {mis}")

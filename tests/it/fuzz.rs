@@ -32,7 +32,7 @@ fn planted_campaign_reduces_identically_at_any_thread_count() {
     let base = FuzzConfig {
         count: 6,
         plant: true,
-        oracle: OracleConfig { runs: 4, ..OracleConfig::default() },
+        oracle: OracleConfig::new().runs(4),
         ..FuzzConfig::default()
     };
     let one = run_campaign(&base, &Telemetry::disabled());
@@ -62,7 +62,7 @@ fn clean_campaign_on_ppc64_finds_nothing() {
     let config = FuzzConfig {
         count: 16,
         target: Target::Ppc64,
-        oracle: OracleConfig { runs: 4, ..OracleConfig::default() },
+        oracle: OracleConfig::new().runs(4),
         ..FuzzConfig::default()
     };
     let campaign = run_campaign(&config, &Telemetry::disabled());

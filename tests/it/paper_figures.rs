@@ -151,9 +151,9 @@ fn figure6_gen_def_beats_gen_use() {
     let dynamic = |variant: Variant| {
         let m = sxe_ir::parse_module(src).unwrap();
         let c = sxe_jit::Compiler::for_variant(variant).compile(&m);
-        let mut vm = sxe_vm::Machine::new(&c.module, Target::Ia64);
+        let mut vm = sxe_vm::Vm::new(&c.module, Target::Ia64);
         vm.run("fig6", &[8, 7]).expect("no trap");
-        vm.counters.extend_count(Some(Width::W32))
+        vm.counters().extend_count(Some(Width::W32))
     };
     let gen_use = dynamic(Variant::GenUse);
     let all = dynamic(Variant::All);

@@ -4,7 +4,7 @@
 use sxe_core::Variant;
 use sxe_ir::{parse_module, Target};
 use sxe_jit::Compiler;
-use sxe_vm::Machine;
+use sxe_vm::Vm;
 
 fn workload_module() -> sxe_ir::Module {
     sxe_workloads::by_name("huffman").expect("exists").build(48)
@@ -41,8 +41,7 @@ fn recompiling_compiled_output_preserves_behaviour() {
     let once = Compiler::for_variant(Variant::All).compile(&m);
     let twice = Compiler::for_variant(Variant::All).compile(&once.module);
     let run = |module: &sxe_ir::Module| {
-        let mut vm = Machine::new(module, Target::Ia64);
-        vm.set_fuel(50_000_000);
+        let mut vm = Vm::builder(module).target(Target::Ia64).fuel(50_000_000).build();
         vm.run("main", &[]).expect("no trap").ret
     };
     assert_eq!(run(&once.module), run(&twice.module));

@@ -5,17 +5,16 @@
 use sxe_core::Variant;
 use sxe_ir::{parse_module, Target, TrapKind};
 use sxe_jit::Compiler;
-use sxe_vm::Machine;
+use sxe_vm::Vm;
 use xelim_integration_tests::gen;
 
 const FUEL: u64 = 2_000_000;
 
 fn run_key(m: &sxe_ir::Module) -> (Option<i64>, Option<u64>, Option<TrapKind>) {
-    let mut vm = Machine::new(m, Target::Ia64);
-    vm.set_fuel(FUEL);
+    let mut vm = Vm::builder(m).target(Target::Ia64).fuel(FUEL).build();
     match vm.run("main", &[]) {
         Ok(o) => (o.ret, Some(o.heap_checksum), None),
-        Err(t) => (None, None, Some(t.kind)),
+        Err(e) => (None, None, e.trap_kind()),
     }
 }
 
@@ -81,7 +80,7 @@ fn byte_cast_elimination_full_pipeline() {
     .unwrap();
     let c = Compiler::for_variant(Variant::All).compile(&m);
     assert_eq!(c.module.count_extends(Some(sxe_ir::Width::W8)), 0, "{}", c.module);
-    let mut vm = Machine::new(&c.module, Target::Ia64);
+    let mut vm = Vm::new(&c.module, Target::Ia64);
     assert_eq!(vm.run("main", &[100]).unwrap().ret, Some(100));
 }
 
@@ -96,7 +95,7 @@ fn byte_cast_kept_when_needed() {
     .unwrap();
     let c = Compiler::for_variant(Variant::All).compile(&m);
     assert_eq!(c.module.count_extends(Some(sxe_ir::Width::W8)), 1);
-    let mut vm = Machine::new(&c.module, Target::Ia64);
+    let mut vm = Vm::new(&c.module, Target::Ia64);
     assert_eq!(vm.run("main", &[0x1FF]).unwrap().ret, Some(-1)); // low byte 0xFF
 }
 
@@ -113,7 +112,7 @@ fn short_width_pipeline_roundtrip() {
     let mut reference = None;
     for v in Variant::ALL {
         let c = Compiler::for_variant(v).compile(&m);
-        let mut vm = Machine::new(&c.module, Target::Ia64);
+        let mut vm = Vm::new(&c.module, Target::Ia64);
         let out = vm.run("main", &[1000]).unwrap().ret;
         match &reference {
             None => reference = Some(out),
@@ -129,8 +128,11 @@ fn call_depth_limit_traps_cleanly() {
          b0:\n    r1 = call @main(r0)\n    ret r1\n}\n",
     )
     .unwrap();
-    let mut vm = Machine::new(&m, Target::Ia64);
-    assert_eq!(vm.run("main", &[1]).unwrap_err().kind, TrapKind::ResourceExhausted);
+    let mut vm = Vm::new(&m, Target::Ia64);
+    assert_eq!(
+        vm.run("main", &[1]).unwrap_err().trap_kind(),
+        Some(TrapKind::ResourceExhausted)
+    );
 }
 
 #[test]
@@ -168,7 +170,7 @@ fn max_array_len_extremes() {
         let mut compiler = Compiler::for_variant(Variant::All);
         compiler.sxe.max_array_len = maxlen;
         let c = compiler.compile(&m);
-        let mut vm = Machine::new(&c.module, Target::Ia64);
+        let mut vm = Vm::new(&c.module, Target::Ia64);
         let out = vm.run("main", &[8, 7]).unwrap();
         assert_eq!(out.ret, Some(0), "maxlen={maxlen}");
     }

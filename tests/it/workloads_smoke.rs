@@ -51,8 +51,8 @@ fn profile_guided_compile_agrees() {
         let plain = compiler.compile(&m);
         let profiled = compiler.compile_profiled(&m, "main", &[]);
         let run = |module: &sxe_ir::Module| {
-            let mut vm = sxe_vm::Machine::new(module, Target::Ia64);
-            vm.set_fuel(FUEL);
+            let mut vm =
+                sxe_vm::Vm::builder(module).target(Target::Ia64).fuel(FUEL).build();
             vm.run("main", &[]).expect("no trap").ret
         };
         assert_eq!(run(&plain.module), run(&profiled.module), "{}", w.name);

@@ -9,7 +9,7 @@ pub mod gen;
 use sxe_core::Variant;
 use sxe_ir::{Module, Target, TrapKind};
 use sxe_jit::Compiler;
-use sxe_vm::Machine;
+use sxe_vm::{Vm, VmError};
 
 /// Observable outcome of one execution: return value, heap checksum, and
 /// (if it trapped) the trap kind. Two executions with equal `RunKey`s are
@@ -40,11 +40,10 @@ pub fn compile_run(
     fuel: u64,
 ) -> (RunKey, u64) {
     let compiled = Compiler::for_variant(variant).with_target(target).compile(source);
-    let mut vm = Machine::new(&compiled.module, target);
-    vm.set_fuel(fuel);
+    let mut vm = Vm::builder(&compiled.module).target(target).fuel(fuel).build();
     let key = match vm.run(entry, args) {
         Ok(out) => RunKey { ret: out.ret, heap: Some(out.heap_checksum), trap: None },
-        Err(t) => {
+        Err(VmError::Trap(t)) => {
             assert_ne!(
                 t.kind,
                 TrapKind::WildAddress,
@@ -52,6 +51,7 @@ pub fn compile_run(
             );
             RunKey { ret: None, heap: None, trap: Some(t.kind) }
         }
+        Err(e) => panic!("entry {entry} rejected: {e}"),
     };
-    (key, vm.counters.extend_count(None))
+    (key, vm.counters().extend_count(None))
 }

@@ -6,7 +6,10 @@
 # (clean smoke campaign, planted-miscompile self-test with a minimized
 # reproducer, thread-count independence of findings), and the serve gate
 # (daemon warm-pass hit rate, SIGKILL crash recovery with quarantine,
-# clean drain, overload shedding with typed refusals).
+# clean drain, overload shedding with typed refusals), and the VM gate
+# (engine-identity suite: decoded vs tree observably identical on all
+# 17 workloads, fuel cutoffs, and a seeded fuzz sweep; vmbench decoded
+# throughput at least 3x the tree-walking oracle).
 #
 #   ./tier1.sh            # everything
 #   ./tier1.sh --fast     # skip the determinism/chaos/telemetry/fuzz/serve sweeps
@@ -67,6 +70,12 @@ if [ "${1:-}" != "--fast" ]; then
 
     echo "== tier1: serve gate (daemon warm pass, SIGKILL crash recovery, quarantine, overload shedding)"
     cargo run -q --release -p sxe-bench --bin stress -- --gate
+
+    echo "== tier1: engine identity (decoded vs tree: outcome, trap kind, counters)"
+    cargo test -q -p xelim-integration-tests --release --test vm_identity
+
+    echo "== tier1: vmbench gate (decoded >= 3x tree aggregate throughput)"
+    cargo run -q --release -p sxe-bench --bin vmbench -- --scale 0.25 --repeats 3 --gate 3
 fi
 
 echo "== tier1: OK"
