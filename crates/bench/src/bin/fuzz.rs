@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p sxe-bench --bin fuzz -- \
 //!     [--count N] [--seed S] [--threads T] [--target ppc64] \
-//!     [--chaos | --plant] [--no-reduce] [--out DIR] \
+//!     [--exec native] [--chaos | --plant] [--no-reduce] [--out DIR] \
 //!     [--oracle-runs N] [--oracle-fuel N] [--oracle-seed S] \
 //!     [--metrics FILE] [--module-seed S]
 //! ```
@@ -24,6 +24,12 @@
 //! `--module-seed S` replays one module by its generator seed instead of
 //! running a campaign, reporting its outcome (and, on a failure, the
 //! minimized reproducer).
+//!
+//! `--exec <engine>` runs the oracle's *right* side (the optimized
+//! compile) on that engine while the reference stays on the decoded
+//! interpreter — `--exec native` turns every campaign into a combined
+//! compiler × JIT differential: a finding means the optimizer or the
+//! x86-64 code generator broke behaviour.
 
 use std::process::ExitCode;
 
@@ -32,6 +38,7 @@ use sxe_fuzz::{
 };
 use sxe_ir::Target;
 use sxe_jit::Telemetry;
+use sxe_vm::Engine;
 
 /// Parse an integer that may carry a `0x` prefix.
 fn parse_u64(s: &str) -> Option<u64> {
@@ -54,6 +61,9 @@ fn repro_command(module_seed: u64, config: &FuzzConfig) -> String {
         c = c.flag("--plant");
     } else if config.chaos {
         c = c.flag("--chaos");
+    }
+    if let Some(engine) = config.oracle.engine_right {
+        c = c.opt("--exec", engine);
     }
     c.opt("--oracle-runs", config.oracle.runs)
         .opt("--oracle-fuel", config.oracle.fuel)
@@ -114,8 +124,9 @@ fn main() -> ExitCode {
     let mut metrics: Option<String> = None;
     let mut single: Option<u64> = None;
     let usage = "usage: fuzz [--count N] [--seed S] [--threads T] [--target ia64|ppc64] \
-                 [--chaos] [--plant] [--no-reduce] [--out DIR] [--oracle-runs N] \
-                 [--oracle-fuel N] [--oracle-seed S] [--metrics FILE] [--module-seed S]";
+                 [--exec decoded|tree|native] [--chaos] [--plant] [--no-reduce] [--out DIR] \
+                 [--oracle-runs N] [--oracle-fuel N] [--oracle-seed S] [--metrics FILE] \
+                 [--module-seed S]";
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -145,6 +156,13 @@ fn main() -> ExitCode {
                 Some("ppc64") => config.target = Target::Ppc64,
                 _ => {
                     eprintln!("--target needs ia64 or ppc64");
+                    return ExitCode::from(2);
+                }
+            },
+            "--exec" => match it.next().as_deref().map(str::parse::<Engine>) {
+                Some(Ok(engine)) => config.oracle.engine_right = Some(engine),
+                _ => {
+                    eprintln!("--exec needs an engine: decoded, tree, or native");
                     return ExitCode::from(2);
                 }
             },
@@ -216,8 +234,12 @@ fn main() -> ExitCode {
     } else {
         ""
     };
+    let exec = match config.oracle.engine_right {
+        Some(engine) => format!(" [right side on the {engine} engine]"),
+        None => String::new(),
+    };
     println!(
-        "fuzz: {} modules, campaign seed {:#x}, {} worker thread(s){mode}",
+        "fuzz: {} modules, campaign seed {:#x}, {} worker thread(s){mode}{exec}",
         config.count, config.seed, config.threads
     );
     let telemetry = if metrics.is_some() { Telemetry::enabled() } else { Telemetry::disabled() };

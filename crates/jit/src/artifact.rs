@@ -47,7 +47,47 @@ use crate::Compiler;
 /// output-affecting behavior. Mixed into every [`artifact_key`]; bump it
 /// when an optimizer change can alter the compiled text for an
 /// unchanged input + configuration.
-pub const ARTIFACT_VERSION: u32 = 1;
+///
+/// History: `2` introduced the [`Backend`] dimension — older caches
+/// hold keys that never name a backend, and the bump retires them
+/// wholesale rather than letting a VM-era artifact answer a native-era
+/// request.
+pub const ARTIFACT_VERSION: u32 = 2;
+
+/// The execution backend an artifact is compiled *for*. The emitted IR
+/// text is backend-independent today, but the artifact contract is not:
+/// a consumer asking for a native-backend artifact must never be served
+/// an entry recorded under the VM backend (and vice versa), so the
+/// backend is part of the cache identity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// The interpreting engines (`decoded`/`tree`) — the default.
+    #[default]
+    Vm,
+    /// The `sxe-native` x86-64 code generator.
+    Native,
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backend::Vm => "vm",
+            Backend::Native => "native",
+        })
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Backend, String> {
+        match s {
+            "vm" => Ok(Backend::Vm),
+            "native" => Ok(Backend::Native),
+            other => Err(format!("unknown backend `{other}` (expected `vm` or `native`)")),
+        }
+    }
+}
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -67,9 +107,18 @@ fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
 /// telemetry knobs are excluded (see the [module docs](self)).
 #[must_use]
 pub fn config_key(compiler: &Compiler) -> u64 {
+    config_key_for(compiler, Backend::Vm)
+}
+
+/// [`config_key`] for an explicit [`Backend`].
+#[must_use]
+pub fn config_key_for(compiler: &Compiler, backend: Backend) -> u64 {
     // Debug formatting enumerates every field of both config structs, so
     // a new output-affecting option cannot silently escape the key.
-    let desc = format!("v{ARTIFACT_VERSION}|{:?}|{:?}", compiler.sxe, compiler.general);
+    let desc = format!(
+        "v{ARTIFACT_VERSION}|{backend:?}|{:?}|{:?}",
+        compiler.sxe, compiler.general
+    );
     fnv1a(FNV_OFFSET, desc.as_bytes())
 }
 
@@ -85,11 +134,18 @@ pub fn module_key(module: &Module) -> u64 {
     h
 }
 
-/// The cross-process cache key for compiling `module` with `compiler`:
-/// [`config_key`] and [`module_key`] combined.
+/// The cross-process cache key for compiling `module` with `compiler`
+/// for the default [`Backend::Vm`]: [`config_key`] and [`module_key`]
+/// combined.
 #[must_use]
 pub fn artifact_key(compiler: &Compiler, module: &Module) -> u64 {
-    let mut h = fnv1a(FNV_OFFSET, &config_key(compiler).to_le_bytes());
+    artifact_key_for(compiler, Backend::Vm, module)
+}
+
+/// [`artifact_key`] for an explicit [`Backend`].
+#[must_use]
+pub fn artifact_key_for(compiler: &Compiler, backend: Backend, module: &Module) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, &config_key_for(compiler, backend).to_le_bytes());
     h = fnv1a(h, &module_key(module).to_le_bytes());
     h
 }
@@ -147,6 +203,30 @@ mod tests {
             artifact_key(&tuned, &a),
             "threads/cache/budget are not part of the artifact identity"
         );
+    }
+
+    #[test]
+    fn backend_is_part_of_the_identity() {
+        let c = Compiler::for_variant(Variant::All);
+        let a = parse_module(A).unwrap();
+        assert_ne!(
+            artifact_key_for(&c, Backend::Vm, &a),
+            artifact_key_for(&c, Backend::Native, &a),
+            "a VM-era artifact must never answer a native-era request"
+        );
+        // The legacy entry points are the VM backend.
+        assert_eq!(artifact_key(&c, &a), artifact_key_for(&c, Backend::Vm, &a));
+        assert_eq!(config_key(&c), config_key_for(&c, Backend::Vm));
+    }
+
+    #[test]
+    fn backend_parses_and_displays() {
+        assert_eq!("vm".parse::<Backend>(), Ok(Backend::Vm));
+        assert_eq!("native".parse::<Backend>(), Ok(Backend::Native));
+        assert!("jit".parse::<Backend>().is_err());
+        assert_eq!(Backend::Vm.to_string(), "vm");
+        assert_eq!(Backend::Native.to_string(), "native");
+        assert_eq!(Backend::default(), Backend::Vm);
     }
 
     #[test]

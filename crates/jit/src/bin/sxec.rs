@@ -14,9 +14,13 @@
 //!   --size <n>           workload size (default: the workload's own)
 //!   --run <entry>        run entry() after compiling and print the result
 //!   --arg <n>            argument for --run (repeatable)
-//!   --vm <engine>        decoded|tree — interpreter engine for --run and
-//!                        the chaos oracle (default: decoded; both are
-//!                        observably identical, tree is the reference)
+//!   --vm <engine>        decoded|tree|native — engine for --run and the
+//!                        chaos oracle (default: decoded; all three are
+//!                        observably identical, tree is the reference,
+//!                        native JITs to x86-64 machine code)
+//!   --no-fallback        with --vm native: refuse to run (exit 4) if any
+//!                        function cannot be natively compiled, instead
+//!                        of silently falling back to the decoded engine
 //!   --vm-fuel <n>        instruction budget for --run (default: 4e9)
 //!   --budget <fuel>      compile budget in fuel units (default: unlimited)
 //!   --timeout <ms>       wall-clock compile budget in milliseconds
@@ -156,6 +160,7 @@ struct Options {
     run: Option<String>,
     args: Vec<i64>,
     engine: Engine,
+    fallback: bool,
     vm_fuel: Option<u64>,
     budget: Option<u64>,
     timeout_ms: Option<u64>,
@@ -175,7 +180,8 @@ struct Options {
 fn usage() -> &'static str {
     "usage: sxec [--variant V] [--target ia64|ppc64] [--max-array-len N] \
      [--workload NAME] [--size N] \
-     [--run ENTRY] [--arg N]... [--vm decoded|tree] [--vm-fuel N] \
+     [--run ENTRY] [--arg N]... [--vm decoded|tree|native] [--no-fallback] \
+     [--vm-fuel N] \
      [--budget FUEL] [--timeout MS] [--threads N] [--no-cache] \
      [--chaos-seed N] [--oracle-runs N] [--oracle-fuel N] [--oracle-seed N] \
      [--trace FILE] [--metrics FILE] \
@@ -193,6 +199,7 @@ fn parse_args() -> Result<Options, String> {
         run: None,
         args: Vec::new(),
         engine: Engine::default(),
+        fallback: true,
         vm_fuel: None,
         budget: None,
         timeout_ms: None,
@@ -279,6 +286,7 @@ fn parse_args() -> Result<Options, String> {
                     .filter(|&n| n >= 1)
                     .ok_or("--threads needs a worker count >= 1")?;
             }
+            "--no-fallback" => opts.fallback = false,
             "--no-cache" => opts.cache = false,
             "--chaos-seed" => {
                 opts.chaos_seed = Some(
@@ -331,6 +339,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.size.is_some() && opts.workload.is_none() {
         return Err("--size only makes sense with --workload".to_string());
+    }
+    if !opts.fallback && opts.engine != Engine::Native {
+        return Err("--no-fallback only makes sense with --vm native".to_string());
     }
     if (opts.oracle_runs.is_some() || opts.oracle_fuel.is_some() || opts.oracle_seed.is_some())
         && opts.chaos_seed.is_none()
@@ -456,6 +467,20 @@ fn main() -> ExitCode {
             builder = builder.fuel(fuel);
         }
         let mut vm = builder.build();
+        if !opts.fallback {
+            let refusals = vm.native_refusals();
+            if !refusals.is_empty() {
+                eprintln!(
+                    "sxec: native compilation refused for {} function(s) \
+                     and --no-fallback is set:",
+                    refusals.len()
+                );
+                for (name, why) in &refusals {
+                    eprintln!("sxec:   @{name}: {why}");
+                }
+                return ExitCode::from(EXIT_REFUSED);
+            }
+        }
         match vm.run(&entry, &opts.args) {
             Ok(out) => {
                 eprintln!(

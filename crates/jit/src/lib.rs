@@ -62,6 +62,7 @@ use sxe_opt::{GeneralOpts, OptStats};
 use sxe_telemetry::{ArgValue, Event, Lane};
 use sxe_vm::Vm;
 
+pub use artifact::Backend;
 pub use harness::FaultPlan;
 pub use report::{CompileReport, InjectedFault, PassRecord, PassStatus, RollbackCause};
 pub use sxe_telemetry::Telemetry;
@@ -76,7 +77,7 @@ use shard::{par_map, par_map_mut};
 /// let compiler = Compiler::builder(Variant::All).build();
 /// ```
 pub mod prelude {
-    pub use crate::artifact::{artifact_key, config_key, module_key};
+    pub use crate::artifact::{artifact_key, artifact_key_for, config_key, config_key_for, module_key, Backend};
     pub use crate::{
         CompileError, CompileReport, Compiled, Compiler, CompilerBuilder, FaultPlan, PassRecord,
         PassStatus, PhaseTimes, Telemetry,

@@ -1,0 +1,616 @@
+//! A minimal x86-64 instruction encoder.
+//!
+//! Only the handful of encodings the template code generator needs are
+//! implemented, with a tiny label/fixup pass for `rel32` branch and call
+//! targets. Registers are addressed through the [`Gpr`] enum; memory
+//! operands are always `[base + disp32]` (the generator keeps every
+//! virtual register in a stack slot, so no scaled-index forms are
+//! needed). SSE2 scalar-double forms cover the IR's `f64` operations.
+
+/// General-purpose register numbers (hardware encoding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Gpr {
+    /// rax — primary scratch / return value.
+    Rax = 0,
+    /// rcx — secondary scratch / shift count.
+    Rcx = 1,
+    /// rdx — tertiary scratch / division remainder.
+    Rdx = 2,
+    /// rsp — stack pointer.
+    Rsp = 4,
+    /// rbp — frame pointer; virtual registers live at `[rbp - k]`.
+    Rbp = 5,
+    /// rsi — second SysV argument (incoming argument array).
+    Rsi = 6,
+    /// rdi — first SysV argument (context pointer at entry).
+    Rdi = 7,
+    /// r10 — caller-saved scratch for helper-call targets.
+    R10 = 10,
+    /// r12 — callee-saved; pinned to the [`NativeCtx`](crate::NativeCtx)
+    /// pointer for the whole activation.
+    R12 = 12,
+}
+
+impl Gpr {
+    fn lo3(self) -> u8 {
+        self as u8 & 7
+    }
+    fn hi(self) -> bool {
+        self as u8 >= 8
+    }
+}
+
+/// Condition-code nibbles for `setcc` / `jcc`.
+pub mod cc {
+    /// Equal / zero.
+    pub const E: u8 = 0x4;
+    /// Not equal.
+    pub const NE: u8 = 0x5;
+    /// Signed less than.
+    pub const L: u8 = 0xC;
+    /// Signed less or equal.
+    pub const LE: u8 = 0xE;
+    /// Signed greater than.
+    pub const G: u8 = 0xF;
+    /// Signed greater or equal.
+    pub const GE: u8 = 0xD;
+    /// Unsigned below (carry set).
+    pub const B: u8 = 0x2;
+    /// Unsigned below or equal.
+    pub const BE: u8 = 0x6;
+    /// Unsigned above.
+    pub const A: u8 = 0x7;
+    /// Unsigned above or equal (carry clear).
+    pub const AE: u8 = 0x3;
+    /// Parity set (unordered float compare).
+    pub const P: u8 = 0xA;
+    /// Parity clear (ordered float compare).
+    pub const NP: u8 = 0xB;
+}
+
+/// Group-1 ALU operations (`reg, r/m` and `r/m, imm` forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Alu {
+    /// Addition.
+    Add,
+    /// Bitwise or.
+    Or,
+    /// Bitwise and.
+    And,
+    /// Subtraction.
+    Sub,
+    /// Bitwise xor.
+    Xor,
+    /// Compare (subtract, discard result, keep flags).
+    Cmp,
+}
+
+impl Alu {
+    /// Opcode of the `op reg, r/m` form.
+    fn rm_opcode(self) -> u8 {
+        match self {
+            Alu::Add => 0x03,
+            Alu::Or => 0x0B,
+            Alu::And => 0x23,
+            Alu::Sub => 0x2B,
+            Alu::Xor => 0x33,
+            Alu::Cmp => 0x3B,
+        }
+    }
+    /// ModRM extension of the `op r/m, imm` form (opcode 0x81/0x83).
+    fn ext(self) -> u8 {
+        match self {
+            Alu::Add => 0,
+            Alu::Or => 1,
+            Alu::And => 4,
+            Alu::Sub => 5,
+            Alu::Xor => 6,
+            Alu::Cmp => 7,
+        }
+    }
+}
+
+/// A forward-referencable code position.
+#[derive(Debug, Clone, Copy)]
+pub struct Label(usize);
+
+/// The instruction buffer plus label bookkeeping.
+#[derive(Debug, Default)]
+pub struct Asm {
+    buf: Vec<u8>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<(usize, usize)>,
+}
+
+impl Asm {
+    /// Fresh empty assembler.
+    #[must_use]
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Current offset into the buffer.
+    #[must_use]
+    pub fn pos(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Allocate an unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `l` to the current position.
+    pub fn bind(&mut self, l: Label) {
+        assert!(self.labels[l.0].is_none(), "label bound twice");
+        self.labels[l.0] = Some(self.buf.len());
+    }
+
+    /// Offset a bound label resolves to.
+    #[must_use]
+    pub fn offset_of(&self, l: Label) -> usize {
+        self.labels[l.0].expect("label never bound")
+    }
+
+    /// Patch every `rel32` fixup and return the finished machine code.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<u8> {
+        for (at, label) in &self.fixups {
+            let target = self.labels[*label].expect("branch to unbound label");
+            let rel = i32::try_from(target as i64 - (*at as i64 + 4)).expect("rel32 overflow");
+            self.buf[*at..*at + 4].copy_from_slice(&rel.to_le_bytes());
+        }
+        self.buf
+    }
+
+    fn b(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    fn imm32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn imm64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn rel32(&mut self, l: Label) {
+        self.fixups.push((self.buf.len(), l.0));
+        self.imm32(0);
+    }
+
+    /// Emit a REX prefix if any bit is needed; always emitted when `w`.
+    fn rex(&mut self, w: bool, reg: bool, base: bool) {
+        let r = 0x40 | u8::from(w) << 3 | u8::from(reg) << 2 | u8::from(base);
+        if r != 0x40 {
+            self.b(r);
+        }
+    }
+
+    fn modrm_reg(&mut self, reg: u8, rm: u8) {
+        self.b(0xC0 | reg << 3 | rm);
+    }
+
+    /// ModRM (+SIB) for `[base + disp]`. Handles the rsp/r12 SIB case and
+    /// the rbp/r13 no-disp0 case.
+    fn mem(&mut self, reg: u8, base: Gpr, disp: i32) {
+        let b = base.lo3();
+        let mode: u8 = if disp == 0 && b != 5 {
+            0
+        } else if (-128..=127).contains(&disp) {
+            1
+        } else {
+            2
+        };
+        self.b(mode << 6 | reg << 3 | b);
+        if b == 4 {
+            self.b(0x24); // SIB: no index, base = rsp/r12
+        }
+        match mode {
+            1 => self.b(disp as i8 as u8),
+            2 => self.imm32(disp),
+            _ => {}
+        }
+    }
+
+    /// `mov dst, [base+disp]` (64-bit when `w`, else 32-bit, zero-extending).
+    pub fn mov_load(&mut self, w: bool, dst: Gpr, base: Gpr, disp: i32) {
+        self.rex(w, dst.hi(), base.hi());
+        self.b(0x8B);
+        self.mem(dst.lo3(), base, disp);
+    }
+
+    /// `mov [base+disp], src`.
+    pub fn mov_store(&mut self, w: bool, base: Gpr, disp: i32, src: Gpr) {
+        self.rex(w, src.hi(), base.hi());
+        self.b(0x89);
+        self.mem(src.lo3(), base, disp);
+    }
+
+    /// `mov dst, src` (64-bit).
+    pub fn mov_rr(&mut self, dst: Gpr, src: Gpr) {
+        self.rex(true, src.hi(), dst.hi());
+        self.b(0x89);
+        self.modrm_reg(src.lo3(), dst.lo3());
+    }
+
+    /// Materialize a 64-bit immediate into `dst` (short form when it fits
+    /// in a sign-extended imm32).
+    pub fn mov_ri(&mut self, dst: Gpr, imm: i64) {
+        if i64::from(imm as i32) == imm {
+            self.rex(true, false, dst.hi());
+            self.b(0xC7);
+            self.modrm_reg(0, dst.lo3());
+            self.imm32(imm as i32);
+        } else {
+            self.rex(true, false, dst.hi());
+            self.b(0xB8 + dst.lo3());
+            self.imm64(imm);
+        }
+    }
+
+    /// `mov dst32, imm32` (zero-extends into the full register).
+    pub fn mov_r32i(&mut self, dst: Gpr, imm: u32) {
+        self.rex(false, false, dst.hi());
+        self.b(0xB8 + dst.lo3());
+        self.imm32(imm as i32);
+    }
+
+    /// `mov dword/qword [base+disp], imm32` (sign-extended when `w`).
+    pub fn mov_mem_i32(&mut self, w: bool, base: Gpr, disp: i32, imm: i32) {
+        self.rex(w, false, base.hi());
+        self.b(0xC7);
+        self.mem(0, base, disp);
+        self.imm32(imm);
+    }
+
+    /// `op dst, [base+disp]`.
+    pub fn alu_rm(&mut self, op: Alu, w: bool, dst: Gpr, base: Gpr, disp: i32) {
+        self.rex(w, dst.hi(), base.hi());
+        self.b(op.rm_opcode());
+        self.mem(dst.lo3(), base, disp);
+    }
+
+    /// `op dst, src` (64-bit, register form).
+    pub fn alu_rr(&mut self, op: Alu, dst: Gpr, src: Gpr) {
+        self.rex(true, dst.hi(), src.hi());
+        self.b(op.rm_opcode());
+        self.modrm_reg(dst.lo3(), src.lo3());
+    }
+
+    /// `op rm, imm` (imm8 short form when possible).
+    pub fn alu_ri(&mut self, op: Alu, w: bool, rm: Gpr, imm: i32) {
+        self.rex(w, false, rm.hi());
+        if i32::from(imm as i8) == imm {
+            self.b(0x83);
+            self.modrm_reg(op.ext(), rm.lo3());
+            self.b(imm as i8 as u8);
+        } else {
+            self.b(0x81);
+            self.modrm_reg(op.ext(), rm.lo3());
+            self.imm32(imm);
+        }
+    }
+
+    /// `op qword/dword [base+disp], imm`.
+    pub fn alu_mi(&mut self, op: Alu, w: bool, base: Gpr, disp: i32, imm: i32) {
+        self.rex(w, false, base.hi());
+        if i32::from(imm as i8) == imm {
+            self.b(0x83);
+            self.mem(op.ext(), base, disp);
+            self.b(imm as i8 as u8);
+        } else {
+            self.b(0x81);
+            self.mem(op.ext(), base, disp);
+            self.imm32(imm);
+        }
+    }
+
+    /// `imul dst, [base+disp]` (64-bit).
+    pub fn imul_rm(&mut self, dst: Gpr, base: Gpr, disp: i32) {
+        self.rex(true, dst.hi(), base.hi());
+        self.b(0x0F);
+        self.b(0xAF);
+        self.mem(dst.lo3(), base, disp);
+    }
+
+    /// Shift `rm` by `cl`: ext 4 = shl, 7 = sar, 5 = shr.
+    pub fn shift_cl(&mut self, w: bool, ext: u8, rm: Gpr) {
+        self.rex(w, false, rm.hi());
+        self.b(0xD3);
+        self.modrm_reg(ext, rm.lo3());
+    }
+
+    /// `movsxd dst, dword [base+disp]`.
+    pub fn movsxd_rm(&mut self, dst: Gpr, base: Gpr, disp: i32) {
+        self.rex(true, dst.hi(), base.hi());
+        self.b(0x63);
+        self.mem(dst.lo3(), base, disp);
+    }
+
+    /// `movsx dst, byte/word [base+disp]` (64-bit destination).
+    pub fn movsx_rm(&mut self, bits: u8, dst: Gpr, base: Gpr, disp: i32) {
+        self.rex(true, dst.hi(), base.hi());
+        self.b(0x0F);
+        self.b(if bits == 8 { 0xBE } else { 0xBF });
+        self.mem(dst.lo3(), base, disp);
+    }
+
+    /// `movzx dst32, byte/word [base+disp]` (upper half auto-zeroed).
+    pub fn movzx_rm(&mut self, bits: u8, dst: Gpr, base: Gpr, disp: i32) {
+        self.rex(false, dst.hi(), base.hi());
+        self.b(0x0F);
+        self.b(if bits == 8 { 0xB6 } else { 0xB7 });
+        self.mem(dst.lo3(), base, disp);
+    }
+
+    /// `movzx dst32, src8` (low byte of `src`; rax..rdx only).
+    pub fn movzx8_rr(&mut self, dst: Gpr, src: Gpr) {
+        debug_assert!((src as u8) < 4 && (dst as u8) < 8);
+        self.b(0x0F);
+        self.b(0xB6);
+        self.modrm_reg(dst.lo3(), src.lo3());
+    }
+
+    /// Group-3 unary on a 64-bit register: ext 2 = not, 3 = neg, 7 = idiv.
+    pub fn unary_r(&mut self, ext: u8, rm: Gpr) {
+        self.rex(true, false, rm.hi());
+        self.b(0xF7);
+        self.modrm_reg(ext, rm.lo3());
+    }
+
+    /// `cqo` — sign-extend rax into rdx:rax.
+    pub fn cqo(&mut self) {
+        self.b(0x48);
+        self.b(0x99);
+    }
+
+    /// `test a, b` (64-bit).
+    pub fn test_rr(&mut self, a: Gpr, b: Gpr) {
+        self.rex(true, b.hi(), a.hi());
+        self.b(0x85);
+        self.modrm_reg(b.lo3(), a.lo3());
+    }
+
+    /// `test a8, b8` (low bytes; rax..rdx only).
+    pub fn test8_rr(&mut self, a: Gpr, b: Gpr) {
+        debug_assert!((a as u8) < 4 && (b as u8) < 4);
+        self.b(0x84);
+        self.modrm_reg(b.lo3(), a.lo3());
+    }
+
+    /// `setcc rm8` (rax..rdx only, so no REX is needed).
+    pub fn setcc(&mut self, cond: u8, rm: Gpr) {
+        debug_assert!((rm as u8) < 4);
+        self.b(0x0F);
+        self.b(0x90 + cond);
+        self.modrm_reg(0, rm.lo3());
+    }
+
+    /// `and dst8, src8` (rax..rdx only).
+    pub fn and8_rr(&mut self, dst: Gpr, src: Gpr) {
+        debug_assert!((dst as u8) < 4 && (src as u8) < 4);
+        self.b(0x20);
+        self.modrm_reg(src.lo3(), dst.lo3());
+    }
+
+    /// `or dst8, src8` (rax..rdx only).
+    pub fn or8_rr(&mut self, dst: Gpr, src: Gpr) {
+        debug_assert!((dst as u8) < 4 && (src as u8) < 4);
+        self.b(0x08);
+        self.modrm_reg(src.lo3(), dst.lo3());
+    }
+
+    /// `jcc rel32`.
+    pub fn jcc(&mut self, cond: u8, l: Label) {
+        self.b(0x0F);
+        self.b(0x80 + cond);
+        self.rel32(l);
+    }
+
+    /// `jmp rel32`.
+    pub fn jmp(&mut self, l: Label) {
+        self.b(0xE9);
+        self.rel32(l);
+    }
+
+    /// `call rel32`.
+    pub fn call_label(&mut self, l: Label) {
+        self.b(0xE8);
+        self.rel32(l);
+    }
+
+    /// `call r`.
+    pub fn call_reg(&mut self, r: Gpr) {
+        self.rex(false, false, r.hi());
+        self.b(0xFF);
+        self.modrm_reg(2, r.lo3());
+    }
+
+    /// `push r`.
+    pub fn push(&mut self, r: Gpr) {
+        self.rex(false, false, r.hi());
+        self.b(0x50 + r.lo3());
+    }
+
+    /// `pop r`.
+    pub fn pop(&mut self, r: Gpr) {
+        self.rex(false, false, r.hi());
+        self.b(0x58 + r.lo3());
+    }
+
+    /// `ret`.
+    pub fn ret(&mut self) {
+        self.b(0xC3);
+    }
+
+    /// `lea dst, [base+disp]` (64-bit).
+    pub fn lea(&mut self, dst: Gpr, base: Gpr, disp: i32) {
+        self.rex(true, dst.hi(), base.hi());
+        self.b(0x8D);
+        self.mem(dst.lo3(), base, disp);
+    }
+
+    /// `inc qword [base+disp]`.
+    pub fn inc_mem64(&mut self, base: Gpr, disp: i32) {
+        self.rex(true, false, base.hi());
+        self.b(0xFF);
+        self.mem(0, base, disp);
+    }
+
+    /// `dec qword [base+disp]`.
+    pub fn dec_mem64(&mut self, base: Gpr, disp: i32) {
+        self.rex(true, false, base.hi());
+        self.b(0xFF);
+        self.mem(1, base, disp);
+    }
+
+    /// `btc rm, bit` — complement one bit of a 64-bit register.
+    pub fn btc_ri(&mut self, rm: Gpr, bit: u8) {
+        self.rex(true, false, rm.hi());
+        self.b(0x0F);
+        self.b(0xBA);
+        self.modrm_reg(7, rm.lo3());
+        self.b(bit);
+    }
+
+    /// `rep stosq` — zero `rcx` quadwords at `[rdi]` (rax must be 0).
+    pub fn rep_stosq(&mut self) {
+        self.b(0xF3);
+        self.b(0x48);
+        self.b(0xAB);
+    }
+
+    /// `xor dst32, dst32` — the canonical zero idiom.
+    pub fn zero(&mut self, dst: Gpr) {
+        self.rex(false, dst.hi(), dst.hi());
+        self.b(0x31);
+        self.modrm_reg(dst.lo3(), dst.lo3());
+    }
+
+    /// `movsd xmm, qword [base+disp]`.
+    pub fn movsd_load(&mut self, x: u8, base: Gpr, disp: i32) {
+        self.b(0xF2);
+        self.rex(false, x >= 8, base.hi());
+        self.b(0x0F);
+        self.b(0x10);
+        self.mem(x & 7, base, disp);
+    }
+
+    /// `movsd qword [base+disp], xmm`.
+    pub fn movsd_store(&mut self, base: Gpr, disp: i32, x: u8) {
+        self.b(0xF2);
+        self.rex(false, x >= 8, base.hi());
+        self.b(0x0F);
+        self.b(0x11);
+        self.mem(x & 7, base, disp);
+    }
+
+    /// Scalar-double arithmetic `op xmm, qword [base+disp]` — opcodes
+    /// 0x58 add, 0x5C sub, 0x59 mul, 0x5E div, 0x51 sqrt.
+    pub fn sse_mem(&mut self, opcode: u8, x: u8, base: Gpr, disp: i32) {
+        self.b(0xF2);
+        self.rex(false, x >= 8, base.hi());
+        self.b(0x0F);
+        self.b(opcode);
+        self.mem(x & 7, base, disp);
+    }
+
+    /// `ucomisd xmm_a, xmm_b`.
+    pub fn ucomisd_rr(&mut self, a: u8, b: u8) {
+        self.b(0x66);
+        self.rex(false, a >= 8, b >= 8);
+        self.b(0x0F);
+        self.b(0x2E);
+        self.modrm_reg(a & 7, b & 7);
+    }
+
+    /// `cvtsi2sd xmm, qword [base+disp]` — full 64-bit source register.
+    pub fn cvtsi2sd_mem(&mut self, x: u8, base: Gpr, disp: i32) {
+        self.b(0xF2);
+        // REX.W is mandatory for the 64-bit source form and must follow
+        // the F2 prefix.
+        let r = 0x48 | u8::from(x >= 8) << 2 | u8::from(base.hi());
+        self.b(r);
+        self.b(0x0F);
+        self.b(0x2A);
+        self.mem(x & 7, base, disp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc(f: impl FnOnce(&mut Asm)) -> Vec<u8> {
+        let mut a = Asm::new();
+        f(&mut a);
+        a.finish()
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        assert_eq!(enc(|a| a.mov_load(true, Gpr::Rax, Gpr::Rbp, -8)), [0x48, 0x8B, 0x45, 0xF8]);
+        assert_eq!(
+            enc(|a| a.mov_store(true, Gpr::Rbp, -0x100, Gpr::Rcx)),
+            [0x48, 0x89, 0x8D, 0x00, 0xFF, 0xFF, 0xFF]
+        );
+        // r12 base forces a SIB byte.
+        assert_eq!(enc(|a| a.mov_load(true, Gpr::Rax, Gpr::R12, 0)), [0x49, 0x8B, 0x04, 0x24]);
+        // 32-bit load: no REX.W.
+        assert_eq!(enc(|a| a.mov_load(false, Gpr::Rax, Gpr::Rbp, -4)), [0x8B, 0x45, 0xFC]);
+    }
+
+    #[test]
+    fn ctx_field_ops() {
+        // sub qword [r12+8], 5
+        assert_eq!(
+            enc(|a| a.alu_mi(Alu::Sub, true, Gpr::R12, 8, 5)),
+            [0x49, 0x83, 0x6C, 0x24, 0x08, 0x05]
+        );
+        // cmp dword [r12], 0
+        assert_eq!(
+            enc(|a| a.alu_mi(Alu::Cmp, false, Gpr::R12, 0, 0)),
+            [0x41, 0x83, 0x3C, 0x24, 0x00]
+        );
+        assert_eq!(enc(|a| a.inc_mem64(Gpr::Rax, 0)), [0x48, 0xFF, 0x00]);
+    }
+
+    #[test]
+    fn extension_forms() {
+        assert_eq!(enc(|a| a.movsxd_rm(Gpr::Rax, Gpr::Rbp, -16)), [0x48, 0x63, 0x45, 0xF0]);
+        assert_eq!(enc(|a| a.movsx_rm(16, Gpr::Rax, Gpr::Rbp, -16)), [0x48, 0x0F, 0xBF, 0x45, 0xF0]);
+        assert_eq!(enc(|a| a.movzx_rm(8, Gpr::Rax, Gpr::Rbp, -16)), [0x0F, 0xB6, 0x45, 0xF0]);
+    }
+
+    #[test]
+    fn immediates() {
+        // Small immediate uses the sign-extended imm32 form.
+        assert_eq!(enc(|a| a.mov_ri(Gpr::Rax, 7)), [0x48, 0xC7, 0xC0, 0x07, 0, 0, 0]);
+        // Large immediate falls back to movabs.
+        let big = enc(|a| a.mov_ri(Gpr::Rax, i64::MIN));
+        assert_eq!(big[..2], [0x48, 0xB8]);
+        assert_eq!(big.len(), 10);
+    }
+
+    #[test]
+    fn label_patching() {
+        let mut a = Asm::new();
+        let top = a.label();
+        a.bind(top);
+        a.alu_ri(Alu::Sub, true, Gpr::Rax, 1); // 4 bytes
+        a.jcc(cc::NE, top); // 6 bytes, rel = -(4+6) = -10
+        let code = a.finish();
+        assert_eq!(&code[4..6], &[0x0F, 0x85]);
+        assert_eq!(i32::from_le_bytes(code[6..10].try_into().unwrap()), -10);
+    }
+
+    #[test]
+    fn rep_stosq_and_zero() {
+        assert_eq!(enc(|a| a.rep_stosq()), [0xF3, 0x48, 0xAB]);
+        assert_eq!(enc(|a| a.zero(Gpr::Rax)), [0x31, 0xC0]);
+    }
+}

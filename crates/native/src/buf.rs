@@ -1,0 +1,133 @@
+//! Executable code buffers via raw `mmap`/`mprotect`.
+//!
+//! `std` already links libc on every supported platform, so declaring the
+//! three syscall wrappers directly keeps the crate dependency-free. The
+//! buffer follows W^X discipline: it is written while `PROT_READ |
+//! PROT_WRITE`, then sealed to `PROT_READ | PROT_EXEC` before any code
+//! pointer escapes.
+
+use core::ffi::c_void;
+
+#[cfg(all(target_arch = "x86_64", unix))]
+mod sys {
+    use core::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const PROT_WRITE: i32 = 2;
+    pub const PROT_EXEC: i32 = 4;
+    pub const MAP_PRIVATE: i32 = 2;
+    pub const MAP_ANONYMOUS: i32 = 0x20;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+        pub fn mprotect(addr: *mut c_void, len: usize, prot: i32) -> i32;
+    }
+}
+
+/// A sealed, executable copy of generated machine code.
+pub struct CodeBuf {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// The mapping is owned exclusively; moving it across threads is fine.
+// (`CodeBuf` is still `!Sync` by virtue of the raw pointer.)
+unsafe impl Send for CodeBuf {}
+
+impl std::fmt::Debug for CodeBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CodeBuf({} bytes @ {:p})", self.len, self.ptr)
+    }
+}
+
+impl CodeBuf {
+    /// Map `code` into fresh executable memory.
+    #[cfg(all(target_arch = "x86_64", unix))]
+    pub fn new(code: &[u8]) -> Result<CodeBuf, String> {
+        let len = code.len().max(1).div_ceil(4096) * 4096;
+        // SAFETY: anonymous private mapping with no address hint; the
+        // result is checked against MAP_FAILED before use.
+        let ptr = unsafe {
+            sys::mmap(
+                core::ptr::null_mut(),
+                len,
+                sys::PROT_READ | sys::PROT_WRITE,
+                sys::MAP_PRIVATE | sys::MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if ptr as isize == -1 || ptr.is_null() {
+            return Err(format!("mmap of {len} code bytes failed"));
+        }
+        let ptr = ptr.cast::<u8>();
+        // SAFETY: the mapping is `len` bytes and writable.
+        unsafe {
+            core::ptr::copy_nonoverlapping(code.as_ptr(), ptr, code.len());
+            if sys::mprotect(ptr.cast::<c_void>(), len, sys::PROT_READ | sys::PROT_EXEC) != 0 {
+                sys::munmap(ptr.cast::<c_void>(), len);
+                return Err("mprotect(PROT_EXEC) failed".into());
+            }
+        }
+        Ok(CodeBuf { ptr, len })
+    }
+
+    /// Unsupported host: the native backend only targets x86-64 unix.
+    #[cfg(not(all(target_arch = "x86_64", unix)))]
+    pub fn new(_code: &[u8]) -> Result<CodeBuf, String> {
+        Err("native backend requires an x86-64 unix host".into())
+    }
+
+    /// Pointer to the code at byte offset `off`.
+    #[must_use]
+    pub fn at(&self, off: usize) -> *const u8 {
+        assert!(off < self.len);
+        // SAFETY: bounds-checked above.
+        unsafe { self.ptr.add(off) }
+    }
+
+    /// Mapped size in bytes (page-rounded).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty (never true for a built buffer).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for CodeBuf {
+    fn drop(&mut self) {
+        #[cfg(all(target_arch = "x86_64", unix))]
+        // SAFETY: ptr/len come from our own successful mmap.
+        unsafe {
+            sys::munmap(self.ptr.cast::<c_void>(), self.len);
+        }
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", unix, test))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executes_a_trivial_function() {
+        // mov eax, 42; ret
+        let code = [0xB8, 42, 0, 0, 0, 0xC3];
+        let buf = CodeBuf::new(&code).expect("mmap");
+        // SAFETY: the buffer holds a complete, valid function.
+        let f: extern "C" fn() -> i32 = unsafe { core::mem::transmute(buf.at(0)) };
+        assert_eq!(f(), 42);
+    }
+}

@@ -1,0 +1,173 @@
+//! The native-code ↔ host ABI: the execution context structure shared
+//! with generated code, trap codes, and the helper/accounting function
+//! tables injected by the embedding VM.
+
+use core::ffi::c_void;
+
+use sxe_ir::{Inst, TrapKind};
+
+/// Execution context handed to every generated function in `rdi` and
+/// pinned in `r12` for the whole activation. Generated code addresses the
+/// fields by the fixed offsets below, so the layout is `repr(C)` and
+/// locked by tests.
+#[repr(C)]
+#[derive(Debug)]
+pub struct NativeCtx {
+    /// Trap code ([`TRAP_NONE`] while running); set by trap stubs or by
+    /// helpers before returning.
+    pub trap_kind: u32,
+    /// Index into the module's trap-site table, set by the stub that
+    /// observed the trap first (helpers set only `trap_kind`).
+    pub trap_site: u32,
+    /// Remaining fuel; decremented per accounting segment.
+    pub fuel: u64,
+    /// Current call nesting (suspended native frames).
+    pub depth: u64,
+    /// Opaque embedder state (the VM's heap); only helpers look at it.
+    pub user: *mut c_void,
+    /// Target flavour for load semantics: 0 = Ia64, 1 = Ppc64.
+    pub target: u32,
+    /// Padding to a round size.
+    pub _pad: u32,
+}
+
+/// Byte offset of [`NativeCtx::trap_kind`].
+pub const CTX_TRAP_KIND: i32 = 0;
+/// Byte offset of [`NativeCtx::trap_site`].
+pub const CTX_TRAP_SITE: i32 = 4;
+/// Byte offset of [`NativeCtx::fuel`].
+pub const CTX_FUEL: i32 = 8;
+/// Byte offset of [`NativeCtx::depth`].
+pub const CTX_DEPTH: i32 = 16;
+
+/// `trap_kind` value while no trap has occurred.
+pub const TRAP_NONE: u32 = 0;
+
+/// Encode a [`TrapKind`] as a `trap_kind` code (never [`TRAP_NONE`]).
+#[must_use]
+pub fn trap_code(kind: TrapKind) -> u32 {
+    match kind {
+        TrapKind::IndexOutOfBounds => 1,
+        TrapKind::NegativeArraySize => 2,
+        TrapKind::DivisionByZero => 3,
+        TrapKind::WildAddress => 4,
+        TrapKind::ResourceExhausted => 5,
+    }
+}
+
+/// Decode a `trap_kind` code; `None` for [`TRAP_NONE`] or garbage.
+#[must_use]
+pub fn code_trap(code: u32) -> Option<TrapKind> {
+    Some(match code {
+        1 => TrapKind::IndexOutOfBounds,
+        2 => TrapKind::NegativeArraySize,
+        3 => TrapKind::DivisionByZero,
+        4 => TrapKind::WildAddress,
+        5 => TrapKind::ResourceExhausted,
+        _ => return None,
+    })
+}
+
+/// Runtime helpers injected by the embedder and called from generated
+/// code for everything that must share state with the VM (the heap) or
+/// is deliberately kept out of line (saturating float conversions).
+///
+/// Heap helpers signal traps by setting [`NativeCtx::trap_kind`]; the
+/// generated call site checks it immediately after the call returns.
+#[derive(Debug, Clone, Copy)]
+pub struct Helpers {
+    /// `array[index]` load; returns the raw 64-bit element value.
+    pub aload: extern "C" fn(*mut NativeCtx, i64, i64) -> i64,
+    /// `array[index] = value` store.
+    pub astore: extern "C" fn(*mut NativeCtx, i64, i64, i64),
+    /// Allocate an array: `(ctx, raw_len, elem_code)` → reference. Element
+    /// codes follow [`elem_code`].
+    pub newarray: extern "C" fn(*mut NativeCtx, i64, u32) -> i64,
+    /// Array length.
+    pub arraylen: extern "C" fn(*mut NativeCtx, i64) -> i64,
+    /// Java `d2i` (saturating, NaN → 0), result sign-extended.
+    pub d2i: extern "C" fn(f64) -> i64,
+    /// Java `d2l` (saturating, NaN → 0).
+    pub d2l: extern "C" fn(f64) -> i64,
+    /// `f64` remainder (Rust/C `fmod` semantics).
+    pub frem: extern "C" fn(f64, f64) -> f64,
+}
+
+/// Encoding of an element type for [`Helpers::newarray`].
+#[must_use]
+pub fn elem_code(ty: sxe_ir::Ty) -> u32 {
+    match ty {
+        sxe_ir::Ty::I8 => 0,
+        sxe_ir::Ty::I16 => 1,
+        sxe_ir::Ty::I32 => 2,
+        sxe_ir::Ty::I64 => 3,
+        sxe_ir::Ty::F64 => 4,
+    }
+}
+
+/// Decode an [`elem_code`] value (helpers run on trusted codes only).
+#[must_use]
+pub fn code_elem(code: u32) -> sxe_ir::Ty {
+    match code {
+        0 => sxe_ir::Ty::I8,
+        1 => sxe_ir::Ty::I16,
+        2 => sxe_ir::Ty::I32,
+        3 => sxe_ir::Ty::I64,
+        _ => {
+            if code == 4 {
+                sxe_ir::Ty::F64
+            } else {
+                sxe_ir::Ty::I64
+            }
+        }
+    }
+}
+
+/// Accounting callbacks injected by the embedder so the generated code's
+/// per-segment histograms use *exactly* the VM's cost model and mnemonic
+/// indexing — the two can never drift apart.
+#[derive(Debug, Clone, Copy)]
+pub struct Accounting {
+    /// Cycle cost of one instruction (the VM's `cost::cost_of`).
+    pub cost_of: fn(&Inst) -> u64,
+    /// Mnemonic slot of one instruction (the VM's `op_index`), in
+    /// `0..17`.
+    pub op_slot: fn(&Inst) -> usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_layout_matches_generated_offsets() {
+        assert_eq!(core::mem::offset_of!(NativeCtx, trap_kind), CTX_TRAP_KIND as usize);
+        assert_eq!(core::mem::offset_of!(NativeCtx, trap_site), CTX_TRAP_SITE as usize);
+        assert_eq!(core::mem::offset_of!(NativeCtx, fuel), CTX_FUEL as usize);
+        assert_eq!(core::mem::offset_of!(NativeCtx, depth), CTX_DEPTH as usize);
+    }
+
+    #[test]
+    fn trap_codes_round_trip() {
+        for kind in [
+            TrapKind::IndexOutOfBounds,
+            TrapKind::NegativeArraySize,
+            TrapKind::DivisionByZero,
+            TrapKind::WildAddress,
+            TrapKind::ResourceExhausted,
+        ] {
+            let c = trap_code(kind);
+            assert_ne!(c, TRAP_NONE);
+            assert_eq!(code_trap(c), Some(kind));
+        }
+        assert_eq!(code_trap(TRAP_NONE), None);
+    }
+
+    #[test]
+    fn elem_codes_round_trip() {
+        for ty in [sxe_ir::Ty::I8, sxe_ir::Ty::I16, sxe_ir::Ty::I32, sxe_ir::Ty::I64, sxe_ir::Ty::F64]
+        {
+            assert_eq!(code_elem(elem_code(ty)), ty);
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! # sxe-native
+//!
+//! A dependency-free x86-64 template JIT for post-elimination sxe IR.
+//!
+//! The interpreters in `sxe-vm` *model* the paper's machine — every
+//! eliminated `Extend` saves a simulated cycle. This crate closes the
+//! loop on real hardware: it compiles IR functions into an executable
+//! buffer (raw `mmap`/`mprotect`, no crates) where an eliminated sign
+//! extension is **zero bytes of machine code** and a surviving one is a
+//! real `movsxd`/`movsx`, so the paper's headline can be measured in
+//! wall-clock time rather than simulated cycles.
+//!
+//! The crate deliberately knows nothing about the VM: the embedder
+//! injects runtime [`Helpers`] (heap access, saturating float
+//! conversions) and [`Accounting`] callbacks (cost model, mnemonic
+//! indexing), and receives traps through [`NativeCtx`] plus the
+//! [`TrapSite`] table. See [`compile`] for the contract and the module
+//! docs in `compile` for the code-generation and accounting scheme.
+//!
+//! Supported hosts: x86-64 unix. Elsewhere [`compile`] returns `Err`
+//! and embedders are expected to fall back to interpretation.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod asm;
+mod buf;
+mod compile;
+mod ctx;
+
+pub use buf::CodeBuf;
+pub use compile::{compile, CompileOpts, Hist, NativeModule, TrapSite};
+pub use ctx::{
+    code_elem, code_trap, elem_code, trap_code, Accounting, Helpers, NativeCtx, TRAP_NONE,
+};
+
+#[cfg(all(target_arch = "x86_64", unix, test))]
+mod tests {
+    use super::*;
+    use sxe_ir::{
+        BinOp, BlockId, Cond, FuncId, FunctionBuilder, Inst, InstId, Module, TrapKind, Ty, UnOp,
+        Width,
+    };
+
+    // Minimal test runtime: heap helpers always trap WildAddress (the
+    // tests here exercise integer/float code; the VM integration tests
+    // cover real heap traffic), float conversions mirror eval.rs.
+    extern "C" fn t_aload(ctx: *mut NativeCtx, _a: i64, _i: i64) -> i64 {
+        unsafe { (*ctx).trap_kind = trap_code(TrapKind::WildAddress) };
+        0
+    }
+    extern "C" fn t_astore(ctx: *mut NativeCtx, _a: i64, _i: i64, _v: i64) {
+        unsafe { (*ctx).trap_kind = trap_code(TrapKind::WildAddress) };
+    }
+    extern "C" fn t_newarray(ctx: *mut NativeCtx, _len: i64, _elem: u32) -> i64 {
+        unsafe { (*ctx).trap_kind = trap_code(TrapKind::ResourceExhausted) };
+        0
+    }
+    extern "C" fn t_arraylen(ctx: *mut NativeCtx, _a: i64) -> i64 {
+        unsafe { (*ctx).trap_kind = trap_code(TrapKind::WildAddress) };
+        0
+    }
+    extern "C" fn t_d2i(x: f64) -> i64 {
+        if x.is_nan() {
+            0
+        } else if x >= i32::MAX as f64 {
+            i64::from(i32::MAX)
+        } else if x <= i32::MIN as f64 {
+            i64::from(i32::MIN)
+        } else {
+            i64::from(x as i32)
+        }
+    }
+    extern "C" fn t_d2l(x: f64) -> i64 {
+        if x.is_nan() {
+            0
+        } else {
+            x as i64
+        }
+    }
+    extern "C" fn t_frem(a: f64, b: f64) -> f64 {
+        a % b
+    }
+
+    fn helpers() -> Helpers {
+        Helpers {
+            aload: t_aload,
+            astore: t_astore,
+            newarray: t_newarray,
+            arraylen: t_arraylen,
+            d2i: t_d2i,
+            d2l: t_d2l,
+            frem: t_frem,
+        }
+    }
+
+    fn accounting() -> Accounting {
+        fn one(_: &Inst) -> u64 {
+            1
+        }
+        fn slot0(_: &Inst) -> usize {
+            0
+        }
+        Accounting { cost_of: one, op_slot: slot0 }
+    }
+
+    fn ctx(fuel: u64) -> NativeCtx {
+        NativeCtx {
+            trap_kind: TRAP_NONE,
+            trap_site: 0,
+            fuel,
+            depth: 0,
+            user: core::ptr::null_mut(),
+            target: 0,
+            _pad: 0,
+        }
+    }
+
+    fn jit(module: &Module) -> NativeModule {
+        compile(module, helpers(), accounting(), &CompileOpts::default()).expect("compile")
+    }
+
+    fn run1(f: impl FnOnce(&mut FunctionBuilder), params: Vec<Ty>, args: &[i64]) -> (i64, NativeCtx) {
+        let mut b = FunctionBuilder::new("t", params, Some(Ty::I64));
+        f(&mut b);
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let nm = jit(&m);
+        assert!(nm.is_native(0), "{:?}", nm.refusal(0));
+        let mut c = ctx(1 << 30);
+        let r = nm.run(0, args, &mut c);
+        (r, c)
+    }
+
+    #[test]
+    fn returns_a_constant() {
+        let (r, c) = run1(
+            |b| {
+                let k = b.iconst(Ty::I64, 42);
+                b.ret(Some(k));
+            },
+            vec![],
+            &[],
+        );
+        assert_eq!(r, 42);
+        assert_eq!(c.trap_kind, TRAP_NONE);
+        assert_eq!(c.fuel, (1 << 30) - 2);
+        assert_eq!(c.depth, 0);
+    }
+
+    #[test]
+    fn adds_params_with_64_bit_wrap() {
+        let (r, _) = run1(
+            |b| {
+                let (x, y) = (b.param(0), b.param(1));
+                let s = b.bin(BinOp::Add, Ty::I64, x, y);
+                b.ret(Some(s));
+            },
+            vec![Ty::I64, Ty::I64],
+            &[i64::MAX, 1],
+        );
+        assert_eq!(r, i64::MIN);
+    }
+
+    #[test]
+    fn large_and_small_immediates() {
+        let (r, _) = run1(
+            |b| {
+                let big = b.iconst(Ty::I64, 0x1234_5678_9ABC_DEF0);
+                let small = b.iconst(Ty::I64, -7);
+                let s = b.bin(BinOp::Add, Ty::I64, big, small);
+                b.ret(Some(s));
+            },
+            vec![],
+            &[],
+        );
+        assert_eq!(r, 0x1234_5678_9ABC_DEF0_i64.wrapping_add(-7));
+    }
+
+    #[test]
+    fn narrow_compare_ignores_upper_garbage() {
+        // lhs holds 0xFFFF_FFFF_0000_0005: as an unextended 32-bit value
+        // it is 5, so a 32-bit signed compare with 6 must say "less".
+        let (r, _) = run1(
+            |b| {
+                let x = b.iconst(Ty::I64, 0xFFFF_FFFF_0000_0005_u64 as i64);
+                let six = b.iconst(Ty::I32, 6);
+                let lt = b.setcc(Cond::Lt, Ty::I32, x, six);
+                b.ret(Some(lt));
+            },
+            vec![],
+            &[],
+        );
+        assert_eq!(r, 1);
+    }
+
+    #[test]
+    fn shifts_match_interpreter_semantics() {
+        for (op, ty, a0, b0) in [
+            (BinOp::Shl, Ty::I32, 3i64, 33i64),     // count masked to 1
+            (BinOp::Shr, Ty::I32, -16i64, 2i64),    // arithmetic, full 64-bit value
+            (BinOp::Shru, Ty::I32, -1i64, 4i64),    // low 32 bits, logical
+            (BinOp::Shl, Ty::I64, 1i64, 63i64),
+            (BinOp::Shru, Ty::I64, -1i64, 1i64),
+        ] {
+            let (r, _) = run1(
+                |b| {
+                    let (x, y) = (b.param(0), b.param(1));
+                    let v = b.bin(op, ty, x, y);
+                    b.ret(Some(v));
+                },
+                vec![Ty::I64, Ty::I64],
+                &[a0, b0],
+            );
+            let want = sxe_ir::eval::int_bin(op, a0, b0, ty).unwrap();
+            assert_eq!(r, want, "{op:?} {ty:?} {a0} {b0}");
+        }
+    }
+
+    #[test]
+    fn division_guards() {
+        let div = |a0: i64, b0: i64, op: BinOp| {
+            run1(
+                |b| {
+                    let (x, y) = (b.param(0), b.param(1));
+                    let v = b.bin(op, Ty::I64, x, y);
+                    b.ret(Some(v));
+                },
+                vec![Ty::I64, Ty::I64],
+                &[a0, b0],
+            )
+        };
+        assert_eq!(div(7, 2, BinOp::Div).0, 3);
+        assert_eq!(div(-7, 2, BinOp::Rem).0, -1);
+        // The x86 idiv would fault on both of these.
+        assert_eq!(div(i64::MIN, -1, BinOp::Div).0, i64::MIN);
+        assert_eq!(div(i64::MIN, -1, BinOp::Rem).0, 0);
+        let (_, c) = div(1, 0, BinOp::Div);
+        assert_eq!(code_trap(c.trap_kind), Some(TrapKind::DivisionByZero));
+    }
+
+    #[test]
+    fn trap_site_reports_exact_instruction_and_suffix() {
+        let mut b = FunctionBuilder::new("t", vec![Ty::I64, Ty::I64], Some(Ty::I64));
+        let (x, y) = (b.param(0), b.param(1));
+        let q = b.bin(BinOp::Div, Ty::I64, x, y); // inst 0 of block 0
+        let k = b.iconst(Ty::I64, 1); // suffix: 2 insts after the div
+        let s = b.bin(BinOp::Add, Ty::I64, q, k);
+        b.ret(Some(s));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let nm = jit(&m);
+        let mut c = ctx(1000);
+        nm.run(0, &[1, 0], &mut c);
+        assert_eq!(code_trap(c.trap_kind), Some(TrapKind::DivisionByZero));
+        let site = nm.site(c.trap_site);
+        assert_eq!(site.func, 0);
+        assert_eq!(site.at, InstId::new(BlockId(0), 0));
+        assert_eq!(site.suffix.insts, 3); // const + add + ret not executed
+        // Segment-level accounting charged all 4; exact count after the
+        // suffix correction is 1 (the div itself).
+        let mut t = nm.tally();
+        t.subtract(&site.suffix);
+        assert_eq!(t.insts, 1);
+        assert_eq!(c.fuel + site.suffix.insts, 1000 - 1);
+    }
+
+    #[test]
+    fn loop_counts_and_block_profile() {
+        // sum = 0; for i in 0..10 { sum += i }  — classic count-down form.
+        let n = 10i64;
+        let mut b = FunctionBuilder::new("t", vec![Ty::I64], Some(Ty::I64));
+        let limit = b.param(0);
+        let sum = b.iconst(Ty::I64, 0);
+        let i = b.iconst(Ty::I64, 0);
+        let one = b.iconst(Ty::I64, 1);
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(head);
+        b.switch_to(head);
+        b.cond_br(Cond::Lt, Ty::I64, i, limit, body, exit);
+        b.switch_to(body);
+        b.bin_to(BinOp::Add, Ty::I64, sum, sum, i);
+        b.bin_to(BinOp::Add, Ty::I64, i, i, one);
+        b.br(head);
+        b.switch_to(exit);
+        b.ret(Some(sum));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let nm = jit(&m);
+        let mut c = ctx(1 << 20);
+        let r = nm.run(0, &[n], &mut c);
+        assert_eq!(r, (0..n).sum::<i64>());
+        let profile = nm.block_counts(0).unwrap();
+        assert_eq!(profile, vec![1, n as u64 + 1, n as u64, 1]);
+        // entry(4) + heads(11 × 1) + bodies(10 × 3) + exit(1)
+        let expect_insts = 4 + (n as u64 + 1) + n as u64 * 3 + 1;
+        assert_eq!(nm.tally().insts, expect_insts);
+        assert_eq!(c.fuel, (1 << 20) - expect_insts);
+    }
+
+    #[test]
+    fn calls_pass_arguments_and_propagate_traps() {
+        let mut m = Module::new();
+        let mut cal = FunctionBuilder::new("div", vec![Ty::I64, Ty::I64], Some(Ty::I64));
+        let (x, y) = (cal.param(0), cal.param(1));
+        let q = cal.bin(BinOp::Div, Ty::I64, x, y);
+        cal.ret(Some(q));
+        let callee = m.add_function(cal.finish());
+        let mut b = FunctionBuilder::new("main", vec![Ty::I64, Ty::I64], Some(Ty::I64));
+        let (x, y) = (b.param(0), b.param(1));
+        let r = b.call(callee, vec![x, y], true).unwrap();
+        let one = b.iconst(Ty::I64, 1);
+        let s = b.bin(BinOp::Add, Ty::I64, r, one);
+        b.ret(Some(s));
+        m.add_function(b.finish());
+        let nm = jit(&m);
+        let mut c = ctx(1 << 20);
+        assert_eq!(nm.run(1, &[84, 2], &mut c), 43);
+        assert_eq!(c.depth, 0);
+        // Trap inside the callee: reported at the callee's div.
+        let mut c = ctx(1 << 20);
+        nm.run(1, &[84, 0], &mut c);
+        assert_eq!(code_trap(c.trap_kind), Some(TrapKind::DivisionByZero));
+        let site = nm.site(c.trap_site);
+        assert_eq!(site.func, 0);
+        assert_eq!(site.at, InstId::new(BlockId(0), 0));
+    }
+
+    #[test]
+    fn call_depth_limit_traps_like_the_vm() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("rec", vec![], Some(Ty::I64));
+        let r = b.call(FuncId(0), vec![], true).unwrap();
+        b.ret(Some(r));
+        m.add_function(b.finish());
+        let nm = jit(&m);
+        let mut c = ctx(1 << 30);
+        nm.run(0, &[], &mut c);
+        assert_eq!(code_trap(c.trap_kind), Some(TrapKind::ResourceExhausted));
+        let site = nm.site(c.trap_site);
+        assert_eq!(site.func, 0);
+        assert_eq!(site.at, InstId::new(BlockId(0), 0));
+        assert_eq!(site.suffix.insts, 0);
+        assert_eq!(c.depth, 0); // fully unwound
+    }
+
+    #[test]
+    fn fuel_exhaustion_pins_fuel_to_zero() {
+        let mut b = FunctionBuilder::new("spin", vec![], Some(Ty::I64));
+        let head = b.new_block();
+        b.br(head);
+        b.switch_to(head);
+        b.br(head);
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let nm = jit(&m);
+        let mut c = ctx(100);
+        nm.run(0, &[], &mut c);
+        assert_eq!(code_trap(c.trap_kind), Some(TrapKind::ResourceExhausted));
+        assert_eq!(c.fuel, 0);
+    }
+
+    #[test]
+    fn eliminated_extends_cost_zero_bytes() {
+        let build = |m: &mut Module, eliminated: bool| -> FuncId {
+            let mut b = FunctionBuilder::new(
+                if eliminated { "after" } else { "before" },
+                vec![Ty::I32],
+                Some(Ty::I32),
+            );
+            let x = b.param(0);
+            let one = b.iconst(Ty::I32, 1);
+            b.bin_to(BinOp::Add, Ty::I32, x, x, one);
+            if eliminated {
+                b.raw(Inst::JustExtended { dst: x, src: x, from: Width::W32 });
+            } else {
+                b.raw(Inst::Extend { dst: x, src: x, from: Width::W32 });
+            }
+            b.ret(Some(x));
+            m.add_function(b.finish())
+        };
+        let mut m = Module::new();
+        build(&mut m, false);
+        build(&mut m, true);
+        let nm = jit(&m);
+        assert!(nm.extend_bytes(0) > 0, "real Extend must cost bytes");
+        assert_eq!(nm.extend_bytes(1), 0, "JustExtended must be free");
+        assert!(nm.code_bytes(1) < nm.code_bytes(0));
+        // Same result on a value needing no extension.
+        let mut c = ctx(1000);
+        let a = nm.run(0, &[5], &mut c);
+        let mut c = ctx(1000);
+        let b2 = nm.run(1, &[5], &mut c);
+        assert_eq!(a, b2);
+        assert_eq!(a, 6);
+    }
+
+    #[test]
+    fn float_pipeline_matches_ieee() {
+        let (r, _) = run1(
+            |b| {
+                let two = b.fconst(2.0);
+                let half = b.fconst(0.5);
+                let x = b.bin(BinOp::Add, Ty::F64, two, half); // 2.5
+                let y = b.bin(BinOp::Mul, Ty::F64, x, x); // 6.25
+                let s = b.un(UnOp::FSqrt, Ty::F64, y); // 2.5
+                let n = b.un(UnOp::FNeg, Ty::F64, s); // -2.5
+                let a = b.un(UnOp::FAbs, Ty::F64, n); // 2.5
+                let i = b.un(UnOp::F64ToI64, Ty::F64, a); // 2
+                b.ret(Some(i));
+            },
+            vec![],
+            &[],
+        );
+        assert_eq!(r, 2);
+    }
+
+    #[test]
+    fn float_compares_handle_nan() {
+        let check = |cond: Cond, bits_a: i64, bits_b: i64, want: i64| {
+            let (r, _) = run1(
+                |b| {
+                    let (x, y) = (b.param(0), b.param(1));
+                    let v = b.setcc(cond, Ty::F64, x, y);
+                    b.ret(Some(v));
+                },
+                vec![Ty::F64, Ty::F64],
+                &[bits_a, bits_b],
+            );
+            assert_eq!(r, want, "{cond:?}");
+        };
+        let one = 1.0f64.to_bits() as i64;
+        let two = 2.0f64.to_bits() as i64;
+        let nan = f64::NAN.to_bits() as i64;
+        check(Cond::Lt, one, two, 1);
+        check(Cond::Ge, one, two, 0);
+        check(Cond::Eq, one, one, 1);
+        check(Cond::Eq, nan, nan, 0);
+        check(Cond::Ne, nan, nan, 1);
+        check(Cond::Lt, nan, two, 0);
+        check(Cond::Gt, nan, two, 0);
+    }
+
+    #[test]
+    fn int_to_float_reads_full_register() {
+        // An I32ToF64 on an unextended register converts the garbage —
+        // the paper's Figure 2 semantics, which elimination must respect.
+        let dirty = 0x1_0000_0001_i64; // "int" 1 with garbage bit 32
+        let (r, _) = run1(
+            |b| {
+                let x = b.param(0);
+                let f = b.un(UnOp::I32ToF64, Ty::I32, x);
+                let i = b.un(UnOp::F64ToI64, Ty::F64, f);
+                b.ret(Some(i));
+            },
+            vec![Ty::I64],
+            &[dirty],
+        );
+        assert_eq!(r, dirty); // converted as the full 64-bit value
+    }
+
+    #[test]
+    fn oversized_functions_fall_back_with_reasons() {
+        let mut m = Module::new();
+        let mut big = FunctionBuilder::new("big", vec![], Some(Ty::I64));
+        let mut last = big.iconst(Ty::I64, 0);
+        for _ in 0..300 {
+            last = big.copy(Ty::I64, last);
+        }
+        big.ret(Some(last));
+        let big_id = m.add_function(big.finish());
+        let mut caller = FunctionBuilder::new("caller", vec![], Some(Ty::I64));
+        let r = caller.call(big_id, vec![], true).unwrap();
+        caller.ret(Some(r));
+        m.add_function(caller.finish());
+        let mut fine = FunctionBuilder::new("fine", vec![], Some(Ty::I64));
+        let k = fine.iconst(Ty::I64, 9);
+        fine.ret(Some(k));
+        m.add_function(fine.finish());
+        let nm = jit(&m);
+        assert!(!nm.is_native(0));
+        assert!(nm.refusal(0).unwrap().contains("virtual registers"));
+        assert!(!nm.is_native(1), "unsupportedness must propagate to callers");
+        assert!(nm.refusal(1).unwrap().contains("@big"));
+        assert!(nm.is_native(2), "independent functions stay native");
+        let mut c = ctx(1000);
+        assert_eq!(nm.run(2, &[], &mut c), 9);
+    }
+
+    #[test]
+    fn heap_helper_traps_surface_with_sites() {
+        let mut b = FunctionBuilder::new("t", vec![Ty::I64], Some(Ty::I64));
+        let x = b.param(0);
+        let v = b.array_load(Ty::I32, x, x); // helper always traps here
+        b.ret(Some(v));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let nm = jit(&m);
+        let mut c = ctx(1000);
+        nm.run(0, &[3], &mut c);
+        assert_eq!(code_trap(c.trap_kind), Some(TrapKind::WildAddress));
+        let site = nm.site(c.trap_site);
+        assert_eq!(site.at, InstId::new(BlockId(0), 0));
+        assert_eq!(site.suffix.insts, 1); // the unexecuted ret
+    }
+
+    #[test]
+    fn reset_counts_clears_the_tally() {
+        let mut b = FunctionBuilder::new("t", vec![], Some(Ty::I64));
+        let k = b.iconst(Ty::I64, 1);
+        b.ret(Some(k));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let nm = jit(&m);
+        let mut c = ctx(1000);
+        nm.run(0, &[], &mut c);
+        assert!(nm.tally().insts > 0);
+        nm.reset_counts();
+        assert_eq!(nm.tally(), Hist::default());
+    }
+}

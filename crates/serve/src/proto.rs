@@ -27,6 +27,7 @@ use std::time::Duration;
 
 use sxe_core::Variant;
 use sxe_ir::Target;
+use sxe_jit::Backend;
 
 /// Maximum frame size (kind + payload) the protocol accepts: 16 MiB.
 pub const MAX_FRAME: usize = 16 << 20;
@@ -139,6 +140,11 @@ pub struct CompileRequest {
     /// Optional wall-clock budget in milliseconds (overrides the
     /// server's default; `0` disables the deadline).
     pub timeout_ms: Option<u64>,
+    /// Execution backend the artifact is requested for (wire header
+    /// `backend=vm|native`, default `vm` when absent — older clients
+    /// keep their exact key). Part of the cache identity: a native-era
+    /// request can never be answered from a VM-era entry.
+    pub backend: Backend,
     /// The module, in textual IR form.
     pub source: String,
 }
@@ -152,6 +158,7 @@ impl CompileRequest {
             target: Target::Ia64,
             fuel: None,
             timeout_ms: None,
+            backend: Backend::default(),
             source: source.into(),
         }
     }
@@ -349,6 +356,9 @@ impl Request {
                 if let Some(t) = c.timeout_ms {
                     let _ = writeln!(s, "timeout_ms={t}");
                 }
+                if c.backend != Backend::default() {
+                    let _ = writeln!(s, "backend={}", c.backend);
+                }
                 let _ = writeln!(s);
                 s.push_str(&c.source);
                 (REQ_COMPILE, s.into_bytes())
@@ -388,11 +398,16 @@ impl Request {
                     None => None,
                     Some(_) => Some(header_u64(&headers, "timeout_ms")?),
                 };
+                let backend = match header(&headers, "backend") {
+                    None => Backend::default(),
+                    Some(b) => b.parse().map_err(|e: String| perr(e))?,
+                };
                 Ok(Request::Compile(CompileRequest {
                     variant,
                     target,
                     fuel,
                     timeout_ms,
+                    backend,
                     source: body.to_string(),
                 }))
             }
@@ -531,6 +546,7 @@ mod tests {
             target: Target::Ppc64,
             fuel: Some(4096),
             timeout_ms: Some(250),
+            backend: Backend::Native,
             source: "func @f(i32) -> i32 {\nb0:\n    ret r0\n}\n".into(),
         }));
         roundtrip_request(&Request::Compile(CompileRequest::new("x\n\ny")));

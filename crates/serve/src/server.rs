@@ -38,7 +38,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sxe_ir::parse_module;
-use sxe_jit::artifact::artifact_key;
+use sxe_jit::artifact::artifact_key_for;
 use sxe_jit::{shard, Compiler};
 use sxe_telemetry::Telemetry;
 
@@ -349,7 +349,8 @@ fn dispatch_loop(shared: &Arc<Shared>) {
 }
 
 /// Compile (or replay) one request. Cache policy: look up by
-/// [`artifact_key`]; on a miss compile with the request's budget and
+/// [`artifact_key_for`] (which folds in the requested backend); on a
+/// miss compile with the request's budget and
 /// only insert when the report is clean — a salvaged partial
 /// optimization is served to its requester but never cached.
 fn compile_one(shared: &Arc<Shared>, req: &CompileRequest) -> Response {
@@ -358,7 +359,7 @@ fn compile_one(shared: &Arc<Shared>, req: &CompileRequest) -> Response {
         Err(e) => return Response::Error(format!("parse error: {e}")),
     };
     let compiler = Compiler::builder(req.variant).target(req.target).build();
-    let key = artifact_key(&compiler, &module);
+    let key = artifact_key_for(&compiler, req.backend, &module);
     {
         let mut store = shared.store.lock().unwrap();
         let cached = store.get(key);

@@ -52,6 +52,7 @@ mod error;
 mod exec;
 mod heap;
 mod machine;
+mod native_engine;
 mod vm;
 
 pub use counters::{mnemonic, op_index, Counters, SharedCounters, MNEMONICS};

@@ -1,0 +1,198 @@
+//! Glue for [`Engine::Native`](crate::Engine::Native): the runtime
+//! helpers and accounting callbacks injected into `sxe-native`.
+//!
+//! The native backend knows nothing about this VM — it calls back
+//! through the [`Helpers`] table for everything that must share state
+//! with the interpreter heap, and every helper reproduces the decoded
+//! engine's semantics *by calling the same code* ([`Heap::load_checked`]
+//! and friends), so the two execution paths cannot drift. Helpers signal
+//! traps by storing a trap code into the [`NativeCtx`]; the generated
+//! call site checks it immediately.
+//!
+//! Safety: `NativeCtx::user` carries a `*mut Heap` installed by
+//! [`crate::Vm::call`] for exactly the duration of one native run, and
+//! generated code is single-threaded, so each helper has exclusive
+//! access for its call.
+
+use sxe_ir::{eval, Target, TrapKind};
+use sxe_native::{code_elem, trap_code, Accounting, Helpers, NativeCtx};
+
+use crate::heap::Heap;
+
+/// Target flavour encoding for [`NativeCtx::target`].
+pub(crate) fn target_code(t: Target) -> u32 {
+    match t {
+        Target::Ia64 => 0,
+        Target::Ppc64 => 1,
+    }
+}
+
+fn ctx_target(ctx: &NativeCtx) -> Target {
+    if ctx.target == 0 {
+        Target::Ia64
+    } else {
+        Target::Ppc64
+    }
+}
+
+/// # Safety
+/// Only called from helpers invoked by generated code while the VM has
+/// parked a live `&mut Heap` in `ctx.user`.
+unsafe fn heap_mut<'a>(ctx: *mut NativeCtx) -> &'a mut Heap {
+    &mut *(*ctx).user.cast::<Heap>()
+}
+
+extern "C" fn aload(ctx: *mut NativeCtx, aref: i64, index: i64) -> i64 {
+    // SAFETY: see `heap_mut`.
+    unsafe {
+        let target = ctx_target(&*ctx);
+        match heap_mut(ctx).load_checked(aref, index, target) {
+            Ok(v) => v,
+            Err(k) => {
+                (*ctx).trap_kind = trap_code(k);
+                0
+            }
+        }
+    }
+}
+
+extern "C" fn astore(ctx: *mut NativeCtx, aref: i64, index: i64, value: i64) {
+    // SAFETY: see `heap_mut`.
+    unsafe {
+        if let Err(k) = heap_mut(ctx).store_checked(aref, index, value) {
+            (*ctx).trap_kind = trap_code(k);
+        }
+    }
+}
+
+extern "C" fn newarray(ctx: *mut NativeCtx, raw_len: i64, elem: u32) -> i64 {
+    // Length check is a 32-bit compare, exactly like the interpreters.
+    let l32 = raw_len as i32;
+    // SAFETY: see `heap_mut`.
+    unsafe {
+        if l32 < 0 {
+            (*ctx).trap_kind = trap_code(TrapKind::NegativeArraySize);
+            return 0;
+        }
+        match heap_mut(ctx).alloc(code_elem(elem), l32 as u32) {
+            Some(r) => r,
+            None => {
+                (*ctx).trap_kind = trap_code(TrapKind::ResourceExhausted);
+                0
+            }
+        }
+    }
+}
+
+extern "C" fn arraylen(ctx: *mut NativeCtx, aref: i64) -> i64 {
+    // SAFETY: see `heap_mut`.
+    unsafe {
+        match heap_mut(ctx).get(aref) {
+            Some(a) => i64::from(a.len()),
+            None => {
+                (*ctx).trap_kind = trap_code(TrapKind::WildAddress);
+                0
+            }
+        }
+    }
+}
+
+extern "C" fn d2i(x: f64) -> i64 {
+    eval::d2i(x)
+}
+
+extern "C" fn d2l(x: f64) -> i64 {
+    eval::d2l(x)
+}
+
+extern "C" fn frem(a: f64, b: f64) -> f64 {
+    // `eval::f64_bin(Rem)` is Rust `%` — IEEE remainder-by-truncation.
+    a % b
+}
+
+/// The helper table for this VM's heap and float semantics.
+pub(crate) fn helpers() -> Helpers {
+    Helpers { aload, astore, newarray, arraylen, d2i, d2l, frem }
+}
+
+/// Accounting callbacks: the VM's own cost model and mnemonic indexing,
+/// handed to the code generator so the per-segment histograms can never
+/// disagree with interpreter counters.
+pub(crate) fn accounting() -> Accounting {
+    Accounting { cost_of: crate::cost::cost_of, op_slot: crate::counters::op_index }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxe_ir::Ty;
+
+    fn ctx_with(heap: &mut Heap, target: Target) -> NativeCtx {
+        NativeCtx {
+            trap_kind: sxe_native::TRAP_NONE,
+            trap_site: 0,
+            fuel: 0,
+            depth: 0,
+            user: (heap as *mut Heap).cast(),
+            target: target_code(target),
+            _pad: 0,
+        }
+    }
+
+    #[test]
+    fn helpers_mirror_heap_semantics() {
+        let mut heap = Heap::new();
+        let mut ctx = ctx_with(&mut heap, Target::Ia64);
+        let h = helpers();
+        let aref = (h.newarray)(&mut ctx, 4, sxe_native::elem_code(Ty::I32));
+        assert_eq!(ctx.trap_kind, sxe_native::TRAP_NONE);
+        assert_eq!(aref, 1);
+        (h.astore)(&mut ctx, aref, 0, -1);
+        // Ia64 i32 loads zero-extend.
+        assert_eq!((h.aload)(&mut ctx, aref, 0), 0xFFFF_FFFF);
+        assert_eq!((h.arraylen)(&mut ctx, aref), 4);
+        // Ppc64 sign-extends the same element.
+        ctx.target = target_code(Target::Ppc64);
+        assert_eq!((h.aload)(&mut ctx, aref, 0), -1);
+        assert_eq!(ctx.trap_kind, sxe_native::TRAP_NONE);
+    }
+
+    #[test]
+    fn helpers_trap_like_the_interpreters() {
+        let mut heap = Heap::new();
+        let mut ctx = ctx_with(&mut heap, Target::Ia64);
+        let h = helpers();
+        let aref = (h.newarray)(&mut ctx, 2, sxe_native::elem_code(Ty::I64));
+        // Out of bounds on the low 32 bits.
+        (h.aload)(&mut ctx, aref, 2);
+        assert_eq!(sxe_native::code_trap(ctx.trap_kind), Some(TrapKind::IndexOutOfBounds));
+        ctx.trap_kind = sxe_native::TRAP_NONE;
+        // In-bounds low 32 bits but garbage upper bits: wild address.
+        (h.aload)(&mut ctx, aref, 1 | (1 << 32));
+        assert_eq!(sxe_native::code_trap(ctx.trap_kind), Some(TrapKind::WildAddress));
+        ctx.trap_kind = sxe_native::TRAP_NONE;
+        // Negative 32-bit length.
+        (h.newarray)(&mut ctx, -5, sxe_native::elem_code(Ty::I8));
+        assert_eq!(sxe_native::code_trap(ctx.trap_kind), Some(TrapKind::NegativeArraySize));
+        ctx.trap_kind = sxe_native::TRAP_NONE;
+        // Null reference.
+        (h.arraylen)(&mut ctx, 0);
+        assert_eq!(sxe_native::code_trap(ctx.trap_kind), Some(TrapKind::WildAddress));
+    }
+
+    #[test]
+    fn float_helpers_match_eval() {
+        let h = helpers();
+        assert_eq!((h.d2i)(f64::NAN), 0);
+        assert_eq!((h.d2i)(1e300), i64::from(i32::MAX));
+        assert_eq!((h.d2l)(-1e300), i64::MIN);
+        assert_eq!((h.frem)(7.5, 2.0), 7.5 % 2.0);
+    }
+
+    #[test]
+    fn hist_and_flat_counters_have_matching_shape() {
+        // `Hist::per_op` is folded index-for-index into
+        // `FlatCounters::per_op`; both must be MNEMONICS-shaped.
+        assert_eq!(sxe_native::Hist::default().per_op.len(), crate::MNEMONICS.len());
+    }
+}

@@ -51,6 +51,11 @@ pub struct OracleConfig {
     /// throughput comes from decoding each module once and resetting the
     /// VM between runs).
     pub engine: Engine,
+    /// Engine for the *right* side only, overriding [`OracleConfig::engine`]
+    /// when set. This turns the oracle into a cross-engine differential
+    /// harness — e.g. decoded on the left, [`Engine::Native`] on the
+    /// right — reusing the same comparison and replay machinery.
+    pub engine_right: Option<Engine>,
 }
 
 impl Default for OracleConfig {
@@ -60,6 +65,7 @@ impl Default for OracleConfig {
             fuel: 2_000_000,
             seed: 0xd1ff_5eed,
             engine: Engine::Decoded,
+            engine_right: None,
         }
     }
 }
@@ -97,6 +103,14 @@ impl OracleConfig {
     #[must_use]
     pub fn engine(mut self, engine: Engine) -> OracleConfig {
         self.engine = engine;
+        self
+    }
+
+    /// Set a different engine for the right side only (cross-engine
+    /// differential mode).
+    #[must_use]
+    pub fn engine_right(mut self, engine: Engine) -> OracleConfig {
+        self.engine_right = Some(engine);
         self
     }
 }
@@ -161,8 +175,9 @@ fn canonical_ret(ret: Option<i64>, ty: Option<Ty>) -> Option<i64> {
 
 /// Build one side's VM for a sweep: decode (for the decoded engine)
 /// happens here, once; every run then goes through [`Vm::reset`].
-fn sweep_vm<'m>(m: &'m Module, target: Target, config: &OracleConfig) -> Vm<'m> {
-    Vm::builder(m).target(target).engine(config.engine).fuel(config.fuel).build()
+fn sweep_vm<'m>(m: &'m Module, target: Target, config: &OracleConfig, right: bool) -> Vm<'m> {
+    let engine = if right { config.engine_right.unwrap_or(config.engine) } else { config.engine };
+    Vm::builder(m).target(target).engine(engine).fuel(config.fuel).build()
 }
 
 fn run_once(vm: &mut Vm, name: &str, args: &[i64], ret_ty: Option<Ty>) -> RunResult {
@@ -272,8 +287,8 @@ pub fn differential_check(
     target: Target,
     config: &OracleConfig,
 ) -> Result<usize, Mismatch> {
-    let mut lvm = sweep_vm(left, target, config);
-    let mut rvm = sweep_vm(right, target, config);
+    let mut lvm = sweep_vm(left, target, config, false);
+    let mut rvm = sweep_vm(right, target, config, true);
     let mut compared = 0;
     for (_, lf) in left.iter() {
         let Some(rid) = right.function_by_name(&lf.name) else { continue };
@@ -316,8 +331,8 @@ pub fn differential_replay(
     if right.function(rid).params.len() != lf.params.len() {
         return Ok(false);
     }
-    let mut lvm = sweep_vm(left, target, config);
-    let mut rvm = sweep_vm(right, target, config);
+    let mut lvm = sweep_vm(left, target, config, false);
+    let mut rvm = sweep_vm(right, target, config, true);
     match compare_one(&mut lvm, &mut rvm, config, lf, run)? {
         RunVerdict::Agree => Ok(true),
         RunVerdict::Skipped => Ok(false),
@@ -423,6 +438,18 @@ b0:
         );
         assert_eq!(decoded, tree);
         assert!(decoded.is_ok_and(|n| n > 0));
+    }
+
+    #[test]
+    fn cross_engine_mode_runs_native_on_the_right() {
+        let m = parse_module(GOOD).unwrap();
+        let config = OracleConfig::new().engine_right(Engine::Native);
+        let n = differential_check(&m, &m.clone(), Target::Ia64, &config)
+            .expect("decoded and native must agree");
+        assert!(n > 0);
+        // A genuine miscompile is still caught across engines.
+        let bad = parse_module(&GOOD.replace("const.i32 3", "const.i32 4")).unwrap();
+        assert!(differential_check(&m, &bad, Target::Ia64, &config).is_err());
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::exec::{run_decoded, ExecState};
 use crate::heap::Heap;
 use crate::machine::{BlockHook, Machine, Outcome, DEFAULT_FUEL};
 
-/// Which interpreter executes the module.
+/// Which engine executes the module.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum Engine {
     /// Pre-decoded op arrays with a tight dispatch loop and fused
@@ -35,6 +35,12 @@ pub enum Engine {
     Decoded,
     /// The tree-walking reference interpreter ([`Machine`]).
     Tree,
+    /// x86-64 native code compiled by `sxe-native`, with per-function
+    /// fallback to the decoded engine for anything the code generator
+    /// refuses (see [`Vm::native_refusals`]). Observably identical to
+    /// the interpreters except that fuel exhaustion is detected at
+    /// basic-block granularity.
+    Native,
 }
 
 impl std::fmt::Display for Engine {
@@ -42,6 +48,7 @@ impl std::fmt::Display for Engine {
         f.write_str(match self {
             Engine::Decoded => "decoded",
             Engine::Tree => "tree",
+            Engine::Native => "native",
         })
     }
 }
@@ -53,7 +60,10 @@ impl std::str::FromStr for Engine {
         match s {
             "decoded" => Ok(Engine::Decoded),
             "tree" => Ok(Engine::Tree),
-            other => Err(format!("unknown engine `{other}` (expected `decoded` or `tree`)")),
+            "native" => Ok(Engine::Native),
+            other => Err(format!(
+                "unknown engine `{other}` (expected `decoded`, `tree`, or `native`)"
+            )),
         }
     }
 }
@@ -227,18 +237,47 @@ impl<'m> VmBuilder<'m> {
                 }
                 Inner::Tree(m)
             }
-            Engine::Decoded => Inner::Decoded(DecodedState {
-                dm: decode_module(self.module),
-                st: ExecState {
-                    heap: Heap::new(),
-                    fuel: self.fuel,
-                    flat: FlatCounters::default(),
-                    profile: self.profile.then(profile_vecs),
-                    hook: self.hook,
-                    target: self.target,
-                },
-                counters: Counters::new(),
-            }),
+            Engine::Decoded | Engine::Native => {
+                let hooked = self.hook.is_some();
+                let dec = DecodedState {
+                    dm: decode_module(self.module),
+                    st: ExecState {
+                        heap: Heap::new(),
+                        fuel: self.fuel,
+                        flat: FlatCounters::default(),
+                        profile: self.profile.then(profile_vecs),
+                        hook: self.hook,
+                        target: self.target,
+                    },
+                    counters: Counters::new(),
+                };
+                if self.engine == Engine::Decoded {
+                    Inner::Decoded(dec)
+                } else {
+                    // Block hooks need per-block register snapshots the
+                    // generated code does not produce: fall back whole.
+                    let (nm, disabled) = if hooked {
+                        (
+                            None,
+                            Some(
+                                "a block hook is installed; native execution is disabled"
+                                    .to_string(),
+                            ),
+                        )
+                    } else {
+                        match sxe_native::compile(
+                            self.module,
+                            crate::native_engine::helpers(),
+                            crate::native_engine::accounting(),
+                            &sxe_native::CompileOpts::default(),
+                        ) {
+                            Ok(nm) => (Some(nm), None),
+                            Err(why) => (None, Some(why)),
+                        }
+                    };
+                    Inner::Native(NativeState { dec, nm, disabled })
+                }
+            }
         };
         Vm { module: self.module, fuel_tank: self.fuel, profile: self.profile, inner }
     }
@@ -252,9 +291,123 @@ struct DecodedState {
     counters: Counters,
 }
 
+impl DecodedState {
+    /// The decoded engine's call path, shared verbatim by
+    /// [`Engine::Decoded`] and [`Engine::Native`]'s fallback.
+    fn call(&mut self, func: FuncId, args: &[i64]) -> Result<Outcome, VmError> {
+        let canon = self.canonical_args(func, args);
+        let res = run_decoded(&self.dm, &mut self.st, func.index(), &canon);
+        // Fold counters even when the run trapped — partial
+        // executions count, exactly like the tree engine.
+        self.counters = self.st.flat.materialize();
+        match res {
+            Ok(ret) => Ok(Outcome { ret, heap_checksum: self.st.heap.checksum() }),
+            Err(t) => Err(VmError::Trap(t)),
+        }
+    }
+
+    /// Entry-boundary canonicalization: sign-extend narrow arguments,
+    /// the calling convention's invariant.
+    fn canonical_args(&self, func: FuncId, args: &[i64]) -> Vec<i64> {
+        args.iter()
+            .zip(&self.dm.funcs[func.index()].params)
+            .map(|(&v, &(_, w))| match w {
+                Some(w) => w.sign_extend(v),
+                None => v,
+            })
+            .collect()
+    }
+}
+
+struct NativeState {
+    /// Full decoded engine: the per-function fallback path, and the
+    /// owner of all observable state (heap, fuel, counters, profiles)
+    /// that native runs fold into.
+    dec: DecodedState,
+    /// The compiled module; `None` when native execution is disabled
+    /// wholesale (unsupported host, or a block hook is installed).
+    nm: Option<sxe_native::NativeModule>,
+    /// Why `nm` is `None`.
+    disabled: Option<String>,
+}
+
+impl NativeState {
+    /// Run `func` natively. Must only be called when
+    /// `nm.is_native(func)`.
+    fn call_native(
+        &mut self,
+        module: &Module,
+        func: FuncId,
+        args: &[i64],
+    ) -> Result<Outcome, VmError> {
+        let nm = self.nm.as_ref().expect("caller checked is_native");
+        let d = &mut self.dec;
+        let canon = d.canonical_args(func, args);
+        let mut ctx = sxe_native::NativeCtx {
+            trap_kind: sxe_native::TRAP_NONE,
+            trap_site: 0,
+            fuel: d.st.fuel,
+            depth: 0,
+            user: std::ptr::from_mut(&mut d.st.heap).cast(),
+            target: crate::native_engine::target_code(d.st.target),
+            _pad: 0,
+        };
+        let raw_ret = nm.run(func.index(), &canon, &mut ctx);
+        // Reconstruct exact counters: Σ segment-count × histogram, then
+        // fold the block-entry counts into the profile and zero the
+        // segment array for the next run.
+        let mut tally = nm.tally();
+        if let Some(p) = d.st.profile.as_mut() {
+            for (fi, per_block) in p.iter_mut().enumerate() {
+                if let Some(bc) = nm.block_counts(fi) {
+                    for (slot, c) in per_block.iter_mut().zip(bc) {
+                        *slot += c;
+                    }
+                }
+            }
+        }
+        nm.reset_counts();
+        let mut fuel = ctx.fuel;
+        let res = match sxe_native::code_trap(ctx.trap_kind) {
+            None => {
+                let ret = module.function(func).ret.is_some().then_some(raw_ret);
+                Ok(Outcome { ret, heap_checksum: d.st.heap.checksum() })
+            }
+            Some(kind) => {
+                // A trap mid-segment over-charged by the instructions
+                // after the faulting one: subtract the site's suffix and
+                // refund the same number of fuel units, restoring the
+                // interpreters' exact per-instruction accounting.
+                let site = nm.site(ctx.trap_site);
+                tally.subtract(&site.suffix);
+                fuel += site.suffix.insts;
+                let func = FuncId(site.func);
+                Err(VmError::Trap(Trap {
+                    kind,
+                    func,
+                    func_name: module.function(func).name.clone(),
+                    at: site.at,
+                }))
+            }
+        };
+        d.st.fuel = fuel;
+        d.st.flat.insts += tally.insts;
+        d.st.flat.cycles += tally.cycles;
+        for (a, b) in d.st.flat.extends.iter_mut().zip(tally.extends) {
+            *a += b;
+        }
+        for (a, b) in d.st.flat.per_op.iter_mut().zip(tally.per_op) {
+            *a += b;
+        }
+        d.counters = d.st.flat.materialize();
+        res
+    }
+}
+
 enum Inner<'m> {
     Tree(Machine<'m>),
     Decoded(DecodedState),
+    Native(NativeState),
 }
 
 /// A virtual machine over one module; build with [`Vm::builder`].
@@ -294,7 +447,56 @@ impl<'m> Vm<'m> {
         match self.inner {
             Inner::Tree(_) => Engine::Tree,
             Inner::Decoded(_) => Engine::Decoded,
+            Inner::Native(_) => Engine::Native,
         }
+    }
+
+    /// On [`Engine::Native`]: every function that fell back to the
+    /// decoded engine, as `(function name, reason)` pairs. Empty on
+    /// fully-native modules and on the other engines.
+    #[must_use]
+    pub fn native_refusals(&self) -> Vec<(String, String)> {
+        let Inner::Native(n) = &self.inner else {
+            return Vec::new();
+        };
+        match (&n.nm, &n.disabled) {
+            (Some(nm), _) => self
+                .module
+                .functions
+                .iter()
+                .enumerate()
+                .filter_map(|(i, f)| nm.refusal(i).map(|r| (f.name.clone(), r.to_string())))
+                .collect(),
+            (None, Some(why)) => self
+                .module
+                .functions
+                .iter()
+                .map(|f| (f.name.clone(), why.clone()))
+                .collect(),
+            (None, None) => Vec::new(),
+        }
+    }
+
+    /// On [`Engine::Native`]: per natively-compiled function, the
+    /// machine-code size and the bytes of it attributable to `Extend`
+    /// instructions — the wall-clock experiment's "eliminated `movsxd`
+    /// bytes" metric. `(name, code_bytes, extend_bytes)` tuples; empty
+    /// on other engines.
+    #[must_use]
+    pub fn native_code_stats(&self) -> Vec<(String, usize, usize)> {
+        let Inner::Native(n) = &self.inner else {
+            return Vec::new();
+        };
+        let Some(nm) = &n.nm else {
+            return Vec::new();
+        };
+        self.module
+            .functions
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| nm.is_native(i))
+            .map(|(i, f)| (f.name.clone(), nm.code_bytes(i), nm.extend_bytes(i)))
+            .collect()
     }
 
     /// Run the function named `name`.
@@ -327,22 +529,15 @@ impl<'m> Vm<'m> {
         }
         match &mut self.inner {
             Inner::Tree(m) => m.call(func, args).map_err(VmError::from),
-            Inner::Decoded(d) => {
-                let canon: Vec<i64> = args
-                    .iter()
-                    .zip(&d.dm.funcs[func.index()].params)
-                    .map(|(&v, &(_, w))| match w {
-                        Some(w) => w.sign_extend(v),
-                        None => v,
-                    })
-                    .collect();
-                let res = run_decoded(&d.dm, &mut d.st, func.index(), &canon);
-                // Fold counters even when the run trapped — partial
-                // executions count, exactly like the tree engine.
-                d.counters = d.st.flat.materialize();
-                match res {
-                    Ok(ret) => Ok(Outcome { ret, heap_checksum: d.st.heap.checksum() }),
-                    Err(t) => Err(VmError::Trap(t)),
+            Inner::Decoded(d) => d.call(func, args),
+            Inner::Native(n) => {
+                if n.nm.as_ref().is_some_and(|nm| nm.is_native(func.index())) {
+                    n.call_native(self.module, func, args)
+                } else {
+                    // Per-entry-function fallback: anything the code
+                    // generator refused runs on the decoded engine,
+                    // folding into the same observable state.
+                    n.dec.call(func, args)
                 }
             }
         }
@@ -355,6 +550,7 @@ impl<'m> Vm<'m> {
         match &self.inner {
             Inner::Tree(m) => &m.counters,
             Inner::Decoded(d) => &d.counters,
+            Inner::Native(n) => &n.dec.counters,
         }
     }
 
@@ -364,7 +560,9 @@ impl<'m> Vm<'m> {
     pub fn profile_counts(&self, func: FuncId) -> Option<&[u64]> {
         match &self.inner {
             Inner::Tree(m) => m.profile_counts(func),
-            Inner::Decoded(d) => d.st.profile.as_ref().map(|p| p[func.index()].as_slice()),
+            Inner::Decoded(d) | Inner::Native(NativeState { dec: d, .. }) => {
+                d.st.profile.as_ref().map(|p| p[func.index()].as_slice())
+            }
         }
     }
 
@@ -373,7 +571,7 @@ impl<'m> Vm<'m> {
     pub fn heap(&self) -> &Heap {
         match &self.inner {
             Inner::Tree(m) => m.heap(),
-            Inner::Decoded(d) => &d.st.heap,
+            Inner::Decoded(d) | Inner::Native(NativeState { dec: d, .. }) => &d.st.heap,
         }
     }
 
@@ -382,7 +580,7 @@ impl<'m> Vm<'m> {
     pub fn fuel_remaining(&self) -> u64 {
         match &self.inner {
             Inner::Tree(m) => m.fuel(),
-            Inner::Decoded(d) => d.st.fuel,
+            Inner::Decoded(d) | Inner::Native(NativeState { dec: d, .. }) => d.st.fuel,
         }
     }
 
@@ -396,7 +594,7 @@ impl<'m> Vm<'m> {
                 m.reset();
                 m.set_fuel(self.fuel_tank);
             }
-            Inner::Decoded(d) => {
+            Inner::Decoded(d) | Inner::Native(NativeState { dec: d, .. }) => {
                 d.st.heap = Heap::new();
                 d.st.fuel = self.fuel_tank;
                 d.st.flat.clear();
@@ -407,6 +605,9 @@ impl<'m> Vm<'m> {
                     }
                 }
             }
+        }
+        if let Inner::Native(NativeState { nm: Some(nm), .. }) = &self.inner {
+            nm.reset_counts();
         }
     }
 }
@@ -441,8 +642,11 @@ b0:
     fn engines_agree_on_outcome_counters_and_profile() {
         let m = parse_module(LOOPY).unwrap();
         let mut outs = Vec::new();
-        for engine in [Engine::Decoded, Engine::Tree] {
+        for engine in [Engine::Decoded, Engine::Tree, Engine::Native] {
             let mut vm = Vm::builder(&m).engine(engine).profile(true).build();
+            if engine == Engine::Native {
+                assert_eq!(vm.native_refusals(), Vec::new());
+            }
             let out = vm.run("main", &[5]).expect("no trap");
             let main = m.function_by_name("main").unwrap();
             outs.push((
@@ -452,6 +656,7 @@ b0:
             ));
         }
         assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[0], outs[2]);
         assert_eq!(outs[0].0.ret, Some(2));
         // The fused back-edge still counts its components: 4 loop
         // extends + 1 in @double.
@@ -462,7 +667,7 @@ b0:
     #[test]
     fn unknown_function_is_a_typed_error() {
         let m = parse_module(LOOPY).unwrap();
-        for engine in [Engine::Decoded, Engine::Tree] {
+        for engine in [Engine::Decoded, Engine::Tree, Engine::Native] {
             let mut vm = Vm::builder(&m).engine(engine).build();
             let err = vm.run("nope", &[]).unwrap_err();
             assert_eq!(err, VmError::UnknownFunction { name: "nope".into() });
@@ -532,7 +737,7 @@ b0:
     fn narrow_args_are_canonicalized_on_both_engines() {
         let src = "func @f(i32) -> f64 {\nb0:\n    r1 = i32tof64.f64 r0\n    ret r1\n}\n";
         let m = parse_module(src).unwrap();
-        for engine in [Engine::Decoded, Engine::Tree] {
+        for engine in [Engine::Decoded, Engine::Tree, Engine::Native] {
             let mut vm = Vm::builder(&m).engine(engine).build();
             let out = vm.run("f", &[0xFFFF_FFFF]).unwrap(); // -1 unextended
             assert_eq!(f64::from_bits(out.ret.unwrap() as u64), -1.0, "{engine}");
@@ -540,11 +745,67 @@ b0:
     }
 
     #[test]
+    fn native_fuel_exhaustion_is_block_granular() {
+        let src = "func @f() {\nb0:\n    br b0\n}\n";
+        let m = parse_module(src).unwrap();
+        let mut vm = Vm::builder(&m).engine(Engine::Native).fuel(1000).build();
+        assert!(vm.native_refusals().is_empty());
+        let err = vm.run("f", &[]).unwrap_err();
+        assert_eq!(err.trap_kind(), Some(sxe_ir::TrapKind::ResourceExhausted));
+        assert_eq!(vm.fuel_remaining(), 0);
+        // The cutoff is per accounting segment, so the counters may
+        // overshoot the budget by up to one segment (here: one `br`).
+        assert!(vm.counters().insts >= 1000 && vm.counters().insts <= 1001);
+    }
+
+    #[test]
+    fn native_reset_clears_jit_tallies_too() {
+        let m = parse_module(LOOPY).unwrap();
+        let mut vm =
+            Vm::builder(&m).engine(Engine::Native).profile(true).fuel(10_000).build();
+        vm.run("main", &[5]).unwrap();
+        let first = (vm.counters().clone(), vm.fuel_remaining());
+        vm.reset();
+        assert_eq!(vm.counters().insts, 0);
+        assert_eq!(vm.fuel_remaining(), 10_000);
+        vm.run("main", &[5]).unwrap();
+        assert_eq!((vm.counters().clone(), vm.fuel_remaining()), first);
+    }
+
+    #[test]
+    fn block_hook_disables_native_compilation() {
+        let m = parse_module(LOOPY).unwrap();
+        let mut vm = Vm::builder(&m)
+            .engine(Engine::Native)
+            .block_hook(Box::new(|_, _, _| {}))
+            .build();
+        let refusals = vm.native_refusals();
+        assert_eq!(refusals.len(), m.functions.len());
+        assert!(refusals[0].1.contains("hook"));
+        // Everything still runs correctly on the decoded fallback.
+        assert_eq!(vm.run("main", &[5]).unwrap().ret, Some(2));
+    }
+
+    #[test]
+    fn native_code_stats_report_extend_bytes() {
+        let m = parse_module(LOOPY).unwrap();
+        let vm = Vm::builder(&m).engine(Engine::Native).build();
+        let stats = vm.native_code_stats();
+        assert_eq!(stats.len(), 2);
+        let main = stats.iter().find(|s| s.0 == "main").unwrap();
+        assert!(main.1 > 0, "code bytes");
+        assert!(main.2 > 0, "LOOPY's @main keeps an extend, so bytes > 0");
+        assert!(main.2 < main.1);
+    }
+
+    #[test]
     fn engine_parses_and_displays() {
         assert_eq!("decoded".parse::<Engine>(), Ok(Engine::Decoded));
         assert_eq!("tree".parse::<Engine>(), Ok(Engine::Tree));
+        assert_eq!("native".parse::<Engine>(), Ok(Engine::Native));
         assert!("fast".parse::<Engine>().is_err());
         assert_eq!(Engine::Decoded.to_string(), "decoded");
+        assert_eq!(Engine::Native.to_string(), "native");
         assert_eq!(Engine::default(), Engine::Decoded);
     }
 }

@@ -77,6 +77,34 @@ fn same_name_different_body_is_a_miss_not_a_stale_hit() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The backend is part of the artifact identity: after the native
+/// x86-64 backend joined the VM, a cache populated by VM-era requests
+/// must never answer a native-era request for the same body — and the
+/// two backends keep hitting their *own* entries independently.
+#[test]
+fn vm_and_native_backend_requests_never_share_cache_entries() {
+    let (server, client, dir) = start("backend", ServeConfig::default());
+    let native = |src: &str| {
+        CompileRequest { backend: sxe_jit::Backend::Native, ..CompileRequest::new(src) }
+    };
+    let (o1, a1) = compiled(client.compile_once(&CompileRequest::new(BODY_A)).unwrap());
+    let (o2, a2) = compiled(client.compile_once(&CompileRequest::new(BODY_A)).unwrap());
+    assert_eq!((o1, o2), (CacheOutcome::Miss, CacheOutcome::Hit));
+    // Same body, native backend: a MISS with its own key, never A's entry.
+    let (o3, a3) = compiled(client.compile_once(&native(BODY_A)).unwrap());
+    assert_eq!(o3, CacheOutcome::Miss, "a VM-era entry must not serve a native-era request");
+    assert_ne!(a3.key, a1.key, "backend must be folded into the key");
+    // Both backends now hit their own entries.
+    let (o4, a4) = compiled(client.compile_once(&native(BODY_A)).unwrap());
+    let (o5, a5) = compiled(client.compile_once(&CompileRequest::new(BODY_A)).unwrap());
+    assert_eq!((o4, o5), (CacheOutcome::Hit, CacheOutcome::Hit));
+    assert_eq!(a4, a3);
+    assert_eq!(a5, a2);
+    client.shutdown().unwrap();
+    server.wait();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// The AnalysisCache companion property: rewriting a function bumps its
 /// generation and invalidates its facts, and a function whose body
 /// changed under the same name is a fingerprint miss, not a stale hit.

@@ -9,7 +9,12 @@
 # clean drain, overload shedding with typed refusals), and the VM gate
 # (engine-identity suite: decoded vs tree observably identical on all
 # 17 workloads, fuel cutoffs, and a seeded fuzz sweep; vmbench decoded
-# throughput at least 3x the tree-walking oracle).
+# throughput at least 3x the tree-walking oracle), and the native gate
+# (native-identity suite: the sxe-native x86-64 JIT observably identical
+# to the decoded engine on all 17 workloads x both targets x both
+# compile variants plus a fuzz sweep; a native-vs-decoded differential
+# fuzz campaign; nativebench native throughput at least 2x the decoded
+# interpreter on the integer workloads).
 #
 #   ./tier1.sh            # everything
 #   ./tier1.sh --fast     # skip the determinism/chaos/telemetry/fuzz/serve sweeps
@@ -26,7 +31,7 @@ cargo test -q
 echo "== tier1: clippy -D warnings (touched crates)"
 cargo clippy -q -p sxe-ir -p sxe-analysis -p sxe-core -p sxe-opt -p sxe-vm \
     -p sxe-jit -p sxe-bench -p sxe-telemetry -p sxe-fuzz -p sxe-serve \
-    -p xelim-integration-tests --all-targets -- -D warnings
+    -p sxe-native -p xelim-integration-tests --all-targets -- -D warnings
 
 if [ "${1:-}" != "--fast" ]; then
     echo "== tier1: sharded determinism (threads 1 vs 4, 17 workloads)"
@@ -76,6 +81,15 @@ if [ "${1:-}" != "--fast" ]; then
 
     echo "== tier1: vmbench gate (decoded >= 3x tree aggregate throughput)"
     cargo run -q --release -p sxe-bench --bin vmbench -- --scale 0.25 --repeats 3 --gate 3
+
+    echo "== tier1: native identity (native vs decoded: outcome, trap kind, counters, profiles)"
+    cargo test -q -p xelim-integration-tests --release --test native_identity
+
+    echo "== tier1: native differential fuzz (256 modules, decoded reference vs native execution)"
+    cargo run -q --release -p sxe-bench --bin fuzz -- --count 256 --exec native --oracle-runs 8
+
+    echo "== tier1: nativebench gate (native >= 2x decoded aggregate throughput, integer workloads)"
+    cargo run -q --release -p sxe-bench --bin nativebench -- --scale 0.25 --repeats 3 --gate 2
 fi
 
 echo "== tier1: OK"
