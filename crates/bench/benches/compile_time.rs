@@ -11,7 +11,7 @@ use sxe_opt::GeneralOpts;
 fn prepared_function() -> sxe_ir::Function {
     let mut m = sxe_workloads::by_name("compress").expect("exists").build(256);
     sxe_core::convert_module(&mut m, Target::Ia64, GenStrategy::AfterDef);
-    sxe_opt::run_module(&mut m, &GeneralOpts::default());
+    sxe_opt::run_module(&mut m, &GeneralOpts::default(), Target::Ia64);
     let id = m.function_by_name("main").expect("main");
     m.function(id).clone()
 }
@@ -29,7 +29,7 @@ fn main() {
     sxe_core::convert_module(&mut converted, Target::Ia64, GenStrategy::AfterDef);
     bench_loop("step2_general_opts", 3, 20, || {
         let mut m = converted.clone();
-        sxe_opt::run_module(&mut m, &GeneralOpts::default())
+        sxe_opt::run_module(&mut m, &GeneralOpts::default(), Target::Ia64)
     });
 
     let cfg = Cfg::compute(&prepared);

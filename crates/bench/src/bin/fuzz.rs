@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p sxe-bench --bin fuzz -- \
-//!     [--count N] [--seed S] [--threads T] [--target ppc64] \
+//!     [--count N] [--seed S] [--threads T] [--target ia64|ppc64|mips64] \
 //!     [--exec native] [--chaos | --plant] [--no-reduce] [--out DIR] \
 //!     [--oracle-runs N] [--oracle-fuel N] [--oracle-seed S] \
 //!     [--metrics FILE] [--module-seed S]
@@ -54,8 +54,8 @@ fn parse_u64(s: &str) -> Option<u64> {
 fn repro_command(module_seed: u64, config: &FuzzConfig) -> String {
     let mut c = sxe_bench::cmdline::ReproCmd::new("sxe-bench", "fuzz")
         .opt_hex("--module-seed", module_seed);
-    if config.target == Target::Ppc64 {
-        c = c.opt("--target", "ppc64");
+    if config.target != Target::default() {
+        c = c.opt("--target", config.target);
     }
     if config.plant {
         c = c.flag("--plant");
@@ -123,7 +123,7 @@ fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut metrics: Option<String> = None;
     let mut single: Option<u64> = None;
-    let usage = "usage: fuzz [--count N] [--seed S] [--threads T] [--target ia64|ppc64] \
+    let usage = "usage: fuzz [--count N] [--seed S] [--threads T] [--target ia64|ppc64|mips64] \
                  [--exec decoded|tree|native] [--chaos] [--plant] [--no-reduce] [--out DIR] \
                  [--oracle-runs N] [--oracle-fuel N] [--oracle-seed S] [--metrics FILE] \
                  [--module-seed S]";
@@ -151,11 +151,14 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
-            "--target" => match it.next().as_deref() {
-                Some("ia64") => config.target = Target::Ia64,
-                Some("ppc64") => config.target = Target::Ppc64,
-                _ => {
-                    eprintln!("--target needs ia64 or ppc64");
+            "--target" => match it.next().as_deref().map(str::parse::<Target>) {
+                Some(Ok(t)) => config.target = t,
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("--target needs ia64, ppc64, or mips64");
                     return ExitCode::from(2);
                 }
             },

@@ -309,6 +309,46 @@ mod tests {
     }
 
     #[test]
+    fn mips64_alu_results_are_born_extended() {
+        // Every true 32-bit ALU op canonicalizes on MIPS64, so the
+        // conversion that generates one extension per arithmetic def on
+        // IA64 generates none at all there.
+        let src = "func @f(i32, i32) -> f64 {\n\
+             b0:\n    r2 = add.i32 r0, r1\n    r3 = sub.i32 r2, r0\n    r4 = i32tof64.f64 r3\n    ret r4\n}\n";
+        let mut fi = parse_function(src).unwrap();
+        assert_eq!(convert_function(&mut fi, Target::Ia64, GenStrategy::AfterDef), 2);
+        let mut fm = parse_function(src).unwrap();
+        assert_eq!(convert_function(&mut fm, Target::Mips64, GenStrategy::AfterDef), 0);
+        assert!(fully_extended(&fm, Target::Mips64));
+        // Bitwise ops have no 32-bit MIPS forms: `or` still needs its
+        // extension when the result feeds a Required use.
+        let src = "func @f(i32, i32) -> f64 {\n\
+             b0:\n    r2 = or.i32 r0, r1\n    r3 = i32tof64.f64 r2\n    ret r3\n}\n";
+        let mut fm = parse_function(src).unwrap();
+        // Params arrive extended, and or preserves extension — so even
+        // this generates nothing; force the issue with an add feeding or.
+        assert_eq!(convert_function(&mut fm, Target::Mips64, GenStrategy::AfterDef), 0);
+        let src = "func @f(i32) -> f64 {\n\
+             b0:\n    r1 = shru.i32 r0, r0\n    r2 = or.i32 r1, r0\n    r3 = i32tof64.f64 r2\n    ret r3\n}\n";
+        let mut fm = parse_function(src).unwrap();
+        // shru is canonical (extended) on MIPS64 and r0 arrives extended,
+        // so or of the two is still extended: no residue.
+        assert_eq!(convert_function(&mut fm, Target::Mips64, GenStrategy::AfterDef), 0);
+        let mut fi = parse_function(src).unwrap();
+        // On IA64 the shru result is only upper-zero, not sign-extended,
+        // so it needs the one extension MIPS64 gets for free.
+        assert_eq!(convert_function(&mut fi, Target::Ia64, GenStrategy::AfterDef), 1);
+    }
+
+    #[test]
+    fn mips64_i32_load_needs_no_extension() {
+        let src = "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = newarray.i32 r0\n    r2 = aload.i32 r1, r0\n    ret r2\n}\n";
+        let mut fm = parse_function(src).unwrap();
+        assert_eq!(convert_function(&mut fm, Target::Mips64, GenStrategy::AfterDef), 0);
+    }
+
+    #[test]
     fn gen_use_extends_before_required_use() {
         let mut f = parse_function(
             "func @f(i32, i32) -> f64 {\n\

@@ -5,7 +5,7 @@
 //! the two can never disagree about the (deliberately modelled) garbage
 //! upper bits of 32-bit results.
 
-use crate::types::{Cond, Ty, Width};
+use crate::types::{Cond, Target, Ty, Width};
 use crate::BinOp;
 
 /// Evaluate an integer binary op at width `ty` on raw register values.
@@ -54,6 +54,50 @@ pub fn int_bin(op: BinOp, a: i64, b: i64, ty: Ty) -> Option<i64> {
             }
         }
     })
+}
+
+/// Whether `op` at width `ty` is a *canonicalizing* 32-bit op on MIPS64.
+///
+/// MIPS64 has true 32-bit forms of the arithmetic and shift ops
+/// (`addu`/`subu`/`mul`/`div`/`mod`/`sll`/`sra`/`srl`): each reads the
+/// sign-extended low words and writes its result sign-extended from
+/// bit 31. The bitwise ops have no 32-bit forms — they are full 64-bit
+/// register ops on every MIPS — so they keep the raw semantics.
+#[inline]
+#[must_use]
+fn mips64_canonicalizes(op: BinOp, ty: Ty) -> bool {
+    ty != Ty::I64 && !matches!(op, BinOp::And | BinOp::Or | BinOp::Xor)
+}
+
+/// Target-aware [`int_bin`]: identical on IA64/PPC64 (raw 64-bit
+/// arithmetic with modelled garbage upper bits), but on MIPS64 the
+/// canonicalizing 32-bit ops compute from the sign-extended low words and
+/// sign-extend the result from bit 31 — the hardware's canonical-form
+/// invariant. `INT_MIN / -1` still wraps to `INT_MIN` (the 64-bit quotient
+/// `+2^31` sign-extends from bit 31 back to `INT_MIN`), and the
+/// divide-by-zero check applies to the canonicalized low word, which has
+/// the same zeroness as the raw one.
+#[inline]
+#[must_use]
+pub fn int_bin_on(op: BinOp, a: i64, b: i64, ty: Ty, target: Target) -> Option<i64> {
+    if target == Target::Mips64 && mips64_canonicalizes(op, ty) {
+        let v = int_bin(op, a as i32 as i64, b as i32 as i64, ty)?;
+        return Some(v as i32 as i64);
+    }
+    int_bin(op, a, b, ty)
+}
+
+/// Target-aware integer negation at width `ty`: raw 64-bit negate on
+/// IA64/PPC64; on MIPS64 a narrow negate is `subu $0, v` and therefore
+/// canonicalizes its result like every other 32-bit ALU op.
+#[inline]
+#[must_use]
+pub fn int_neg_on(v: i64, ty: Ty, target: Target) -> i64 {
+    if target == Target::Mips64 && ty != Ty::I64 {
+        (v as i32).wrapping_neg() as i64
+    } else {
+        v.wrapping_neg()
+    }
 }
 
 /// Evaluate a float binary op. Non-arithmetic ops (bitwise on floats) are
@@ -178,6 +222,57 @@ mod tests {
         assert_eq!(d2i(1e10), i32::MAX as i64);
         assert_eq!(d2i(-1e10), i32::MIN as i64);
         assert_eq!(d2i(-3.7), -3);
+    }
+
+    #[test]
+    fn mips64_alu_results_are_canonical() {
+        // The overflow case that stays raw elsewhere sign-extends on MIPS64.
+        let r = int_bin_on(BinOp::Add, i32::MAX as i64, 1, Ty::I32, Target::Mips64).unwrap();
+        assert_eq!(r, i32::MIN as i64);
+        assert_eq!(
+            int_bin_on(BinOp::Add, i32::MAX as i64, 1, Ty::I32, Target::Ia64),
+            int_bin(BinOp::Add, i32::MAX as i64, 1, Ty::I32)
+        );
+        // Inputs are read as their sign-extended low words: garbage upper
+        // bits of an operand never leak into a 32-bit result.
+        let garbage = 0x1234_5678_0000_0003_i64;
+        let r = int_bin_on(BinOp::Mul, garbage, 5, Ty::I32, Target::Mips64).unwrap();
+        assert_eq!(r, 15);
+        // srl: the shifted word is sign-extended from bit 31, not zero-extended.
+        let r = int_bin_on(BinOp::Shru, -1, 0, Ty::I32, Target::Mips64).unwrap();
+        assert_eq!(r, -1);
+        assert_eq!(int_bin_on(BinOp::Shru, -1, 0, Ty::I32, Target::Ia64).unwrap(), 0xFFFF_FFFF);
+        // Bitwise ops have no 32-bit MIPS forms: raw on every target.
+        let r = int_bin_on(BinOp::Or, garbage, 0, Ty::I32, Target::Mips64).unwrap();
+        assert_eq!(r, garbage);
+    }
+
+    #[test]
+    fn mips64_divide_edge_cases() {
+        // INT_MIN / -1 wraps to INT_MIN, now in canonical (sign-extended) form.
+        let r = int_bin_on(BinOp::Div, i32::MIN as i64, -1, Ty::I32, Target::Mips64).unwrap();
+        assert_eq!(r, i32::MIN as i64);
+        // The zero check reads the canonicalized low word.
+        assert_eq!(int_bin_on(BinOp::Div, 1, 0x1_0000_0000, Ty::I32, Target::Mips64), None);
+        assert_eq!(int_bin_on(BinOp::Rem, 1, 0, Ty::I32, Target::Mips64), None);
+        // 64-bit ops are untouched.
+        assert_eq!(
+            int_bin_on(BinOp::Div, 1, 0x1_0000_0000, Ty::I64, Target::Mips64),
+            int_bin(BinOp::Div, 1, 0x1_0000_0000, Ty::I64)
+        );
+    }
+
+    #[test]
+    fn neg_canonicalizes_only_on_mips64() {
+        let v = 0x7fff_ffff_i64;
+        // negu is subu $0, v: result sign-extended from bit 31.
+        assert_eq!(int_neg_on(v, Ty::I32, Target::Mips64), -0x7fff_ffff);
+        assert_eq!(int_neg_on(i32::MIN as i64, Ty::I32, Target::Mips64), i32::MIN as i64);
+        assert_eq!(int_neg_on(v, Ty::I32, Target::Ia64), -0x7fff_ffff);
+        let garbage = 0x1_0000_0001_i64;
+        assert_eq!(int_neg_on(garbage, Ty::I32, Target::Mips64), -1);
+        assert_eq!(int_neg_on(garbage, Ty::I32, Target::Ppc64), garbage.wrapping_neg());
+        assert_eq!(int_neg_on(garbage, Ty::I64, Target::Mips64), garbage.wrapping_neg());
     }
 
     #[test]

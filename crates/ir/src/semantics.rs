@@ -12,12 +12,14 @@
 //!   about bits `>= w` of its destination? This is the paper's `AnalyzeDEF`
 //!   case analysis.
 //!
-//! The machine model: registers are 64-bit; an operation at [`Ty::I32`]
-//! performs the full 64-bit operation on raw register values (its low
-//! 32 result bits always equal the true 32-bit result); 32-bit compares
-//! (IA64 `cmp4` / PPC `cmpw`) read only the low 32 bits; array bounds
-//! checks use such compares, while the effective address uses the full
-//! register (IA64 `shladd`).
+//! The machine model: registers are 64-bit; on IA64/PPC64 an operation at
+//! [`Ty::I32`] performs the full 64-bit operation on raw register values
+//! (its low 32 result bits always equal the true 32-bit result), while on
+//! MIPS64 the true 32-bit ALU ops read the sign-extended low words and
+//! write canonically sign-extended results; 32-bit compares (IA64 `cmp4` /
+//! PPC `cmpw`) read only the low 32 bits; array bounds checks use such
+//! compares, while the effective address uses the full register (IA64
+//! `shladd`).
 
 use crate::inst::{BinOp, Inst, Reg, UnOp};
 use crate::types::{Target, Ty, Width};
@@ -260,6 +262,11 @@ pub fn def_facts(
                 sign_extended: src_facts(src).sign_extended,
                 upper_zero: false,
             },
+            // MIPS64 negu is `subu $0, v` — a canonicalizing 32-bit ALU op,
+            // so its result is born sign-extended from bit 31.
+            UnOp::Neg if target == Target::Mips64 && ty.is_narrow_int() => {
+                ExtFacts { sign_extended: wb == 32, upper_zero: false }
+            }
             // d2i produces a saturated, sign-extended i32.
             UnOp::F64ToI32 => {
                 if wb >= 32 {
@@ -270,6 +277,29 @@ pub fn def_facts(
             }
             _ => ExtFacts::NONE,
         },
+        // MIPS64 canonical-form invariant: every true 32-bit ALU op
+        // (`addu`/`subu`/`mul`/`div`/`mod`/`sll`/`sra`/`srl`) reads the
+        // sign-extended low words and writes its result sign-extended from
+        // bit 31 — so at query width 32 the destination is EXTENDED no
+        // matter what the inputs hold. Bitwise ops are excluded: MIPS has
+        // no 32-bit `and`/`or`/`xor` forms, they stay raw 64-bit register
+        // ops and fall through to the target-independent analysis below.
+        Inst::Bin { op, ty, lhs, .. }
+            if target == Target::Mips64
+                && ty.is_narrow_int()
+                && !matches!(op, BinOp::And | BinOp::Or | BinOp::Xor) =>
+        {
+            // Refinement: a canonical remainder, arithmetic shift, or
+            // logical shift of a non-negative (at w) dividend stays
+            // non-negative, so the upper bits are also zero.
+            let upper_zero = wb == 32
+                && matches!(op, BinOp::Rem | BinOp::Shr | BinOp::Shru)
+                && {
+                    let l = src_facts(lhs);
+                    l.sign_extended && l.upper_zero
+                };
+            ExtFacts { sign_extended: wb == 32, upper_zero }
+        }
         Inst::Bin { op, ty, lhs, rhs, .. } if ty != Ty::F64 => match op {
             BinOp::And => {
                 let l = src_facts(lhs);
@@ -331,8 +361,8 @@ pub fn def_facts(
             Ty::I32 if wb == 32 => match target {
                 // The paper's IA64 premise: memory reads zero-extend.
                 Target::Ia64 => ExtFacts::UPPER_ZERO,
-                // PPC64 `lwa`: implicit sign extension.
-                Target::Ppc64 => ExtFacts::EXTENDED,
+                // PPC64 `lwa` and MIPS64 `lw`: implicit sign extension.
+                Target::Ppc64 | Target::Mips64 => ExtFacts::EXTENDED,
             },
             _ => ExtFacts::NONE,
         },

@@ -252,15 +252,21 @@ impl fmt::Display for Cond {
 
 /// Target 64-bit architecture flavour.
 ///
-/// The two flavours differ exactly where the paper says they do:
+/// The flavours differ exactly where the paper says they do:
 ///
 /// * [`Target::Ia64`] zero-extends 32-bit memory reads (no *implicit sign
 ///   extension*), so a loaded `int` has its upper 32 bits cleared but is not
 ///   sign-extended.
 /// * [`Target::Ppc64`] has the `lwa` load-word-algebraic instruction, so a
-///   loaded `int` arrives sign-extended.
+///   loaded `int` arrives sign-extended; arithmetic is otherwise raw 64-bit.
+/// * [`Target::Mips64`] enforces the MIPS canonical-form invariant: every
+///   true 32-bit ALU op (`addu`/`subu`/`mul`/`div`/`sll`/`sra`/`srl`)
+///   computes on the sign-extended low words and writes its result
+///   sign-extended from bit 31, and 32-bit loads (`lw`) sign-extend. Only
+///   the bitwise ops (`and`/`or`/`xor`/`nor`), which have no 32-bit forms,
+///   stay raw 64-bit register ops.
 ///
-/// Both targets have a 32-bit compare that ignores the upper halves of its
+/// All targets have a 32-bit compare that ignores the upper halves of its
 /// operands, so array bounds checks never require an extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Target {
@@ -269,6 +275,15 @@ pub enum Target {
     Ia64,
     /// PowerPC 64: sign-extending `lwa` loads, explicit `exts*`.
     Ppc64,
+    /// MIPS64: sign-extending `lw` loads *and* canonically sign-extended
+    /// 32-bit ALU results (`addu`, `sll`, … all write bit 31 through the
+    /// upper word).
+    Mips64,
+}
+
+impl Target {
+    /// Every supported target, in display order.
+    pub const ALL: [Target; 3] = [Target::Ia64, Target::Ppc64, Target::Mips64];
 }
 
 impl fmt::Display for Target {
@@ -276,6 +291,22 @@ impl fmt::Display for Target {
         match self {
             Target::Ia64 => f.write_str("ia64"),
             Target::Ppc64 => f.write_str("ppc64"),
+            Target::Mips64 => f.write_str("mips64"),
+        }
+    }
+}
+
+impl std::str::FromStr for Target {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Target, String> {
+        match s {
+            "ia64" => Ok(Target::Ia64),
+            "ppc64" => Ok(Target::Ppc64),
+            "mips64" => Ok(Target::Mips64),
+            other => Err(format!(
+                "unknown target `{other}` (expected `ia64`, `ppc64`, or `mips64`)"
+            )),
         }
     }
 }
@@ -347,6 +378,17 @@ mod tests {
     fn cond_unsigned() {
         assert!(Cond::Ult.eval_i64(1, -1)); // -1 is u64::MAX
         assert!(!Cond::Lt.eval_i64(1, -1));
+    }
+
+    #[test]
+    fn target_parses_and_displays() {
+        for t in Target::ALL {
+            assert_eq!(t.to_string().parse::<Target>(), Ok(t));
+        }
+        assert_eq!("mips64".parse::<Target>(), Ok(Target::Mips64));
+        let err = "sparc64".parse::<Target>().unwrap_err();
+        assert!(err.contains("sparc64") && err.contains("mips64"));
+        assert_eq!(Target::default(), Target::Ia64);
     }
 
     #[test]

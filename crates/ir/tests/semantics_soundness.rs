@@ -3,10 +3,10 @@
 //! values `eval` computes, for every operation and a battery of inputs.
 //! This is the contract every elimination decision ultimately rests on.
 
-use sxe_ir::eval::{int_bin, int_cond};
+use sxe_ir::eval::{int_bin, int_bin_on, int_cond, int_neg_on};
 use sxe_ir::rng::XorShift;
 use sxe_ir::semantics::def_facts;
-use sxe_ir::{BinOp, Cond, ExtFacts, Inst, Reg, Target, Ty, Width};
+use sxe_ir::{BinOp, Cond, ExtFacts, Inst, Reg, Target, Ty, UnOp, Width};
 
 const OPS: [BinOp; 11] = [
     BinOp::Add,
@@ -84,6 +84,101 @@ fn bin_def_facts_sound_on_eval() {
                     }
                 }
             }
+        }
+    }
+}
+
+/// The same contract on MIPS64: whatever `def_facts` claims for the
+/// canonical-form target must hold on the values the target-aware
+/// evaluation computes. This is the soundness edge the MIPS64 port rests
+/// on — every 32-bit ALU result is claimed EXTENDED, and `int_bin_on`
+/// must actually deliver it.
+#[test]
+fn mips64_bin_def_facts_sound_on_target_eval() {
+    for op in OPS {
+        let inst = Inst::Bin { op, ty: Ty::I32, dst: Reg(2), lhs: Reg(0), rhs: Reg(1) };
+        for lf in FACT_CLASSES {
+            for rf in FACT_CLASSES {
+                let mut facts_of = |r: Reg| if r == Reg(0) { lf } else { rf };
+                let claim = def_facts(&inst, Target::Mips64, Width::W32, &mut facts_of);
+                // Canonicalizing ops must claim EXTENDED regardless of
+                // their inputs.
+                if !matches!(op, BinOp::And | BinOp::Or | BinOp::Xor) {
+                    assert!(claim.sign_extended, "{op:?} must claim sign_extended on mips64");
+                }
+                if claim == ExtFacts::NONE {
+                    continue;
+                }
+                for &a in &values_with(lf) {
+                    for &b in &values_with(rf) {
+                        let Some(v) = int_bin_on(op, a, b, Ty::I32, Target::Mips64) else {
+                            continue;
+                        };
+                        assert!(
+                            holds(claim, v),
+                            "mips64 {op:?} claim {claim:?} violated: a={a:#x} ({lf:?}) b={b:#x} ({rf:?}) -> {v:#x}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// MIPS64 narrow negate (`subu $0, v`) claims EXTENDED and the evaluator
+/// delivers it for arbitrary raw inputs.
+#[test]
+fn mips64_neg_def_facts_sound_on_target_eval() {
+    let inst = Inst::Un { op: UnOp::Neg, ty: Ty::I32, dst: Reg(1), src: Reg(0) };
+    let mut none = |_: Reg| ExtFacts::NONE;
+    let claim = def_facts(&inst, Target::Mips64, Width::W32, &mut none);
+    assert!(claim.sign_extended);
+    for &a in &values_with(ExtFacts::NONE) {
+        let v = int_neg_on(a, Ty::I32, Target::Mips64);
+        assert!(holds(claim, v), "neg claim {claim:?} on {a:#x} -> {v:#x}");
+    }
+    // On IA64 the same instruction may carry garbage upper bits, so no
+    // such claim is made.
+    let ia = def_facts(&inst, Target::Ia64, Width::W32, &mut none);
+    assert!(!ia.sign_extended);
+}
+
+/// MIPS64's canonical 32-bit results agree with true i32 arithmetic on
+/// the low word for arbitrary raw inputs — no operand preparation needed,
+/// because the hardware reads the (canonical) low words itself.
+#[test]
+fn mips64_int_bin_low32_matches_i32_semantics() {
+    let mut rng = XorShift::new(0x5eed_0003);
+    for case in 0..4096 {
+        let a = sample_i64(&mut rng, case % 16);
+        let b = sample_i64(&mut rng, (case / 16) % 16);
+        let op = OPS[rng.index(OPS.len())];
+        let (a32, b32) = (a as i32, b as i32);
+        let expect: Option<i32> = match op {
+            BinOp::Add => Some(a32.wrapping_add(b32)),
+            BinOp::Sub => Some(a32.wrapping_sub(b32)),
+            BinOp::Mul => Some(a32.wrapping_mul(b32)),
+            BinOp::Div => (b32 != 0).then(|| a32.wrapping_div(b32)),
+            BinOp::Rem => (b32 != 0).then(|| a32.wrapping_rem(b32)),
+            BinOp::And => Some(a32 & b32),
+            BinOp::Or => Some(a32 | b32),
+            BinOp::Xor => Some(a32 ^ b32),
+            BinOp::Shl => Some(a32.wrapping_shl((b & 31) as u32)),
+            BinOp::Shr => Some(a32.wrapping_shr((b & 31) as u32)),
+            BinOp::Shru => Some(((a32 as u32) >> (b & 31)) as i32),
+        };
+        match (int_bin_on(op, a, b, Ty::I32, Target::Mips64), expect) {
+            (Some(v), Some(e)) => {
+                assert_eq!(v as i32, e, "{op:?} a={a:#x} b={b:#x}");
+                // And unlike the raw model, the full register is the
+                // sign extension of that low word (except bitwise ops,
+                // which are 64-bit register ops).
+                if !matches!(op, BinOp::And | BinOp::Or | BinOp::Xor) {
+                    assert_eq!(v, (v as i32) as i64, "{op:?} result not canonical");
+                }
+            }
+            (None, None) => {}
+            (got, want) => panic!("mips64 {op:?}: got {got:?} want {want:?}"),
         }
     }
 }

@@ -188,6 +188,18 @@ mod tests {
         let ppc = Compiler::for_variant(Variant::All).with_target(Target::Ppc64);
         assert_ne!(artifact_key(&all, &a), artifact_key(&base, &a));
         assert_ne!(artifact_key(&all, &a), artifact_key(&ppc, &a));
+        // Every target pair keys distinctly: a mips64 artifact (built
+        // under canonical-form folding) must never answer another
+        // target's request, and vice versa.
+        let keys: Vec<u64> = Target::ALL
+            .iter()
+            .map(|&t| artifact_key(&Compiler::for_variant(Variant::All).with_target(t), &a))
+            .collect();
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "{:?} vs {:?}", Target::ALL[i], Target::ALL[j]);
+            }
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!   --variant <name>     baseline|gen-use|first|basic|insert|order|
 //!                        insert-order|array|array-insert|array-order|
 //!                        all-pde|all          (default: all)
-//!   --target <t>         ia64|ppc64           (default: ia64)
+//!   --target <t>         ia64|ppc64|mips64    (default: ia64)
 //!   --max-array-len <n>  Theorem 4 bound      (default: 2147483647)
 //!   --workload <name>    compile a built-in benchmark kernel (e.g.
 //!                        "numeric sort") instead of an input file
@@ -112,8 +112,8 @@ fn repro_command(opts: &Options, oracle: &OracleConfig) -> String {
     if opts.variant != Variant::All {
         let _ = write!(c, " --variant {}", variant_flag(opts.variant));
     }
-    if opts.target == Target::Ppc64 {
-        c.push_str(" --target ppc64");
+    if opts.target != Target::default() {
+        let _ = write!(c, " --target {}", opts.target);
     }
     if let Some(w) = &opts.workload {
         let _ = write!(c, " --workload {w}");
@@ -178,7 +178,7 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: sxec [--variant V] [--target ia64|ppc64] [--max-array-len N] \
+    "usage: sxec [--variant V] [--target ia64|ppc64|mips64] [--max-array-len N] \
      [--workload NAME] [--size N] \
      [--run ENTRY] [--arg N]... [--vm decoded|tree|native] [--no-fallback] \
      [--vm-fuel N] \
@@ -225,9 +225,8 @@ fn parse_args() -> Result<Options, String> {
             }
             "--target" => {
                 opts.target = match it.next().as_deref() {
-                    Some("ia64") => Target::Ia64,
-                    Some("ppc64") => Target::Ppc64,
-                    other => return Err(format!("unknown target {other:?}")),
+                    Some(s) => s.parse::<Target>()?,
+                    None => return Err("--target needs a value".to_string()),
                 };
             }
             "--max-array-len" => {

@@ -404,8 +404,9 @@ impl Compiler {
 
         let general = &self.general;
         let use_cache = self.cache;
+        let step2_target = self.sxe.target;
         let step2 = par_map_mut(&mut module.functions, self.threads, |_, f| {
-            step2_function(f, general, &shared, use_cache)
+            step2_function(f, general, &shared, use_cache, step2_target)
         });
         for out in step2 {
             report.absorb(out.report);
@@ -624,6 +625,7 @@ fn step2_function(
     general: &GeneralOpts,
     shared: &SharedState,
     use_cache: bool,
+    target: Target,
 ) -> Step2Outcome {
     let fname = f.name.clone();
     let mut harness = Harness::new(shared, &format!("step2:@{fname}"));
@@ -644,9 +646,9 @@ fn step2_function(
                 corrupt_function,
                 |f, _| {
                     if use_cache {
-                        p.run_cached(f, &mut cache)
+                        p.run_cached(f, &mut cache, target)
                     } else {
-                        p.run(f)
+                        p.run(f, target)
                     }
                 },
             );

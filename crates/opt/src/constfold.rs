@@ -12,11 +12,15 @@
 
 use std::collections::HashMap;
 
-use sxe_ir::{eval, Function, Inst, Reg, Ty, UnOp};
+use sxe_ir::{eval, Function, Inst, Reg, Target, Ty, UnOp};
 
 /// Fold constants in every block of `f`; returns the number of
 /// instructions rewritten.
-pub fn run(f: &mut Function) -> usize {
+///
+/// Folding is target-aware: on MIPS64 the canonicalizing 32-bit ALU ops
+/// fold through [`eval::int_bin_on`]/[`eval::int_neg_on`], so the folded
+/// constant is sign-extended exactly as the hardware would leave it.
+pub fn run(f: &mut Function, target: Target) -> usize {
     let mut changed = 0;
     for b in 0..f.blocks.len() {
         let mut consts: HashMap<Reg, i64> = HashMap::new();
@@ -56,7 +60,7 @@ pub fn run(f: &mut Function) -> usize {
                     if let Some(v) = get(&consts, src) {
                         match op {
                             UnOp::Neg if ty != Ty::F64 => {
-                                folded = Some((dst, v.wrapping_neg(), ty));
+                                folded = Some((dst, eval::int_neg_on(v, ty, target), ty));
                             }
                             UnOp::Not if ty != Ty::F64 => folded = Some((dst, !v, ty)),
                             UnOp::Zext(w) => folded = Some((dst, eval::zext(w, v), ty)),
@@ -88,7 +92,7 @@ pub fn run(f: &mut Function) -> usize {
                             {
                                 folded_f = Some((dst, r));
                             }
-                        } else if let Some(v) = eval::int_bin(op, a, b, ty) {
+                        } else if let Some(v) = eval::int_bin_on(op, a, b, ty, target) {
                             // Division by zero is not folded: the trap is
                             // observable behaviour.
                             folded = Some((dst, v, ty));
@@ -141,8 +145,12 @@ mod tests {
     use sxe_ir::{parse_function, BlockId};
 
     fn fold(src: &str) -> (Function, usize) {
+        fold_on(src, Target::Ia64)
+    }
+
+    fn fold_on(src: &str, target: Target) -> (Function, usize) {
         let mut f = parse_function(src).unwrap();
-        let n = run(&mut f);
+        let n = run(&mut f, target);
         (f, n)
     }
 
@@ -168,6 +176,22 @@ mod tests {
         // matching what the machine would compute.
         match f.inst(sxe_ir::InstId::new(BlockId(0), 2)) {
             Inst::Const { value, .. } => assert_eq!(*value, 0x8000_0000),
+            other => panic!("expected const, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn folds_arithmetic_canonically_on_mips64() {
+        // Same overflow as above: on MIPS64 `addu` writes the result
+        // sign-extended from bit 31, and folding must mirror that.
+        let (f, n) = fold_on(
+            "func @f() -> i32 {\n\
+             b0:\n    r0 = const.i32 2147483647\n    r1 = const.i32 1\n    r2 = add.i32 r0, r1\n    ret r2\n}\n",
+            Target::Mips64,
+        );
+        assert_eq!(n, 1);
+        match f.inst(sxe_ir::InstId::new(BlockId(0), 2)) {
+            Inst::Const { value, .. } => assert_eq!(*value, i32::MIN as i64),
             other => panic!("expected const, got {other:?}"),
         }
     }

@@ -17,12 +17,13 @@
 //!
 //! ```
 //! use sxe_ir::parse_function;
+//! use sxe_ir::Target;
 //! use sxe_opt::{run_function, GeneralOpts};
 //!
 //! let mut f = parse_function(
 //!     "func @f() -> i32 {\nb0:\n    r0 = const.i32 -9\n    r0 = extend.32 r0\n    ret r0\n}\n",
 //! )?;
-//! run_function(&mut f, &GeneralOpts::default());
+//! run_function(&mut f, &GeneralOpts::default(), Target::default());
 //! assert_eq!(f.count_extends(None), 0); // folded away
 //! # Ok::<(), sxe_ir::ParseError>(())
 //! ```

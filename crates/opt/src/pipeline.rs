@@ -1,7 +1,7 @@
 //! The general-optimization pipeline (paper Figure 5, step 2).
 
 use sxe_analysis::AnalysisCache;
-use sxe_ir::{Function, Module};
+use sxe_ir::{Function, Module, Target};
 
 /// Which general optimizations to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,12 +103,15 @@ impl Pass {
         }
     }
 
-    /// Run this pass once on `f`, returning the number of rewrites.
-    pub fn run(self, f: &mut Function) -> usize {
+    /// Run this pass once on `f` for `target`, returning the number of
+    /// rewrites. Constant folding and simplification consult the target's
+    /// machine model (MIPS64 canonicalizes narrow ALU results); the other
+    /// passes are target-independent.
+    pub fn run(self, f: &mut Function, target: Target) -> usize {
         match self {
             Pass::Copyprop => crate::copyprop::run(f),
-            Pass::Constfold => crate::constfold::run(f),
-            Pass::Simplify => crate::simplify::run(f),
+            Pass::Constfold => crate::constfold::run(f, target),
+            Pass::Simplify => crate::simplify::run(f, target),
             Pass::Cse => crate::cse::run(f),
             Pass::Licm => crate::licm::run(f),
             Pass::Dce => crate::dce::run(f),
@@ -119,12 +122,12 @@ impl Pass {
     /// coherent: passes with cache-aware implementations draw their
     /// analyses from it, and every rewrite is reported so stale facts are
     /// dropped.
-    pub fn run_cached(self, f: &mut Function, cache: &mut AnalysisCache) -> usize {
+    pub fn run_cached(self, f: &mut Function, cache: &mut AnalysisCache, target: Target) -> usize {
         match self {
             Pass::Licm => crate::licm::run_cached(f, cache),
             Pass::Dce => crate::dce::run_cached(f, cache),
             _ => {
-                let n = self.run(f);
+                let n = self.run(f, target);
                 cache.note_rewrites(&f.name, n);
                 n
             }
@@ -232,14 +235,14 @@ impl OptStats {
     }
 }
 
-/// Optimize one function.
-pub fn run_function(f: &mut Function, opts: &GeneralOpts) -> OptStats {
+/// Optimize one function for `target`.
+pub fn run_function(f: &mut Function, opts: &GeneralOpts, target: Target) -> OptStats {
     let passes = opts.passes();
     let mut stats = OptStats::default();
     for _ in 0..opts.max_iters {
         let mut round = OptStats::default();
         for &p in &passes {
-            p.record(&mut round, p.run(f));
+            p.record(&mut round, p.run(f, target));
         }
         let progress = round.total();
         stats.merge(round);
@@ -258,13 +261,14 @@ pub fn run_function_cached(
     f: &mut Function,
     opts: &GeneralOpts,
     cache: &mut AnalysisCache,
+    target: Target,
 ) -> OptStats {
     let passes = opts.passes();
     let mut stats = OptStats::default();
     for _ in 0..opts.max_iters {
         let mut round = OptStats::default();
         for &p in &passes {
-            p.record(&mut round, p.run_cached(f, cache));
+            p.record(&mut round, p.run_cached(f, cache, target));
         }
         let progress = round.total();
         stats.merge(round);
@@ -277,14 +281,15 @@ pub fn run_function_cached(
     stats
 }
 
-/// Optimize every function of a module (inlining first, when enabled).
-pub fn run_module(m: &mut Module, opts: &GeneralOpts) -> OptStats {
+/// Optimize every function of a module for `target` (inlining first,
+/// when enabled).
+pub fn run_module(m: &mut Module, opts: &GeneralOpts, target: Target) -> OptStats {
     let mut stats = OptStats::default();
     if let Some(inline_opts) = &opts.inline {
         stats.inline = crate::inline::run_module(m, inline_opts);
     }
     for f in &mut m.functions {
-        stats.merge(run_function(f, opts));
+        stats.merge(run_function(f, opts, target));
     }
     stats
 }
@@ -302,7 +307,7 @@ mod tests {
              b0:\n    r1 = const.i32 21\n    r2 = copy.i32 r1\n    r3 = add.i32 r2, r2\n    r4 = extend.32 r3\n    ret r4\n}\n",
         )
         .unwrap();
-        let stats = run_function(&mut f, &GeneralOpts::default());
+        let stats = run_function(&mut f, &GeneralOpts::default(), Target::default());
         assert!(stats.total() > 0);
         verify_function(&f).unwrap();
         assert_eq!(f.count_extends(None), 0, "extend of a constant folds away");
@@ -316,7 +321,7 @@ mod tests {
              b0:\n    r1 = const.i32 21\n    r2 = add.i32 r1, r1\n    ret r2\n}\n";
         let mut f = parse_function(src).unwrap();
         let g = f.clone();
-        let stats = run_function(&mut f, &GeneralOpts::none());
+        let stats = run_function(&mut f, &GeneralOpts::none(), Target::default());
         assert_eq!(stats.total(), 0);
         assert_eq!(f, g);
     }
@@ -353,7 +358,7 @@ mod tests {
              b2:\n    ret r1\n}\n",
         )
         .unwrap();
-        let stats = run_function(&mut f, &GeneralOpts::default());
+        let stats = run_function(&mut f, &GeneralOpts::default(), Target::default());
         assert!(stats.licm >= 1);
         verify_function(&f).unwrap();
     }

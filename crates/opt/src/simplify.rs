@@ -3,19 +3,37 @@
 //! All rewrites preserve the *raw 64-bit* semantics of the machine model,
 //! not just the low 32 bits: e.g. `x + 0` at width 32 is a full 64-bit
 //! add of zero, so replacing it with a full-register copy is exact.
+//!
+//! On MIPS64 the narrow arithmetic/shift ops canonicalize (sign-extend
+//! their result from bit 31), so an "identity" like `x + 0` is not a
+//! register copy there — it is exactly `extend.32 x`, and is rewritten to
+//! that residue instead, where sign-extension elimination can remove it.
 
 use std::collections::HashMap;
 
-use sxe_ir::{BinOp, Function, Inst, Reg, Ty};
+use sxe_ir::{BinOp, Function, Inst, Reg, Target, Ty, Width};
 
 /// Apply algebraic identities in every block; returns the number of
 /// instructions rewritten.
-pub fn run(f: &mut Function) -> usize {
+pub fn run(f: &mut Function, target: Target) -> usize {
     let mut changed = 0;
     for b in 0..f.blocks.len() {
         let mut consts: HashMap<Reg, i64> = HashMap::new();
         for inst in f.blocks[b].insts.iter_mut() {
             let get = |consts: &HashMap<Reg, i64>, r: Reg| consts.get(&r).copied();
+            // The rewrite for a narrow op whose *value* behaviour is the
+            // identity: a full-register copy where the op leaves raw upper
+            // bits (IA64/PPC64), the explicit sign-extension residue where
+            // it canonicalizes (MIPS64). `extend.32` is exact for every
+            // narrow width because the MIPS 32-bit ALU always extends
+            // from bit 31.
+            let identity = |dst: Reg, src: Reg, ty: Ty| {
+                if target == Target::Mips64 && ty != Ty::I64 {
+                    Inst::Extend { dst, src, from: Width::W32 }
+                } else {
+                    Inst::Copy { dst, src, ty }
+                }
+            };
             let rewrite: Option<Inst> = match *inst {
                 Inst::Const { dst, value, .. } => {
                     consts.insert(dst, value);
@@ -26,30 +44,25 @@ pub fn run(f: &mut Function) -> usize {
                     let rc = get(&consts, rhs);
                     match op {
                         // x + 0 and 0 + x: the 64-bit add of a zero
-                        // register is an exact register copy.
-                        BinOp::Add if rc == Some(0) => {
-                            Some(Inst::Copy { dst, src: lhs, ty })
-                        }
-                        BinOp::Add if lc == Some(0) => {
-                            Some(Inst::Copy { dst, src: rhs, ty })
-                        }
-                        BinOp::Sub if rc == Some(0) => {
-                            Some(Inst::Copy { dst, src: lhs, ty })
-                        }
-                        // x - x == 0 and x ^ x == 0 exactly (raw bits).
+                        // register is an exact register copy (a
+                        // canonicalizing extend on MIPS64).
+                        BinOp::Add if rc == Some(0) => Some(identity(dst, lhs, ty)),
+                        BinOp::Add if lc == Some(0) => Some(identity(dst, rhs, ty)),
+                        BinOp::Sub if rc == Some(0) => Some(identity(dst, lhs, ty)),
+                        // x - x == 0 and x ^ x == 0 exactly (raw bits;
+                        // canonical zero is zero on MIPS64 too).
                         BinOp::Sub | BinOp::Xor if lhs == rhs => {
                             Some(Inst::Const { dst, value: 0, ty })
                         }
-                        BinOp::Mul if rc == Some(1) => {
-                            Some(Inst::Copy { dst, src: lhs, ty })
-                        }
-                        BinOp::Mul if lc == Some(1) => {
-                            Some(Inst::Copy { dst, src: rhs, ty })
-                        }
+                        BinOp::Mul if rc == Some(1) => Some(identity(dst, lhs, ty)),
+                        BinOp::Mul if lc == Some(1) => Some(identity(dst, rhs, ty)),
                         // x * 0 == 0 exactly.
                         BinOp::Mul if rc == Some(0) || lc == Some(0) => {
                             Some(Inst::Const { dst, value: 0, ty })
                         }
+                        // Bitwise ops are raw 64-bit register ops on every
+                        // target (MIPS has no 32-bit and/or/xor), so these
+                        // stay plain copies.
                         // x & -1 (all 64 bits set) and x | 0: exact.
                         BinOp::And if rc == Some(-1) => {
                             Some(Inst::Copy { dst, src: lhs, ty })
@@ -69,15 +82,22 @@ pub fn run(f: &mut Function) -> usize {
                         BinOp::Or | BinOp::Xor if lc == Some(0) => {
                             Some(Inst::Copy { dst, src: rhs, ty })
                         }
-                        // Shifts by zero are full-register identities.
+                        // Shifts by zero are full-register identities
+                        // (canonicalizing on MIPS64: `sll x, 0` is the
+                        // hardware's own re-canonicalization idiom).
                         BinOp::Shl | BinOp::Shr if rc == Some(0) => {
-                            Some(Inst::Copy { dst, src: lhs, ty })
+                            Some(identity(dst, lhs, ty))
                         }
                         // shru.32 by 0 still extracts the low 32 bits
-                        // (zero-extends), so it is NOT an identity at
-                        // width 32; it is at width 64.
+                        // (zero-extends) on IA64/PPC64, so it is NOT an
+                        // identity at width 32 there; it is at width 64,
+                        // and on MIPS64 `srl x, 0` sign-extends like the
+                        // other narrow shifts.
                         BinOp::Shru if rc == Some(0) && ty == Ty::I64 => {
                             Some(Inst::Copy { dst, src: lhs, ty })
+                        }
+                        BinOp::Shru if rc == Some(0) && target == Target::Mips64 => {
+                            Some(identity(dst, lhs, ty))
                         }
                         _ => None,
                     }
@@ -104,8 +124,12 @@ mod tests {
     use sxe_ir::{parse_function, BlockId, InstId};
 
     fn simplified(src: &str, idx: usize) -> Inst {
+        simplified_on(src, idx, Target::Ia64)
+    }
+
+    fn simplified_on(src: &str, idx: usize, target: Target) -> Inst {
         let mut f = parse_function(src).unwrap();
-        run(&mut f);
+        run(&mut f, target);
         f.inst(InstId::new(BlockId(0), idx)).clone()
     }
 
@@ -180,6 +204,42 @@ mod tests {
         )
         .unwrap();
         // x + 0.0 is NOT an identity for floats (-0.0 + 0.0 == +0.0).
-        assert_eq!(run(&mut f), 0);
+        assert_eq!(run(&mut f, Target::Ia64), 0);
+    }
+
+    #[test]
+    fn mips64_identities_become_extends() {
+        // On MIPS64 `addu x, 0` sign-extends x from bit 31, so the
+        // identity rewrite must be `extend.32`, not a register copy.
+        let i = simplified_on(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = const.i32 0\n    r2 = add.i32 r0, r1\n    ret r2\n}\n",
+            1,
+            Target::Mips64,
+        );
+        assert!(matches!(i, Inst::Extend { src: Reg(0), from: Width::W32, .. }));
+        // srl by 0 canonicalizes on MIPS64 — rewritable there, kept on IA64.
+        let i = simplified_on(
+            "func @f(i32) -> i64 {\n\
+             b0:\n    r1 = const.i32 0\n    r2 = shru.i32 r0, r1\n    ret r2\n}\n",
+            1,
+            Target::Mips64,
+        );
+        assert!(matches!(i, Inst::Extend { src: Reg(0), from: Width::W32, .. }));
+        // 64-bit identities and bitwise identities stay full-register copies.
+        let i = simplified_on(
+            "func @f(i64) -> i64 {\n\
+             b0:\n    r1 = const.i64 0\n    r2 = add.i64 r0, r1\n    ret r2\n}\n",
+            1,
+            Target::Mips64,
+        );
+        assert!(matches!(i, Inst::Copy { src: Reg(0), .. }));
+        let i = simplified_on(
+            "func @f(i32) -> i32 {\n\
+             b0:\n    r1 = const.i32 0\n    r2 = or.i32 r0, r1\n    ret r2\n}\n",
+            1,
+            Target::Mips64,
+        );
+        assert!(matches!(i, Inst::Copy { src: Reg(0), .. }));
     }
 }

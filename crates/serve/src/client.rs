@@ -226,9 +226,13 @@ impl Client {
         }
     }
 
-    /// Exponential backoff with full jitter: `base * 2^(attempt-1)`
-    /// capped at `max_backoff`, never below the server's hint, scaled by
-    /// a deterministic factor in `[0.5, 1.5)` from `rng`.
+    /// Exponential backoff with jitter: `base * 2^(attempt-1)` scaled by
+    /// a deterministic factor in `[0.5, 1.5)` from `rng`, then clamped to
+    /// `[server_hint, max_backoff]` — the jittered wait must never
+    /// undercut the server's `retry_after` hint (the server meant it) nor
+    /// exceed the policy cap. When the hint itself exceeds the cap, the
+    /// hint wins: respecting the server's explicit pushback outranks the
+    /// client-side ceiling.
     fn backoff(
         &self,
         policy: &RetryPolicy,
@@ -240,9 +244,9 @@ impl Client {
             .base_backoff
             .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
             .min(policy.max_backoff);
-        let floor = exp.max(server_hint);
         let jitter_pct = 50 + rng.below(100); // 50..150
-        floor.mul_f64(jitter_pct as f64 / 100.0)
+        let jittered = exp.max(server_hint).mul_f64(jitter_pct as f64 / 100.0);
+        jittered.clamp(server_hint, policy.max_backoff.max(server_hint))
     }
 }
 
@@ -265,12 +269,51 @@ mod tests {
             let wa = client.backoff(&policy, attempt, hint, &mut a);
             let wb = client.backoff(&policy, attempt, hint, &mut b);
             assert_eq!(wa, wb, "same seed, same schedule");
-            assert!(wa >= hint / 2, "never collapses below half the server hint");
-            assert!(
-                wa <= policy.max_backoff.mul_f64(1.5),
-                "cap plus jitter bounds the wait"
-            );
+            assert!(wa >= hint, "never undercuts the server hint");
+            assert!(wa <= policy.max_backoff, "never exceeds the cap");
         }
+    }
+
+    /// A stand-in rng that always produces the requested jitter draw, so
+    /// the clamp can be proven at both jitter extremes (x0.5 and x1.49).
+    fn rng_forcing(below_100: u64) -> XorShift {
+        // XorShift is deterministic; search a seed whose first draw below
+        // 100 equals the requested value.
+        for seed in 1..100_000 {
+            let mut r = XorShift::new(seed);
+            if r.below(100) == below_100 {
+                return XorShift::new(seed);
+            }
+        }
+        panic!("no seed produces draw {below_100}");
+    }
+
+    #[test]
+    fn backoff_clamps_jitter_extremes_to_hint_and_cap() {
+        let client = Client::new(1);
+        let policy = RetryPolicy::default();
+        // Low-jitter extreme (x0.5): a hint above the raw exponential
+        // must still be respected in full.
+        let hint = policy.max_backoff / 2;
+        for draw in [0, 99] {
+            for attempt in 1..12 {
+                let w = client.backoff(&policy, attempt, hint, &mut rng_forcing(draw));
+                assert!(w >= hint, "draw {draw} attempt {attempt}: {w:?} < hint {hint:?}");
+                assert!(
+                    w <= policy.max_backoff,
+                    "draw {draw} attempt {attempt}: {w:?} > cap {:?}",
+                    policy.max_backoff
+                );
+            }
+        }
+        // High-jitter extreme (x1.49) at the cap: late attempts whose
+        // exponential term saturates must not overshoot max_backoff.
+        let w = client.backoff(&policy, 30, Duration::ZERO, &mut rng_forcing(99));
+        assert!(w <= policy.max_backoff);
+        // A server hint beyond the cap wins over the cap.
+        let big_hint = policy.max_backoff * 3;
+        let w = client.backoff(&policy, 1, big_hint, &mut rng_forcing(0));
+        assert_eq!(w, big_hint);
     }
 
     #[test]

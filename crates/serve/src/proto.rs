@@ -345,11 +345,7 @@ impl Request {
                 let mut s = String::new();
                 use fmt::Write as _;
                 let _ = writeln!(s, "variant={}", variant_name(c.variant));
-                let _ = writeln!(
-                    s,
-                    "target={}",
-                    if c.target == Target::Ppc64 { "ppc64" } else { "ia64" }
-                );
+                let _ = writeln!(s, "target={}", c.target);
                 if let Some(fuel) = c.fuel {
                     let _ = writeln!(s, "fuel={fuel}");
                 }
@@ -385,10 +381,11 @@ impl Request {
                         parse_variant(v).ok_or_else(|| perr(format!("unknown variant `{v}`")))?
                     }
                 };
+                // An absent header stays compatible with old clients:
+                // it means the default target.
                 let target = match header(&headers, "target") {
-                    None | Some("ia64") => Target::Ia64,
-                    Some("ppc64") => Target::Ppc64,
-                    Some(t) => return Err(perr(format!("unknown target `{t}`"))),
+                    None => Target::default(),
+                    Some(t) => t.parse::<Target>().map_err(perr)?,
                 };
                 let fuel = match header(&headers, "fuel") {
                     None => None,
@@ -549,7 +546,29 @@ mod tests {
             backend: Backend::Native,
             source: "func @f(i32) -> i32 {\nb0:\n    ret r0\n}\n".into(),
         }));
+        roundtrip_request(&Request::Compile(CompileRequest {
+            variant: Variant::All,
+            target: Target::Mips64,
+            fuel: None,
+            timeout_ms: None,
+            backend: Backend::default(),
+            source: "func @f(i32) -> i32 {\nb0:\n    ret r0\n}\n".into(),
+        }));
         roundtrip_request(&Request::Compile(CompileRequest::new("x\n\ny")));
+    }
+
+    #[test]
+    fn absent_target_header_defaults_compatibly() {
+        // Old clients never send `target=`; the server must decode the
+        // payload as the default target rather than reject it.
+        let payload = b"variant=all\n\nfunc @f() {\nb0:\n    ret\n}\n";
+        let req = Request::decode(REQ_COMPILE, payload).unwrap();
+        match req {
+            Request::Compile(c) => assert_eq!(c.target, Target::default()),
+            other => panic!("expected compile, got {other:?}"),
+        }
+        let bad = b"target=sparc64\n\nx\n";
+        assert!(Request::decode(REQ_COMPILE, bad).is_err());
     }
 
     #[test]

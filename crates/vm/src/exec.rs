@@ -130,13 +130,14 @@ fn exec_prepaid(st: &mut ExecState, regs: &mut [i64], s: Simple) {
         }
         Simple::Un { op, ty, dst, src } => {
             st.flat.per_op[opidx::UN] += 1;
-            regs[dst as usize] = eval_un(op, ty, regs[src as usize]);
+            regs[dst as usize] = eval_un(op, ty, regs[src as usize], st.target);
         }
         Simple::Bin { op, ty, dst, lhs, rhs } => {
             st.flat.per_op[opidx::BIN] += 1;
             // Non-trapping by construction (`fusable_bin`).
             regs[dst as usize] =
-                eval::int_bin(op, regs[lhs as usize], regs[rhs as usize], ty).unwrap_or(0);
+                eval::int_bin_on(op, regs[lhs as usize], regs[rhs as usize], ty, st.target)
+                    .unwrap_or(0);
         }
         Simple::Setcc { cond, ty, dst, lhs, rhs } => {
             st.flat.per_op[opidx::SET] += 1;
@@ -157,11 +158,11 @@ fn exec_prepaid(st: &mut ExecState, regs: &mut [i64], s: Simple) {
 
 /// Unary-op evaluation, shared by the plain and paired paths.
 #[inline(always)]
-fn eval_un(op: UnOp, ty: Ty, v: i64) -> i64 {
+fn eval_un(op: UnOp, ty: Ty, v: i64, target: Target) -> i64 {
     match op {
         UnOp::Neg => match ty {
             Ty::F64 => (-f64::from_bits(v as u64)).to_bits() as i64,
-            _ => v.wrapping_neg(),
+            _ => eval::int_neg_on(v, ty, target),
         },
         UnOp::Not => !v,
         // Reads the FULL register: garbage upper bits produce a wrong
@@ -196,13 +197,14 @@ fn exec_simple(
         }
         Simple::Un { op, ty, dst, src } => {
             charge(hot, &mut st.flat, opidx::UN, un_cost(op))?;
-            regs[dst as usize] = eval_un(op, ty, regs[src as usize]);
+            regs[dst as usize] = eval_un(op, ty, regs[src as usize], st.target);
         }
         Simple::Bin { op, ty, dst, lhs, rhs } => {
             charge(hot, &mut st.flat, opidx::BIN, bin_cost(op, ty))?;
             // Non-trapping by construction (`fusable_bin`).
             regs[dst as usize] =
-                eval::int_bin(op, regs[lhs as usize], regs[rhs as usize], ty).unwrap_or(0);
+                eval::int_bin_on(op, regs[lhs as usize], regs[rhs as usize], ty, st.target)
+                    .unwrap_or(0);
         }
         Simple::Setcc { cond, ty, dst, lhs, rhs } => {
             charge(hot, &mut st.flat, opidx::SET, ALU_COST)?;
@@ -290,7 +292,7 @@ fn dispatch(
             }
             Op::Un { op, ty, dst, src } => {
                 charge(hot, &mut st.flat, opidx::UN, un_cost(op)).map_err(|k| trap(func, k, f.ids[pc]))?;
-                regs[dst as usize] = eval_un(op, ty, regs[src as usize]);
+                regs[dst as usize] = eval_un(op, ty, regs[src as usize], st.target);
             }
             Op::Bin { op, ty, dst, lhs, rhs } => {
                 charge(hot, &mut st.flat, opidx::BIN, bin_cost(op, ty)).map_err(|k| trap(func, k, f.ids[pc]))?;
@@ -307,7 +309,7 @@ fn dispatch(
                             None => eval::int_bin(op, a, b, Ty::I64).unwrap_or(0),
                         }
                     }
-                    _ => match eval::int_bin(op, a, b, ty) {
+                    _ => match eval::int_bin_on(op, a, b, ty, st.target) {
                         Some(v) => v,
                         None => return Err(trap(func, TrapKind::DivisionByZero, f.ids[pc])),
                     },
@@ -422,7 +424,7 @@ fn dispatch(
             }
             Op::BinExt { op, ty, dst, lhs, rhs, ext_dst, from } => {
                 let c = bin_cost(op, ty);
-                let v = eval::int_bin(op, regs[lhs as usize], regs[rhs as usize], ty)
+                let v = eval::int_bin_on(op, regs[lhs as usize], regs[rhs as usize], ty, st.target)
                     .unwrap_or(0); // non-trapping by decode
                 if charge_batch(hot, 2, c + ALU_COST) {
                     st.flat.per_op[opidx::BIN] += 1;
@@ -482,7 +484,7 @@ fn dispatch(
                 else_block,
             } => {
                 let c = bin_cost(op, ty);
-                let v = eval::int_bin(op, regs[lhs as usize], regs[rhs as usize], ty)
+                let v = eval::int_bin_on(op, regs[lhs as usize], regs[rhs as usize], ty, st.target)
                     .unwrap_or(0); // non-trapping by decode
                 if charge_batch(hot, 3, c + ALU_COST + BRANCH_COST) {
                     st.flat.per_op[opidx::BIN] += 1;

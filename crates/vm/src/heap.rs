@@ -40,9 +40,9 @@ impl ArrayObj {
     }
 
     /// Load element `i`, applying the target's extension behaviour for
-    /// narrow elements: `i8`/`i16` load sign-extended on both targets
+    /// narrow elements: `i8`/`i16` load sign-extended on every target
     /// (Java `baload`/`saload`); `i32` loads zero-extend on IA64 and
-    /// sign-extend on PPC64 (`lwa`).
+    /// sign-extend on PPC64 (`lwa`) and MIPS64 (`lw`).
     ///
     /// # Panics
     /// Panics if `i` is out of range (the caller performs the bounds
@@ -52,7 +52,8 @@ impl ArrayObj {
         let v = self.data[i as usize];
         match (self.elem, target) {
             (Ty::I32, Target::Ia64) => (v as u32) as i64,
-            (Ty::I32, Target::Ppc64) => v, // canonical form is sign-extended
+            // Canonical form is sign-extended; elements are stored that way.
+            (Ty::I32, Target::Ppc64 | Target::Mips64) => v,
             _ => v,
         }
     }
@@ -226,6 +227,7 @@ mod tests {
         let a = h.get(r).unwrap();
         assert_eq!(a.load(0, Target::Ia64), 0xFFFF_FFFF); // zero-extended
         assert_eq!(a.load(0, Target::Ppc64), -1); // lwa sign-extends
+        assert_eq!(a.load(0, Target::Mips64), -1); // lw sign-extends
     }
 
     #[test]

@@ -197,7 +197,7 @@ impl<'m> Machine<'m> {
                         regs[dst.index()] = match op {
                             UnOp::Neg => match ty {
                                 Ty::F64 => (-f64::from_bits(v as u64)).to_bits() as i64,
-                                _ => v.wrapping_neg(),
+                                _ => eval::int_neg_on(v, ty, self.target),
                             },
                             UnOp::Not => !v,
                             // Reads the FULL register: garbage upper bits
@@ -225,7 +225,7 @@ impl<'m> Machine<'m> {
                                     None => eval::int_bin(op, a, b, Ty::I64).unwrap_or(0),
                                 }
                             }
-                            _ => match eval::int_bin(op, a, b, ty) {
+                            _ => match eval::int_bin_on(op, a, b, ty, self.target) {
                                 Some(v) => v,
                                 None => return Err(trap(TrapKind::DivisionByZero, at)),
                             },

@@ -24,14 +24,15 @@ pub(crate) fn target_code(t: Target) -> u32 {
     match t {
         Target::Ia64 => 0,
         Target::Ppc64 => 1,
+        Target::Mips64 => 2,
     }
 }
 
 fn ctx_target(ctx: &NativeCtx) -> Target {
-    if ctx.target == 0 {
-        Target::Ia64
-    } else {
-        Target::Ppc64
+    match ctx.target {
+        0 => Target::Ia64,
+        1 => Target::Ppc64,
+        _ => Target::Mips64,
     }
 }
 

@@ -256,11 +256,26 @@ impl<'m> VmBuilder<'m> {
                 } else {
                     // Block hooks need per-block register snapshots the
                     // generated code does not produce: fall back whole.
+                    // MIPS64's canonical-form invariant (every 32-bit ALU
+                    // result sign-extended in its register) is not emitted
+                    // by the x86-64 backend, which computes the raw
+                    // machine-model bits; running it would silently produce
+                    // non-canonical values, so refuse and fall back.
                     let (nm, disabled) = if hooked {
                         (
                             None,
                             Some(
                                 "a block hook is installed; native execution is disabled"
+                                    .to_string(),
+                            ),
+                        )
+                    } else if self.target == Target::Mips64 {
+                        (
+                            None,
+                            Some(
+                                "target mips64 requires canonical-form (sign-extended) \
+                                 32-bit results the native backend does not emit; \
+                                 native execution is disabled"
                                     .to_string(),
                             ),
                         )
@@ -784,6 +799,31 @@ b0:
         assert!(refusals[0].1.contains("hook"));
         // Everything still runs correctly on the decoded fallback.
         assert_eq!(vm.run("main", &[5]).unwrap().ret, Some(2));
+    }
+
+    #[test]
+    fn mips64_refuses_native_compilation_with_typed_reason() {
+        let m = parse_module(LOOPY).unwrap();
+        let mut vm =
+            Vm::builder(&m).engine(Engine::Native).target(Target::Mips64).build();
+        let refusals = vm.native_refusals();
+        assert_eq!(refusals.len(), m.functions.len());
+        assert!(refusals[0].1.contains("mips64"), "{}", refusals[0].1);
+        // The decoded fallback runs with full MIPS64 semantics and
+        // matches the other engines.
+        let want = Vm::builder(&m)
+            .engine(Engine::Decoded)
+            .target(Target::Mips64)
+            .build()
+            .run("main", &[5])
+            .unwrap();
+        assert_eq!(vm.run("main", &[5]).unwrap(), want);
+        // The other targets still compile natively.
+        for t in [Target::Ia64, Target::Ppc64] {
+            let mut vm = Vm::builder(&m).engine(Engine::Native).target(t).build();
+            assert!(vm.native_refusals().is_empty(), "{t}");
+            assert_eq!(vm.run("main", &[5]).unwrap().ret, Some(2));
+        }
     }
 
     #[test]

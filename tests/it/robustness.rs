@@ -47,7 +47,7 @@ fn general_opts_alone_preserve_semantics() {
         let m = gen::lower(&p);
         let reference = run_key(&m);
         let mut optimized = m.clone();
-        sxe_opt::run_module(&mut optimized, &sxe_opt::GeneralOpts::default());
+        sxe_opt::run_module(&mut optimized, &sxe_opt::GeneralOpts::default(), Target::Ia64);
         sxe_ir::verify_module(&optimized).expect("optimizer output verifies");
         assert_eq!(reference, run_key(&optimized), "case {i}: {p:?}");
     }

@@ -1,7 +1,7 @@
 //! Engine-identity suite: the decoded engine must be observably
 //! indistinguishable from the tree-walking reference — same outcome
 //! (return value + heap checksum), same trap kind, and bit-identical
-//! dynamic [`Counters`] — on every workload, both targets, and a
+//! dynamic [`Counters`] — on every workload, every target, and a
 //! seeded fuzz sweep.
 //!
 //! The one sanctioned divergence is the trap *location* (`Trap::at`):
@@ -50,7 +50,7 @@ fn scaled(size: u32) -> u32 {
     (size / 4).max(4)
 }
 
-/// All 17 workloads, both targets, both compile variants (baseline
+/// All 17 workloads, all three targets, both compile variants (baseline
 /// keeps plain `Extend` ops; the full algorithm emits the fused
 /// `*Ext` superinstructions), tree vs decoded.
 #[test]
@@ -59,7 +59,7 @@ fn workloads_run_identically_on_both_engines() {
         let m = w.build(scaled(w.default_size));
         for variant in [Variant::Baseline, Variant::All] {
             let compiled = Compiler::for_variant(variant).compile(&m).module;
-            for target in [Target::Ia64, Target::Ppc64] {
+            for target in Target::ALL {
                 let label = format!("{}/{variant:?}", w.name);
                 assert_identical(&compiled, target, WORKLOAD_FUEL, &[], &label);
             }
@@ -138,7 +138,7 @@ fn fuzzed_modules_run_identically_on_both_engines() {
                 let mut rng = XorShift::new(seed ^ 0x5eed_f00d);
                 let args: Vec<i64> =
                     (0..f.params.len()).map(|_| rng.range_i64(-16, 48)).collect();
-                for target in [Target::Ia64, Target::Ppc64] {
+                for target in Target::ALL {
                     let tree = run_func(m, target, Engine::Tree, &f.name, &args);
                     let decoded = run_func(m, target, Engine::Decoded, &f.name, &args);
                     assert_eq!(

@@ -14,7 +14,10 @@
 # to the decoded engine on all 17 workloads x both targets x both
 # compile variants plus a fuzz sweep; a native-vs-decoded differential
 # fuzz campaign; nativebench native throughput at least 2x the decoded
-# interpreter on the integer workloads).
+# interpreter on the integer workloads), and the mips64 gate (fuzz
+# smoke and chaos sweep on the canonical-form target; the engine- and
+# native-identity suites above already run every target, mips64
+# included).
 #
 #   ./tier1.sh            # everything
 #   ./tier1.sh --fast     # skip the determinism/chaos/telemetry/fuzz/serve sweeps
@@ -90,6 +93,18 @@ if [ "${1:-}" != "--fast" ]; then
 
     echo "== tier1: nativebench gate (native >= 2x decoded aggregate throughput, integer workloads)"
     cargo run -q --release -p sxe-bench --bin nativebench -- --scale 0.25 --repeats 3 --gate 2
+
+    echo "== tier1: mips64 fuzz smoke (256 modules, canonical-form target, zero findings)"
+    cargo run -q --release -p sxe-bench --bin fuzz -- --target mips64 --count 256 --threads 4 \
+        --oracle-runs 8
+
+    echo "== tier1: mips64 chaos sweep (64 modules, one contained fault each, zero findings)"
+    cargo run -q --release -p sxe-bench --bin fuzz -- --target mips64 --count 64 --chaos \
+        --threads 4 --oracle-runs 4
+
+    # The engine-identity and native-identity suites above already run
+    # every target in Target::ALL, so mips64 decoded-vs-tree identity and
+    # the typed native refusal + decoded fallback are gated there.
 fi
 
 echo "== tier1: OK"
