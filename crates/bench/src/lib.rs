@@ -18,6 +18,7 @@
 
 pub mod chaos;
 pub mod cmdline;
+pub mod netchaos;
 
 pub use chaos::{chaos_sweep, chaos_sweep_on, chaos_sweep_with, ChaosRecord, ChaosSummary};
 pub use cmdline::ReproCmd;

@@ -1,0 +1,504 @@
+//! Network chaos campaign for the `sxed` wire path.
+//!
+//! Three deterministic probes behind the `netchaos` binary:
+//!
+//! * [`run_campaign`] — seeds × every [`NetFaultKind`] through a
+//!   [`NetFaultProxy`] in front of a live in-process daemon, asserting
+//!   every faulted request resolves to a typed outcome within its
+//!   deadline and classifying it into a per-kind histogram;
+//! * [`run_fuzz`] — seeded malformed frames ([`fuzz_frame`]) streamed
+//!   straight at a daemon: every connection must end in zero or more
+//!   complete, parseable response frames followed by a clean close —
+//!   never a hang, never a torn frame, never a dead daemon;
+//! * [`check_slow_loris`] — a one-byte-drip attacker against a daemon
+//!   with a tight `frame_deadline`, asserting the typed cutoff arrives
+//!   on time (not after `io_timeout × frame bytes`).
+//!
+//! Campaign reports contain no wall-clock data and classify outcomes
+//! coarsely (cache hit/miss both count as `compiled`), so the rendered
+//! report is byte-identical at any `--threads` — the same determinism
+//! contract the compiler itself honors.
+
+use std::io::{Cursor, Read as _, Write as _};
+use std::net::{Shutdown, TcpStream};
+use std::time::{Duration, Instant};
+
+use sxe_jit::shard;
+use sxe_serve::proto::read_frame;
+use sxe_serve::{
+    fuzz_frame, Client, ClientError, CompileRequest, FuzzDelivery, NetFaultKind, NetFaultPlan,
+    NetFaultProxy, Response, ServeConfig, Server,
+};
+
+/// A small, fast-to-compile request source for campaign traffic.
+const SRC: &str = "\
+func @main(i32) -> i32 {
+b0:
+    r1 = const.i32 7
+    r2 = add.i32 r0, r1
+    ret r2
+}
+";
+
+/// Campaign shape.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosOptions {
+    /// Seeds per fault kind.
+    pub seeds: u64,
+    /// Worker threads for running cases (reports are identical at any
+    /// value).
+    pub threads: usize,
+    /// Base seed; case `i` of a kind uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> ChaosOptions {
+        ChaosOptions { seeds: 32, threads: 4, base_seed: 0xc4a05 }
+    }
+}
+
+/// Coarse classification of one faulted request — coarse on purpose:
+/// anything scheduling-dependent (hit vs. miss, retry counts, timing)
+/// is folded away so the histogram is thread-count-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeClass {
+    /// A `Compiled` response (cache hit or miss — both typed success).
+    Compiled,
+    /// A typed `Refused` with a retry hint.
+    Refused,
+    /// A typed `Error` response.
+    TypedError,
+    /// The connection ended with no (or a partial) response — a typed
+    /// client-side transport error, not a hang.
+    TransportClosed,
+}
+
+impl OutcomeClass {
+    /// All classes, in histogram column order.
+    pub const ALL: [OutcomeClass; 4] = [
+        OutcomeClass::Compiled,
+        OutcomeClass::Refused,
+        OutcomeClass::TypedError,
+        OutcomeClass::TransportClosed,
+    ];
+
+    /// Stable report label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            OutcomeClass::Compiled => "compiled",
+            OutcomeClass::Refused => "refused",
+            OutcomeClass::TypedError => "typed-error",
+            OutcomeClass::TransportClosed => "transport-closed",
+        }
+    }
+}
+
+/// What a campaign produced: one outcome histogram per fault kind plus
+/// any findings (a finding is a violated expectation — a hang, a dead
+/// daemon, an outcome class the fault kind must never produce).
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Total cases run (seeds × kinds).
+    pub cases: u64,
+    /// Per-kind outcome counts, columns in [`OutcomeClass::ALL`] order.
+    pub histogram: Vec<(NetFaultKind, [u64; 4])>,
+    /// Violated expectations, in deterministic case order. Empty means
+    /// the gate criterion "100% typed outcomes, 0 hangs, 0 panics"
+    /// held.
+    pub findings: Vec<String>,
+}
+
+impl CampaignReport {
+    /// Render as deterministic aligned text (no timing, no absolute
+    /// paths — byte-identical across runs and thread counts).
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "netchaos campaign: {} cases", self.cases);
+        let _ = write!(out, "{:>18}", "fault kind");
+        for class in OutcomeClass::ALL {
+            let _ = write!(out, "{:>17}", class.name());
+        }
+        let _ = writeln!(out);
+        for (kind, counts) in &self.histogram {
+            let _ = write!(out, "{:>18}", kind.name());
+            for c in counts {
+                let _ = write!(out, "{c:>17}");
+            }
+            let _ = writeln!(out);
+        }
+        if self.findings.is_empty() {
+            let _ = writeln!(out, "findings: none");
+        } else {
+            let _ = writeln!(out, "findings: {}", self.findings.len());
+            for f in &self.findings {
+                let _ = writeln!(out, "  - {f}");
+            }
+        }
+        out
+    }
+}
+
+/// The outcome classes a fault kind is allowed to produce. Anything
+/// else is a finding: the daemon (or client) broke its typed-outcome
+/// contract under that fault.
+fn expected(kind: NetFaultKind) -> &'static [OutcomeClass] {
+    match kind {
+        // Delays and dribbles are not protocol violations: the request
+        // must still succeed.
+        NetFaultKind::SlowResponse
+        | NetFaultKind::DelayedAccept
+        | NetFaultKind::DuplicateFrame => &[OutcomeClass::Compiled],
+        // A truncated frame must come back as a typed daemon error.
+        NetFaultKind::TruncateRequest => &[OutcomeClass::TypedError],
+        // A dropped connection is a typed client transport error.
+        NetFaultKind::MidFrameReset => &[OutcomeClass::TransportClosed],
+        // Garbling usually yields a typed error (unknown kind, header
+        // garbage, parse failure); a flip that keeps the source legal
+        // compiles — also typed.
+        NetFaultKind::GarbleFrame => &[OutcomeClass::TypedError, OutcomeClass::Compiled],
+    }
+}
+
+fn classify(result: Result<Response, ClientError>) -> Result<OutcomeClass, String> {
+    match result {
+        Ok(Response::Compiled(..)) => Ok(OutcomeClass::Compiled),
+        Ok(Response::Refused(_)) => Ok(OutcomeClass::Refused),
+        Ok(Response::Error(_)) => Ok(OutcomeClass::TypedError),
+        Ok(other) => Err(format!("unexpected response kind: {other:?}")),
+        Err(ClientError::Io(e))
+            if matches!(e.kind(), std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock) =>
+        {
+            Err(format!("HANG: request did not resolve within its deadline ({e})"))
+        }
+        Err(ClientError::Io(_) | ClientError::Proto(_)) => Ok(OutcomeClass::TransportClosed),
+        Err(e) => Err(format!("unexpected client error: {e}")),
+    }
+}
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sxe-netchaos-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Run the full campaign: `opts.seeds` seeds × every [`NetFaultKind`],
+/// each through its own [`NetFaultProxy`] in front of one shared
+/// in-process daemon, with a direct liveness ping after every case.
+///
+/// # Errors
+/// Infrastructure failures only (daemon or proxy would not start);
+/// protocol misbehavior is reported as findings, not an `Err`.
+pub fn run_campaign(opts: &ChaosOptions) -> Result<CampaignReport, String> {
+    let dir = fresh_dir("campaign");
+    let server = Server::start(
+        0,
+        ServeConfig {
+            cache_dir: dir.clone(),
+            threads: 4, // fixed: daemon parallelism is not under test
+            queue_capacity: 256,
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| format!("cannot start daemon: {e}"))?;
+    let daemon_port = server.port();
+
+    // Warm the cache so the faithful-relay kinds replay a hit and the
+    // campaign's wall-clock stays dominated by the injected faults.
+    let direct = Client::new(daemon_port);
+    direct
+        .compile_once(&CompileRequest::new(SRC))
+        .map_err(|e| format!("warm-up compile failed: {e}"))?;
+
+    let cases: Vec<NetFaultPlan> = NetFaultKind::ALL
+        .iter()
+        .flat_map(|&kind| {
+            (0..opts.seeds).map(move |i| NetFaultPlan::with_kind(opts.base_seed + i, kind))
+        })
+        .collect();
+
+    let results: Vec<(Result<OutcomeClass, String>, bool)> =
+        shard::par_map(&cases, opts.threads, |_, plan| {
+            let outcome = match NetFaultProxy::start(daemon_port, *plan) {
+                Ok(proxy) => {
+                    let client = Client::new(proxy.port())
+                        .with_io_timeout(Duration::from_secs(4));
+                    let outcome = classify(client.compile_once(&CompileRequest::new(SRC)));
+                    proxy.stop();
+                    outcome
+                }
+                Err(e) => Err(format!("proxy failed to start: {e}")),
+            };
+            // Liveness after every case: a fault must never take the
+            // daemon down.
+            let alive = Client::new(daemon_port)
+                .with_io_timeout(Duration::from_secs(4))
+                .ping()
+                .is_ok();
+            (outcome, alive)
+        });
+
+    let mut histogram: Vec<(NetFaultKind, [u64; 4])> =
+        NetFaultKind::ALL.iter().map(|&k| (k, [0u64; 4])).collect();
+    let mut findings = Vec::new();
+    for (plan, (outcome, alive)) in cases.iter().zip(&results) {
+        let label = format!("kind={} seed={:#x}", plan.kind.name(), plan.seed);
+        match outcome {
+            Ok(class) => {
+                let row = &mut histogram
+                    .iter_mut()
+                    .find(|(k, _)| k == &plan.kind)
+                    .expect("kind row exists")
+                    .1;
+                let col = OutcomeClass::ALL.iter().position(|c| c == class).expect("class col");
+                row[col] += 1;
+                if !expected(plan.kind).contains(class) {
+                    findings.push(format!(
+                        "{label}: outcome {} violates the {} contract (allowed: {:?})",
+                        class.name(),
+                        plan.kind.name(),
+                        expected(plan.kind).iter().map(|c| c.name()).collect::<Vec<_>>(),
+                    ));
+                }
+            }
+            Err(msg) => findings.push(format!("{label}: {msg}")),
+        }
+        if !alive {
+            findings.push(format!("{label}: DAEMON DEAD — ping failed after the case"));
+        }
+    }
+
+    direct.shutdown().map_err(|e| format!("campaign shutdown: {e}"))?;
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(CampaignReport { cases: cases.len() as u64, histogram, findings })
+}
+
+/// What the protocol fuzzer observed.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Frames streamed.
+    pub frames: u64,
+    /// Complete response frames received across all connections.
+    pub responses: u64,
+    /// Per-shape frame counts, in first-seen order.
+    pub shape_histogram: Vec<(&'static str, u64)>,
+    /// Contract violations (hangs, torn response frames, dead daemon).
+    pub findings: Vec<String>,
+}
+
+/// Stream `frames` seeded malformed frames ([`fuzz_frame`]) at a fresh
+/// in-process daemon, one connection each: write the frame (whole or
+/// byte-dripped), half-close, then read to EOF. The contract per
+/// connection: every byte received parses as complete response frames,
+/// EOF arrives within the socket timeout, and the daemon stays alive.
+///
+/// # Errors
+/// Infrastructure failures only (daemon would not start); protocol
+/// misbehavior is reported as findings.
+pub fn run_fuzz(frames: u64, base_seed: u64) -> Result<FuzzReport, String> {
+    let dir = fresh_dir("fuzz");
+    let server = Server::start(
+        0,
+        ServeConfig {
+            cache_dir: dir.clone(),
+            threads: 2,
+            // Tight enough that a lost typed-close would fail the run
+            // quickly, loose enough for dripped frames to finish.
+            io_timeout: Duration::from_secs(2),
+            frame_deadline: Duration::from_secs(2),
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| format!("cannot start fuzz daemon: {e}"))?;
+    let port = server.port();
+
+    let mut shape_histogram: Vec<(&'static str, u64)> = Vec::new();
+    let mut findings = Vec::new();
+    let mut responses = 0u64;
+    for i in 0..frames {
+        let frame = fuzz_frame(base_seed + i);
+        match shape_histogram.iter_mut().find(|(s, _)| *s == frame.shape) {
+            Some((_, n)) => *n += 1,
+            None => shape_histogram.push((frame.shape, 1)),
+        }
+        let label = format!("frame seed={:#x} shape={}", base_seed + i, frame.shape);
+        match fuzz_one(port, &frame) {
+            Ok(n) => responses += n,
+            Err(msg) => findings.push(format!("{label}: {msg}")),
+        }
+        if findings.len() > 16 {
+            findings.push("... aborting: too many findings".into());
+            break;
+        }
+    }
+    let alive = Client::new(port).ping().is_ok();
+    if !alive {
+        findings.push("DAEMON DEAD after the fuzz stream".into());
+    } else {
+        let _ = Client::new(port).shutdown();
+        server.wait();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(FuzzReport { frames, responses, shape_histogram, findings })
+}
+
+/// One fuzz connection; returns the number of complete response frames
+/// received before the clean close.
+fn fuzz_one(port: u16, frame: &sxe_serve::FuzzFrame) -> Result<u64, String> {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(4)))
+        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(4))))
+        .and_then(|()| stream.set_nodelay(true))
+        .map_err(|e| format!("socket setup: {e}"))?;
+    let write_result = match frame.delivery {
+        FuzzDelivery::Whole => stream.write_all(&frame.bytes),
+        FuzzDelivery::Drip => frame.bytes.iter().try_for_each(|b| {
+            stream.write_all(std::slice::from_ref(b))?;
+            std::thread::sleep(Duration::from_micros(100));
+            Ok(())
+        }),
+    };
+    // The daemon may have typed-closed already (e.g. an oversize
+    // prefix); a write error after that is the clean-close contract
+    // working, not a finding.
+    drop(write_result);
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut received = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => received.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if matches!(e.kind(), std::io::ErrorKind::ConnectionReset) => break,
+            Err(e) => return Err(format!("HANG or read failure awaiting close: {e}")),
+        }
+    }
+    // Every received byte must belong to a complete, parseable frame.
+    let mut cursor = Cursor::new(received);
+    let mut n = 0u64;
+    loop {
+        match read_frame(&mut cursor) {
+            Ok(Some(_)) => n += 1,
+            Ok(None) => break,
+            Err(e) => return Err(format!("torn or malformed response frame: {e}")),
+        }
+    }
+    Ok(n)
+}
+
+/// Slow-loris the daemon: start a frame, then drip one byte per 50 ms.
+/// The daemon must cut the connection off with a typed error close to
+/// `frame_deadline` — not after `io_timeout` per byte. Returns the
+/// observed cutoff latency.
+///
+/// # Errors
+/// A message describing the violated deadline contract.
+pub fn check_slow_loris() -> Result<Duration, String> {
+    let deadline = Duration::from_millis(150);
+    let dir = fresh_dir("loris");
+    let server = Server::start(
+        0,
+        ServeConfig {
+            cache_dir: dir.clone(),
+            threads: 1,
+            io_timeout: Duration::from_secs(10),
+            frame_deadline: deadline,
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| format!("cannot start loris daemon: {e}"))?;
+    let mut stream = TcpStream::connect(("127.0.0.1", server.port()))
+        .map_err(|e| format!("connect: {e}"))?;
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    // A frame claiming 64 bytes, dripped one byte per 50 ms: honest
+    // arrival would take ~3.2 s, so a cutoff near 150 ms proves the
+    // deadline, not the idle timeout, fired.
+    let claimed: u32 = 64;
+    let mut wire = claimed.to_be_bytes().to_vec();
+    wire.push(0x01);
+    let t0 = Instant::now();
+    let mut sent = 0;
+    let cutoff = loop {
+        if sent < wire.len() {
+            if stream.write_all(&wire[sent..=sent]).is_err() {
+                break t0.elapsed(); // daemon already hung up
+            }
+            sent += 1;
+        }
+        // Poll for the daemon's verdict between drips.
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .map_err(|e| e.to_string())?;
+        let mut chunk = [0u8; 512];
+        match stream.read(&mut chunk) {
+            Ok(_) => break t0.elapsed(),
+            Err(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) => {}
+            Err(_) => break t0.elapsed(),
+        }
+        if t0.elapsed() > Duration::from_secs(5) {
+            return Err("HANG: no deadline cutoff after 5 s of one-byte drips".into());
+        }
+    };
+    let hits = server
+        .telemetry()
+        .metrics_snapshot()
+        .counter("serve.net.frame_deadline_hits");
+    let _ = Client::new(server.port()).shutdown();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+    if hits < 1 {
+        return Err(format!(
+            "cutoff after {cutoff:?} but serve.net.frame_deadline_hits is {hits} — the idle \
+             timeout, not the frame deadline, fired"
+        ));
+    }
+    let slack = deadline + Duration::from_millis(850);
+    if cutoff > slack {
+        return Err(format!(
+            "slow-loris cutoff took {cutoff:?}; the {deadline:?} frame deadline allows at most \
+             {slack:?}"
+        ));
+    }
+    Ok(cutoff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_is_clean_and_thread_count_invariant() {
+        let base = ChaosOptions { seeds: 3, threads: 1, base_seed: 0xabc };
+        let r1 = run_campaign(&base).unwrap();
+        assert_eq!(r1.findings, Vec::<String>::new());
+        assert_eq!(r1.cases, 3 * NetFaultKind::ALL.len() as u64);
+        let r4 = run_campaign(&ChaosOptions { threads: 4, ..base }).unwrap();
+        assert_eq!(r1.render(), r4.render(), "report must not depend on --threads");
+    }
+
+    #[test]
+    fn small_fuzz_run_is_clean() {
+        let r = run_fuzz(64, 0x5eed).unwrap();
+        assert_eq!(r.findings, Vec::<String>::new());
+        assert_eq!(r.frames, 64);
+        assert!(r.shape_histogram.len() >= 4, "{:?}", r.shape_histogram);
+    }
+
+    #[test]
+    fn slow_loris_is_cut_off_at_the_frame_deadline() {
+        let cutoff = check_slow_loris().unwrap();
+        assert!(cutoff < Duration::from_secs(1), "cutoff {cutoff:?}");
+    }
+}

@@ -29,6 +29,10 @@ options:
   --fuel <n>             default per-request fuel budget (default unlimited)
   --timeout <ms>         default per-request wall-clock budget (default unlimited)
   --io-timeout <ms>      socket read/write timeout (default 10000)
+  --frame-deadline <ms>  per-frame read deadline once a frame has started,
+                         the slow-loris cutoff (default 2000)
+  --max-conns <n>        connection cap; beyond it new connections get a typed
+                         connection-limit refusal (0 = unlimited; default 256)
   --retry-after <ms>     backoff hint attached to refusals (default 25)
   --write-delay-ms <ms>  test hook: slow cache writes to widen the crash window
   --help                 print this help
@@ -74,6 +78,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let ms: u64 =
                     value("--io-timeout")?.parse().map_err(|_| "bad --io-timeout".to_string())?;
                 opts.config.io_timeout = Duration::from_millis(ms.max(1));
+            }
+            "--frame-deadline" => {
+                let ms: u64 = value("--frame-deadline")?
+                    .parse()
+                    .map_err(|_| "bad --frame-deadline".to_string())?;
+                opts.config.frame_deadline = Duration::from_millis(ms.max(1));
+            }
+            "--max-conns" => {
+                opts.config.max_connections =
+                    value("--max-conns")?.parse().map_err(|_| "bad --max-conns".to_string())?;
             }
             "--retry-after" => {
                 let ms: u64 = value("--retry-after")?

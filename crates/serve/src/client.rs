@@ -6,13 +6,13 @@
 //! the server's typed refusals: on [`Response::Refused`] it backs off
 //! exponentially — never below the server's `retry_after` hint —
 //! with deterministic jitter from a caller-seeded
-//! [`XorShift`](sxe_ir::rng::XorShift), so a thousand stressed clients
+//! [`sxe_ir::rng::XorShift`], so a thousand stressed clients
 //! de-synchronize without a single nondeterministic bit.
 
 use std::fmt;
 use std::io;
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sxe_ir::rng::XorShift;
 
@@ -65,6 +65,13 @@ pub enum ClientError {
     Rejected(String),
     /// Every attempt was refused; the last refusal is included.
     Exhausted(Refusal),
+    /// The client-side circuit breaker is open: the daemon has failed
+    /// too many consecutive calls, so this request was not sent at all.
+    /// Retry no sooner than `retry_after`.
+    CircuitOpen {
+        /// How long until the breaker will admit a half-open probe.
+        retry_after: Duration,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -75,6 +82,9 @@ impl fmt::Display for ClientError {
             ClientError::Rejected(msg) => write!(f, "request rejected: {msg}"),
             ClientError::Exhausted(r) => {
                 write!(f, "retries exhausted (last refusal: {})", r.reason)
+            }
+            ClientError::CircuitOpen { retry_after } => {
+                write!(f, "circuit breaker open (retry in {retry_after:?})")
             }
         }
     }
@@ -226,6 +236,46 @@ impl Client {
         }
     }
 
+    /// [`compile_with_retry`](Client::compile_with_retry) behind a
+    /// [`CircuitBreaker`]: when the breaker is open the request is
+    /// short-circuited with [`ClientError::CircuitOpen`] before any
+    /// socket work, so a dead daemon costs nanoseconds instead of a
+    /// full timeout-and-retry ladder per call.
+    ///
+    /// Breaker accounting: transport failures and exhausted retries
+    /// count against the breaker; [`ClientError::Rejected`] does *not*
+    /// — a typed rejection proves the daemon is alive and answering,
+    /// the request itself was bad.
+    ///
+    /// # Errors
+    /// [`ClientError::CircuitOpen`] when short-circuited; otherwise as
+    /// [`compile_with_retry`](Client::compile_with_retry).
+    pub fn compile_guarded(
+        &self,
+        req: &CompileRequest,
+        policy: &RetryPolicy,
+        breaker: &mut CircuitBreaker,
+        rng: &mut XorShift,
+    ) -> Result<(CacheOutcome, CompiledArtifact, RetryStats), ClientError> {
+        if let Err(retry_after) = breaker.try_acquire() {
+            return Err(ClientError::CircuitOpen { retry_after });
+        }
+        match self.compile_with_retry(req, policy, rng) {
+            Ok(ok) => {
+                breaker.on_success();
+                Ok(ok)
+            }
+            Err(e @ ClientError::Rejected(_)) => {
+                breaker.on_success();
+                Err(e)
+            }
+            Err(e) => {
+                breaker.on_failure();
+                Err(e)
+            }
+        }
+    }
+
     /// Exponential backoff with jitter: `base * 2^(attempt-1)` scaled by
     /// a deterministic factor in `[0.5, 1.5)` from `rng`, then clamped to
     /// `[server_hint, max_backoff]` — the jittered wait must never
@@ -252,6 +302,154 @@ impl Client {
 
 fn unexpected(resp: &Response) -> ClientError {
     ClientError::Proto(ProtoError(format!("unexpected response: {resp:?}")))
+}
+
+/// Circuit-breaker tuning for [`Client::compile_guarded`].
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerPolicy {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before admitting one half-open
+    /// probe; doubles on every failed probe.
+    pub cooldown: Duration,
+    /// Ceiling for the doubling cooldown.
+    pub max_cooldown: Duration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> BreakerPolicy {
+        BreakerPolicy {
+            failure_threshold: 5,
+            cooldown: Duration::from_millis(50),
+            max_cooldown: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Observable breaker state (see [`CircuitBreaker::state`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; consecutive failures are being counted.
+    Closed,
+    /// Requests are short-circuited without touching the network.
+    Open,
+    /// One probe is in flight; its outcome decides open vs. closed.
+    HalfOpen,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BreakerInner {
+    Closed { consecutive_failures: u32 },
+    Open { until: Instant, cooldown: Duration },
+    HalfOpen { cooldown: Duration },
+}
+
+/// A deterministic client-side circuit breaker.
+///
+/// State machine: `Closed` counts *consecutive* failures and trips
+/// `Open` at the policy threshold; `Open` short-circuits every call
+/// (no socket is touched) until its cooldown elapses, then admits
+/// exactly one `HalfOpen` probe; a successful probe closes the breaker
+/// and resets the failure count, a failed one re-opens it with the
+/// cooldown doubled (capped at `max_cooldown`).
+///
+/// All transitions are pure functions of the injected `now` — like the
+/// retry jitter, nothing here consumes ambient entropy, so breaker
+/// traces replay exactly under test. The breaker is not thread-safe by
+/// design; share one per client task or wrap it yourself.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    inner: BreakerInner,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with zero recorded failures.
+    #[must_use]
+    pub fn new(policy: BreakerPolicy) -> CircuitBreaker {
+        CircuitBreaker { policy, inner: BreakerInner::Closed { consecutive_failures: 0 } }
+    }
+
+    /// Current coarse state.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        match self.inner {
+            BreakerInner::Closed { .. } => BreakerState::Closed,
+            BreakerInner::Open { .. } => BreakerState::Open,
+            BreakerInner::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Ask to send a request at time `now`. `Ok(())` admits the call
+    /// (and, from `Open` past its cooldown, converts it into the single
+    /// half-open probe); `Err(retry_after)` short-circuits it.
+    ///
+    /// # Errors
+    /// `Err(d)` when the breaker is open (retry after `d`) or when a
+    /// half-open probe is already outstanding.
+    pub fn try_acquire_at(&mut self, now: Instant) -> Result<(), Duration> {
+        match self.inner {
+            BreakerInner::Closed { .. } => Ok(()),
+            BreakerInner::Open { until, cooldown } => {
+                if now < until {
+                    Err(until - now)
+                } else {
+                    self.inner = BreakerInner::HalfOpen { cooldown };
+                    Ok(())
+                }
+            }
+            // One probe at a time: until it reports back, everyone else
+            // waits a full cooldown.
+            BreakerInner::HalfOpen { cooldown } => Err(cooldown),
+        }
+    }
+
+    /// Record a successful call: closes the breaker and zeroes the
+    /// consecutive-failure count.
+    pub fn on_success(&mut self) {
+        self.inner = BreakerInner::Closed { consecutive_failures: 0 };
+    }
+
+    /// Record a failed call finishing at time `now`.
+    pub fn on_failure_at(&mut self, now: Instant) {
+        match self.inner {
+            BreakerInner::Closed { consecutive_failures } => {
+                let failures = consecutive_failures + 1;
+                if failures >= self.policy.failure_threshold.max(1) {
+                    self.inner = BreakerInner::Open {
+                        until: now + self.policy.cooldown,
+                        cooldown: self.policy.cooldown,
+                    };
+                } else {
+                    self.inner = BreakerInner::Closed { consecutive_failures: failures };
+                }
+            }
+            BreakerInner::HalfOpen { cooldown } => {
+                let cooldown = (cooldown * 2).min(self.policy.max_cooldown);
+                self.inner = BreakerInner::Open { until: now + cooldown, cooldown };
+            }
+            // A failure reported while open (a call admitted before the
+            // trip) just re-arms the current cooldown window.
+            BreakerInner::Open { cooldown, .. } => {
+                self.inner = BreakerInner::Open { until: now + cooldown, cooldown };
+            }
+        }
+    }
+
+    /// [`try_acquire_at`](CircuitBreaker::try_acquire_at) at the real
+    /// clock.
+    ///
+    /// # Errors
+    /// See [`try_acquire_at`](CircuitBreaker::try_acquire_at).
+    pub fn try_acquire(&mut self) -> Result<(), Duration> {
+        self.try_acquire_at(Instant::now())
+    }
+
+    /// [`on_failure_at`](CircuitBreaker::on_failure_at) at the real
+    /// clock.
+    pub fn on_failure(&mut self) {
+        self.on_failure_at(Instant::now());
+    }
 }
 
 #[cfg(test)]
@@ -314,6 +512,97 @@ mod tests {
         let big_hint = policy.max_backoff * 3;
         let w = client.backoff(&policy, 1, big_hint, &mut rng_forcing(0));
         assert_eq!(w, big_hint);
+    }
+
+    fn breaker(threshold: u32) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: threshold,
+            cooldown: Duration::from_millis(100),
+            max_cooldown: Duration::from_millis(400),
+        })
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_consecutive_failures() {
+        let mut b = breaker(3);
+        let t0 = Instant::now();
+        for i in 0..2 {
+            assert_eq!(b.try_acquire_at(t0), Ok(()), "failure {i} must not trip yet");
+            b.on_failure_at(t0);
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+        b.on_failure_at(t0); // third consecutive failure trips it
+        assert_eq!(b.state(), BreakerState::Open);
+        let denied = b.try_acquire_at(t0 + Duration::from_millis(40));
+        assert_eq!(denied, Err(Duration::from_millis(60)), "open: exact remaining cooldown");
+    }
+
+    #[test]
+    fn breaker_success_resets_the_consecutive_count() {
+        let mut b = breaker(3);
+        let t0 = Instant::now();
+        b.on_failure_at(t0);
+        b.on_failure_at(t0);
+        b.on_success(); // interleaved success: the streak is broken
+        b.on_failure_at(t0);
+        b.on_failure_at(t0);
+        assert_eq!(b.state(), BreakerState::Closed, "non-consecutive failures never trip");
+    }
+
+    #[test]
+    fn breaker_half_open_probe_closes_on_success() {
+        let mut b = breaker(1);
+        let t0 = Instant::now();
+        b.on_failure_at(t0);
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown elapsed: exactly one probe is admitted …
+        let t1 = t0 + Duration::from_millis(100);
+        assert_eq!(b.try_acquire_at(t1), Ok(()));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // … and a second caller is denied while it is outstanding.
+        assert!(b.try_acquire_at(t1).is_err());
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.try_acquire_at(t1), Ok(()));
+    }
+
+    #[test]
+    fn breaker_failed_probe_doubles_cooldown_up_to_the_cap() {
+        let mut b = breaker(1);
+        let mut now = Instant::now();
+        b.on_failure_at(now);
+        // Each failed probe doubles the wait: 100 → 200 → 400 → 400 (cap).
+        for expect_ms in [200u64, 400, 400, 400] {
+            now += Duration::from_millis(1000); // well past any cooldown
+            assert_eq!(b.try_acquire_at(now), Ok(()), "probe admitted");
+            b.on_failure_at(now);
+            assert_eq!(b.state(), BreakerState::Open);
+            let denied = b.try_acquire_at(now).expect_err("freshly re-opened");
+            assert_eq!(denied, Duration::from_millis(expect_ms));
+        }
+    }
+
+    #[test]
+    fn breaker_transitions_are_deterministic_under_replay() {
+        // Same policy, same timeline, same outcomes → identical traces.
+        let t0 = Instant::now();
+        let script = |b: &mut CircuitBreaker| {
+            let mut trace = Vec::new();
+            for step in 0..20u64 {
+                let now = t0 + Duration::from_millis(step * 37);
+                let admitted = b.try_acquire_at(now).is_ok();
+                if admitted {
+                    if step % 3 == 0 {
+                        b.on_failure_at(now);
+                    } else {
+                        b.on_success();
+                    }
+                }
+                trace.push((admitted, b.state()));
+            }
+            trace
+        };
+        assert_eq!(script(&mut breaker(2)), script(&mut breaker(2)));
     }
 
     #[test]

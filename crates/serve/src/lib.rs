@@ -14,7 +14,12 @@
 //!   the `shard::par_map` worker pool, graceful drain + index fsync on
 //!   shutdown;
 //! * [`client`] — a blocking client whose bounded retry backs off
-//!   exponentially with deterministic, seeded jitter.
+//!   exponentially with deterministic, seeded jitter, guarded by an
+//!   equally deterministic circuit breaker;
+//! * [`netfault`] — seeded network-fault injection: an in-process
+//!   fault proxy ([`NetFaultProxy`]) and a protocol-frame fuzzer, the
+//!   wire-level mirror of `sxe-jit`'s `FaultPlan` discipline. The
+//!   `netchaos` binary in `sxe-bench` drives both as a gate.
 //!
 //! The daemon inherits the workspace's determinism contract: a compile
 //! response is byte-identical to a sequential `sxec` run of the same
@@ -22,17 +27,21 @@
 //! from the cache.
 
 pub mod client;
+pub mod netfault;
 pub mod proto;
 pub mod server;
 pub mod store;
 
-pub use client::{Client, ClientError, RetryPolicy, RetryStats};
+pub use client::{
+    BreakerPolicy, BreakerState, CircuitBreaker, Client, ClientError, RetryPolicy, RetryStats,
+};
+pub use netfault::{fuzz_frame, FuzzDelivery, FuzzFrame, NetFaultKind, NetFaultPlan, NetFaultProxy};
 pub use proto::{
     CacheOutcome, CompileRequest, CompiledArtifact, ProtoError, Refusal, RefusalReason, Request,
     Response,
 };
-pub use server::{stat_value, ServeConfig, Server};
-pub use store::{ArtifactStore, StoreStats};
+pub use server::{parse_stats, stat_value, ServeConfig, Server};
+pub use store::{crash_point_sweep, ArtifactStore, CrashSweepReport, StoreStats};
 
 #[cfg(test)]
 mod e2e {

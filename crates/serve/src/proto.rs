@@ -77,14 +77,32 @@ pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<(
 
 /// Read one frame; `Ok(None)` on a clean EOF at a frame boundary.
 ///
+/// EOF is only clean *between* frames: a peer that closes after sending
+/// part of the length prefix, or part of the kind/payload, produced a
+/// **truncated frame**, reported as a typed
+/// [`io::ErrorKind::InvalidData`] error naming the cut point — never a
+/// bare `UnexpectedEof` and never silently treated as a boundary.
+///
 /// # Errors
 /// Propagates I/O errors (including read timeouts) and rejects frames
-/// larger than [`MAX_FRAME`] with [`io::ErrorKind::InvalidData`].
+/// larger than [`MAX_FRAME`] or truncated mid-frame with
+/// [`io::ErrorKind::InvalidData`].
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
     let mut len = [0u8; 4];
-    match r.read(&mut len)? {
-        0 => return Ok(None),
-        n => r.read_exact(&mut len[n..])?,
+    let mut got = 0;
+    while got < len.len() {
+        match r.read(&mut len[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("truncated frame: EOF after {got} of 4 length-prefix bytes"),
+                ));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
     }
     let len = u32::from_be_bytes(len) as usize;
     if len == 0 || len > MAX_FRAME {
@@ -94,7 +112,20 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
         ));
     }
     let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf)?;
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("truncated frame: EOF after {got} of {len} frame bytes"),
+                ));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
     let kind = buf[0];
     buf.remove(0);
     Ok(Some((kind, buf)))
@@ -184,6 +215,9 @@ pub enum RefusalReason {
     QueueFull,
     /// The daemon is draining for shutdown.
     ShuttingDown,
+    /// The per-daemon connection cap is reached; the connection was
+    /// answered and closed without reading the request body.
+    ConnectionLimit,
 }
 
 impl fmt::Display for RefusalReason {
@@ -191,6 +225,7 @@ impl fmt::Display for RefusalReason {
         match self {
             RefusalReason::QueueFull => f.write_str("queue-full"),
             RefusalReason::ShuttingDown => f.write_str("shutting-down"),
+            RefusalReason::ConnectionLimit => f.write_str("connection-limit"),
         }
     }
 }
@@ -469,6 +504,7 @@ impl Response {
                 let reason = match header(&headers, "reason") {
                     Some("queue-full") => RefusalReason::QueueFull,
                     Some("shutting-down") => RefusalReason::ShuttingDown,
+                    Some("connection-limit") => RefusalReason::ConnectionLimit,
                     other => return Err(perr(format!("bad refusal reason {other:?}"))),
                 };
                 Ok(Response::Refused(Refusal {
@@ -581,6 +617,10 @@ mod tests {
             retry_after_ms: 25,
             reason: RefusalReason::QueueFull,
         }));
+        roundtrip_response(&Response::Refused(Refusal {
+            retry_after_ms: 40,
+            reason: RefusalReason::ConnectionLimit,
+        }));
         let artifact = CompiledArtifact {
             key: 0xdead_beef_0123_4567,
             boundaries: 12,
@@ -628,6 +668,56 @@ mod tests {
     #[test]
     fn clean_eof_is_none() {
         assert!(read_frame(&mut Cursor::new(Vec::new())).unwrap().is_none());
+    }
+
+    /// A reader that hands out its bytes one at a time, so every
+    /// `read` call exercises the partial-read path.
+    struct OneByte(Cursor<Vec<u8>>);
+    impl io::Read for OneByte {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = buf.len().min(1);
+            self.0.read(&mut buf[..n])
+        }
+    }
+
+    #[test]
+    fn eof_mid_frame_is_typed_invalid_data_at_every_byte_offset() {
+        let mut full = Vec::new();
+        Request::Compile(CompileRequest::new("abc")).write_to(&mut full).unwrap();
+        // Offset 0 is a clean boundary; every other prefix is a
+        // truncated frame and must be a typed InvalidData error that
+        // names the cut, never a bare UnexpectedEof.
+        for cut in 1..full.len() {
+            let prefix = full[..cut].to_vec();
+            let err = read_frame(&mut Cursor::new(prefix.clone()))
+                .expect_err(&format!("prefix of {cut} bytes must error"));
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}: {err}");
+            assert!(err.to_string().contains("truncated frame"), "cut at {cut}: {err}");
+            if cut < 4 {
+                assert!(
+                    err.to_string().contains("length-prefix"),
+                    "cut at {cut} is mid-header: {err}"
+                );
+            }
+            // The same cut through a one-byte-per-read transport (a
+            // dribbling peer) classifies identically.
+            let err = read_frame(&mut OneByte(Cursor::new(prefix))).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "dribbled cut at {cut}");
+        }
+        // The full frame still parses, even one byte at a time.
+        assert!(read_frame(&mut OneByte(Cursor::new(full))).unwrap().is_some());
+    }
+
+    #[test]
+    fn non_eof_io_errors_pass_through_untouched() {
+        struct Timeout;
+        impl io::Read for Timeout {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::TimedOut, "socket timeout"))
+            }
+        }
+        let err = read_frame(&mut Timeout).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut, "timeouts are not truncation");
     }
 
     #[test]

@@ -23,7 +23,8 @@
 //!   the cache index, then acks with the number of requests drained.
 //!
 //! Every compile resolves against the [`ArtifactStore`] keyed by
-//! [`artifact_key`]; only clean compilations (no incidents, no budget
+//! [`artifact_key`](sxe_jit::artifact::artifact_key_for); only clean
+//! compilations (no incidents, no budget
 //! exhaustion, no fault plan) are cached — see
 //! [`sxe_jit::artifact`] for the soundness argument.
 
@@ -67,11 +68,28 @@ pub struct ServeConfig {
     /// Socket read/write timeout per connection; a peer that stalls
     /// longer is disconnected.
     pub io_timeout: Duration,
+    /// Once the first byte of a frame has arrived, the whole frame must
+    /// arrive within this long (slow-loris defense): a peer dripping a
+    /// frame one byte at a time is answered with a typed error and
+    /// disconnected instead of pinning a handler for `io_timeout` per
+    /// byte. Waiting *between* frames still uses `io_timeout`.
+    pub frame_deadline: Duration,
+    /// Connection cap: beyond this many live handler threads, a new
+    /// connection is answered immediately with a typed
+    /// `connection-limit` refusal (carrying the retry hint) and closed
+    /// — bounded threads, never an unexplained hang. `0` disables the
+    /// cap.
+    pub max_connections: usize,
     /// Backoff hint attached to refusals.
     pub retry_after: Duration,
     /// Test hook: widen the cache-write crash window (see
     /// [`ArtifactStore::open`]). `None` in production.
     pub write_delay: Option<Duration>,
+    /// Test hook: panic the compile worker when the request's module
+    /// contains a function with this name — proves a job panic is
+    /// contained to a typed error without killing the worker pool.
+    /// `None` in production.
+    pub compile_panic_on: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -83,8 +101,11 @@ impl Default for ServeConfig {
             default_fuel: None,
             default_time_limit: None,
             io_timeout: Duration::from_secs(10),
+            frame_deadline: Duration::from_secs(2),
+            max_connections: 256,
             retry_after: Duration::from_millis(25),
             write_delay: None,
+            compile_panic_on: None,
         }
     }
 }
@@ -142,6 +163,21 @@ impl Server {
         tel.metrics(|m| {
             m.add("serve.cache.recovered_entries", store.len() as u64);
             m.add("serve.cache.swept_tmp", store.stats().swept_tmp);
+            // Seed every counter at zero so a stats snapshot always
+            // carries the full schema, even before the first event.
+            for name in [
+                "serve.requests",
+                "serve.compiles",
+                "serve.refused.queue_full",
+                "serve.refused.shutting_down",
+                "serve.net.conn_refused",
+                "serve.net.frame_deadline_hits",
+                "serve.net.malformed_frames",
+                "serve.net.proto_errors",
+                "serve.worker.panics",
+            ] {
+                m.add(name, 0);
+            }
         });
         let shared = Arc::new(Shared {
             config,
@@ -198,6 +234,13 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     while !shared.done.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {
+                let cap = shared.config.max_connections as u64;
+                if cap > 0 && shared.active_conns.load(Ordering::Acquire) >= cap {
+                    shared.tel.metrics(|m| m.add("serve.net.conn_refused", 1));
+                    let shared = Arc::clone(shared);
+                    std::thread::spawn(move || refuse_conn(stream, &shared));
+                    continue;
+                }
                 shared.active_conns.fetch_add(1, Ordering::AcqRel);
                 let shared = Arc::clone(shared);
                 std::thread::spawn(move || {
@@ -213,19 +256,107 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
+/// Answer an over-cap connection with a typed `connection-limit`
+/// refusal. The peer's request frame is drained first (bounded by a
+/// short timeout) so the close never resets the refusal out of the
+/// peer's receive buffer; the whole exchange is bounded, so a
+/// connection flood costs short-lived threads, not hung clients.
+fn refuse_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let timeout = shared.config.io_timeout.min(Duration::from_secs(2));
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let _ = stream.set_nodelay(true);
+    let _ = read_frame(&mut stream);
+    let _ = Response::Refused(Refusal {
+        retry_after_ms: shared.config.retry_after.as_millis() as u64,
+        reason: RefusalReason::ConnectionLimit,
+    })
+    .write_to(&mut stream);
+}
+
+/// Socket reader enforcing the two-phase read discipline of one frame:
+/// waiting for a frame to *start* uses the long idle `io_timeout`, but
+/// once its first byte has arrived the rest must follow within
+/// `frame_deadline` — a slow-loris peer dripping one byte per
+/// near-timeout read is cut off at the deadline, not after
+/// `frames × io_timeout`.
+struct FrameReader<'a> {
+    stream: &'a TcpStream,
+    idle_timeout: Duration,
+    frame_deadline: Duration,
+    started: Option<Instant>,
+    deadline_hit: bool,
+}
+
+impl<'a> FrameReader<'a> {
+    fn new(stream: &'a TcpStream, idle_timeout: Duration, frame_deadline: Duration) -> Self {
+        let _ = stream.set_read_timeout(Some(idle_timeout));
+        FrameReader { stream, idle_timeout, frame_deadline, started: None, deadline_hit: false }
+    }
+}
+
+impl io::Read for FrameReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut stream = self.stream;
+        let Some(t0) = self.started else {
+            let n = stream.read(buf)?;
+            if n > 0 {
+                self.started = Some(Instant::now());
+            }
+            return Ok(n);
+        };
+        let elapsed = t0.elapsed();
+        if elapsed >= self.frame_deadline {
+            self.deadline_hit = true;
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "frame deadline exceeded"));
+        }
+        let remaining = (self.frame_deadline - elapsed).max(Duration::from_millis(1));
+        let _ = self.stream.set_read_timeout(Some(remaining.min(self.idle_timeout)));
+        match stream.read(buf) {
+            Err(e)
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+                    && t0.elapsed() >= self.frame_deadline =>
+            {
+                self.deadline_hit = true;
+                Err(io::Error::new(io::ErrorKind::TimedOut, "frame deadline exceeded"))
+            }
+            other => other,
+        }
+    }
+}
+
 fn handle_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
-    let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
     let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
     let _ = stream.set_nodelay(true);
     loop {
-        let frame = match read_frame(&mut stream) {
+        let mut reader =
+            FrameReader::new(&stream, shared.config.io_timeout, shared.config.frame_deadline);
+        let frame = match read_frame(&mut reader) {
             Ok(Some(frame)) => frame,
-            Ok(None) => return, // clean EOF
-            Err(_) => return,   // timeout or broken peer: drop the connection
+            Ok(None) => return, // clean EOF at a frame boundary
+            Err(e) if reader.deadline_hit => {
+                // Slow loris: the frame started but never finished.
+                // Typed answer, then hang up.
+                shared.tel.metrics(|m| m.add("serve.net.frame_deadline_hits", 1));
+                let _ = Response::Error(format!("request dropped: {e}")).write_to(&mut stream);
+                return;
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Malformed frame (oversize/zero length, truncated
+                // mid-frame): the stream offset is unrecoverable, so
+                // answer typed and close.
+                shared.tel.metrics(|m| m.add("serve.net.malformed_frames", 1));
+                let _ = Response::Error(format!("bad frame: {e}")).write_to(&mut stream);
+                return;
+            }
+            Err(_) => return, // idle timeout or broken peer: drop the connection
         };
         let request = match Request::decode(frame.0, &frame.1) {
             Ok(r) => r,
             Err(e) => {
+                // The frame itself was well-formed, so the stream is
+                // still in sync: answer typed and keep serving.
+                shared.tel.metrics(|m| m.add("serve.net.proto_errors", 1));
                 let _ = Response::Error(e.to_string()).write_to(&mut stream);
                 continue;
             }
@@ -253,6 +384,7 @@ fn handle_compile(shared: &Arc<Shared>, req: CompileRequest) -> Response {
         let name = match reason {
             RefusalReason::QueueFull => "serve.refused.queue_full",
             RefusalReason::ShuttingDown => "serve.refused.shutting_down",
+            RefusalReason::ConnectionLimit => "serve.net.conn_refused",
         };
         shared.tel.metrics(|m| m.add(name, 1));
         Response::Refused(Refusal {
@@ -265,7 +397,7 @@ fn handle_compile(shared: &Arc<Shared>, req: CompileRequest) -> Response {
     }
     let (tx, rx) = mpsc::channel();
     {
-        let mut q = shared.queue.lock().unwrap();
+        let mut q = lock_ok(&shared.queue);
         // Re-check under the lock so no admission races a shutdown drain.
         if shared.shutting_down.load(Ordering::Acquire) {
             return refusal(RefusalReason::ShuttingDown);
@@ -292,15 +424,15 @@ fn handle_compile(shared: &Arc<Shared>, req: CompileRequest) -> Response {
 /// service threads.
 fn handle_shutdown(shared: &Arc<Shared>) -> Response {
     let already = shared.shutting_down.swap(true, Ordering::AcqRel);
-    let mut q = shared.queue.lock().unwrap();
+    let mut q = lock_ok(&shared.queue);
     let drained = (q.pending.len() + q.in_flight) as u64;
     shared.cond.notify_all();
     while !q.pending.is_empty() || q.in_flight > 0 {
-        q = shared.cond.wait(q).unwrap();
+        q = shared.cond.wait(q).unwrap_or_else(|e| e.into_inner());
     }
     drop(q);
     if !already {
-        let store = shared.store.lock().unwrap();
+        let store = lock_ok(&shared.store);
         if let Err(e) = store.persist_index() {
             shared.tel.metrics(|m| m.add("serve.index_persist_errors", 1));
             eprintln!("sxed: failed to persist cache index: {e}");
@@ -318,15 +450,17 @@ fn handle_shutdown(shared: &Arc<Shared>) -> Response {
 fn dispatch_loop(shared: &Arc<Shared>) {
     loop {
         let batch: Vec<Job> = {
-            let mut q = shared.queue.lock().unwrap();
+            let mut q = lock_ok(&shared.queue);
             while q.pending.is_empty() {
                 if shared.done.load(Ordering::Acquire)
                     || (shared.shutting_down.load(Ordering::Acquire) && q.in_flight == 0)
                 {
                     return;
                 }
-                let (guard, _) =
-                    shared.cond.wait_timeout(q, Duration::from_millis(50)).unwrap();
+                let (guard, _) = shared
+                    .cond
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(|e| e.into_inner());
                 q = guard;
             }
             let batch: Vec<Job> = q.pending.drain(..).collect();
@@ -336,16 +470,48 @@ fn dispatch_loop(shared: &Arc<Shared>) {
         };
         let n = batch.len();
         shard::par_map(&batch, shared.config.threads, |_, job| {
-            let response = compile_one(shared, &job.req);
+            // A panicking compile job must not take the dispatcher (and
+            // with it the whole daemon) down: contain it to a typed
+            // error for this one requester and keep the pool serving.
+            let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                compile_one(shared, &job.req)
+            }))
+            .unwrap_or_else(|payload| {
+                shared.tel.metrics(|m| m.add("serve.worker.panics", 1));
+                Response::Error(format!(
+                    "internal error: compile worker panicked: {}",
+                    panic_message(payload.as_ref())
+                ))
+            });
             // The handler may have died with its connection; the queue
             // already counted the job, so a send failure is just a
             // wasted compile.
             let _ = job.reply.send(response);
         });
-        let mut q = shared.queue.lock().unwrap();
+        let mut q = lock_ok(&shared.queue);
         q.in_flight -= n;
         shared.cond.notify_all();
     }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Lock a mutex even if a previous holder panicked: compile-worker
+/// panics are contained ([`dispatch_loop`]), and none of the guarded
+/// structures are left mid-update by compiler code, so the data is
+/// still coherent — refusing to serve after one contained panic would
+/// turn an isolated failure into a full outage.
+fn lock_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Compile (or replay) one request. Cache policy: look up by
@@ -358,10 +524,15 @@ fn compile_one(shared: &Arc<Shared>, req: &CompileRequest) -> Response {
         Ok(m) => m,
         Err(e) => return Response::Error(format!("parse error: {e}")),
     };
+    if let Some(name) = &shared.config.compile_panic_on {
+        if module.iter().any(|(_, f)| f.name == *name) {
+            panic!("injected compile panic: function {name:?}");
+        }
+    }
     let compiler = Compiler::builder(req.variant).target(req.target).build();
     let key = artifact_key_for(&compiler, req.backend, &module);
     {
-        let mut store = shared.store.lock().unwrap();
+        let mut store = lock_ok(&shared.store);
         let cached = store.get(key);
         let quarantined = store.stats().quarantined;
         drop(store);
@@ -406,7 +577,7 @@ fn compile_one(shared: &Arc<Shared>, req: &CompileRequest) -> Response {
         text: compiled.module.to_string(),
     };
     if compiled.report.clean() {
-        let mut store = shared.store.lock().unwrap();
+        let mut store = lock_ok(&shared.store);
         if store.insert(key, &artifact.to_bytes()) {
             shared.tel.metrics(|m| m.add("serve.cache.inserts", 1));
         } else {
@@ -422,7 +593,7 @@ fn compile_one(shared: &Arc<Shared>, req: &CompileRequest) -> Response {
 #[must_use]
 pub fn render_stats(shared_store: &Mutex<ArtifactStore>, tel: &Telemetry, queue_depth: usize) -> String {
     let (len, stats) = {
-        let store = shared_store.lock().unwrap();
+        let store = lock_ok(shared_store);
         (store.len(), store.stats())
     };
     let reg = tel.metrics_snapshot();
@@ -436,31 +607,48 @@ pub fn render_stats(shared_store: &Mutex<ArtifactStore>, tel: &Telemetry, queue_
     let _ = writeln!(out, "serve.cache.swept_tmp {}", stats.swept_tmp);
     let _ = writeln!(out, "serve.cache.write_errors {}", stats.write_errors);
     let _ = writeln!(out, "serve.queue.depth {queue_depth}");
-    let _ = writeln!(out, "serve.requests {}", reg.counter("serve.requests"));
-    let _ = writeln!(out, "serve.compiles {}", reg.counter("serve.compiles"));
-    let _ = writeln!(out, "serve.refused.queue_full {}", reg.counter("serve.refused.queue_full"));
-    let _ = writeln!(
-        out,
-        "serve.refused.shutting_down {}",
-        reg.counter("serve.refused.shutting_down")
-    );
+    // Every other `serve.*` counter, in registry (sorted) order: new
+    // counters show up here without touching the renderer, and old
+    // clients skip the names they don't know (see [`parse_stats`]).
+    // Cache counters are excluded — the store's own stats above are
+    // authoritative for those.
+    for (name, value) in reg.counters_with_prefix("serve.") {
+        if !name.starts_with("serve.cache.") {
+            let _ = writeln!(out, "{name} {value}");
+        }
+    }
     let p99 = reg.histogram("serve.latency_ns").map_or(0, |h| h.quantile(0.99));
     let _ = writeln!(out, "serve.latency.p99_ns {p99}");
     out
 }
 
 fn render_stats_shared(shared: &Arc<Shared>) -> String {
-    let depth = shared.queue.lock().unwrap().pending.len();
+    let depth = lock_ok(&shared.queue).pending.len();
     render_stats(&shared.store, &shared.tel, depth)
 }
 
-/// Parse one value back out of a [`render_stats`] snapshot.
+/// Parse a [`render_stats`] snapshot into `(name, value)` pairs.
+///
+/// Forward-compatible by construction: lines that don't fit the
+/// `name value` shape — or whose value isn't a `u64` — are skipped, not
+/// errors, so a client built against an older daemon keeps working when
+/// a newer one grows counters (or line formats) it has never heard of.
+#[must_use]
+pub fn parse_stats(stats_text: &str) -> Vec<(&str, u64)> {
+    stats_text
+        .lines()
+        .filter_map(|line| {
+            let (k, v) = line.split_once(' ')?;
+            Some((k, v.trim().parse().ok()?))
+        })
+        .collect()
+}
+
+/// Parse one value back out of a [`render_stats`] snapshot. Unknown or
+/// malformed lines are skipped (see [`parse_stats`]).
 #[must_use]
 pub fn stat_value(stats_text: &str, name: &str) -> Option<u64> {
-    stats_text.lines().find_map(|line| {
-        let (k, v) = line.split_once(' ')?;
-        (k == name).then(|| v.parse().ok())?
-    })
+    parse_stats(stats_text).into_iter().find_map(|(k, v)| (k == name).then_some(v))
 }
 
 #[cfg(test)]
@@ -473,5 +661,48 @@ mod tests {
         assert_eq!(stat_value(text, "serve.cache.hits"), Some(12));
         assert_eq!(stat_value(text, "serve.latency.p99_ns"), Some(4096));
         assert_eq!(stat_value(text, "serve.cache.misses"), None);
+    }
+
+    #[test]
+    fn stat_value_skips_unknown_and_malformed_lines() {
+        // A future daemon may emit counters (or whole line shapes) this
+        // client has never heard of; none of them may break parsing of
+        // the lines it does know.
+        let text = "serve.cache.hits 12\n\
+                    serve.future.exotic_counter 7\n\
+                    serve.malformed not-a-number\n\
+                    no-space-line\n\
+                    serve.latency.p99_ns 4096\n";
+        assert_eq!(stat_value(text, "serve.cache.hits"), Some(12));
+        assert_eq!(stat_value(text, "serve.latency.p99_ns"), Some(4096));
+        assert_eq!(stat_value(text, "serve.future.exotic_counter"), Some(7));
+        assert_eq!(stat_value(text, "serve.malformed"), None);
+        let parsed = parse_stats(text);
+        assert_eq!(parsed.len(), 3);
+        assert!(parsed.iter().all(|(k, _)| *k != "serve.malformed"));
+    }
+
+    #[test]
+    fn stats_round_trip_survives_injected_unknown_line() {
+        // Round-trip: render a snapshot, inject an unknown counter line
+        // in the middle (as a newer daemon would), and confirm every
+        // known value still reads back unchanged.
+        let tel = Telemetry::enabled();
+        tel.metrics(|m| {
+            m.add("serve.requests", 3);
+            m.add("serve.net.malformed_frames", 2);
+        });
+        let dir = std::env::temp_dir().join(format!("sxed-statrt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Mutex::new(ArtifactStore::open(&dir, None).unwrap());
+        let rendered = render_stats(&store, &tel, 5);
+        let mut lines: Vec<&str> = rendered.lines().collect();
+        lines.insert(lines.len() / 2, "serve.v99.new_hotness 1234");
+        let injected = lines.join("\n");
+        for (name, value) in parse_stats(&rendered) {
+            assert_eq!(stat_value(&injected, name), Some(value), "lost {name} after injection");
+        }
+        assert_eq!(stat_value(&injected, "serve.v99.new_hotness"), Some(1234));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -156,6 +156,20 @@ impl Registry {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// Iterate the counters whose name starts with `prefix`, in label
+    /// order. BTreeMap range semantics make this a contiguous walk, so
+    /// a namespaced family like `serve.net.*` is cheap to snapshot even
+    /// from a large registry.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, &v)| (k.as_str(), v))
+    }
+
     /// Iterate gauges in label order.
     pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
         self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
@@ -277,6 +291,22 @@ mod tests {
         assert_eq!(r.counter("a.b"), 5);
         assert_eq!(r.counter("missing"), 0);
         assert_eq!(r.gauge("g"), Some(1.5));
+    }
+
+    #[test]
+    fn counters_with_prefix_walks_exactly_the_family() {
+        let mut r = Registry::new();
+        r.add("serve.net.conn_refused", 1);
+        r.add("serve.net.malformed_frames", 2);
+        r.add("serve.nett-lookalike", 9); // shares a string prefix, not the family
+        r.add("serve.requests", 3);
+        r.add("aaa.first", 4);
+        let family: Vec<(&str, u64)> = r.counters_with_prefix("serve.net.").collect();
+        assert_eq!(
+            family,
+            vec![("serve.net.conn_refused", 1), ("serve.net.malformed_frames", 2)]
+        );
+        assert_eq!(r.counters_with_prefix("zzz.").count(), 0);
     }
 
     #[test]

@@ -8,7 +8,8 @@ use std::time::Duration;
 use sxe_analysis::AnalysisCache;
 use sxe_ir::parse_module;
 use sxe_serve::{
-    stat_value, CacheOutcome, Client, CompileRequest, RefusalReason, Response, ServeConfig, Server,
+    stat_value, BreakerPolicy, BreakerState, CacheOutcome, CircuitBreaker, Client, CompileRequest,
+    RefusalReason, Response, RetryPolicy, ServeConfig, Server,
 };
 
 const BODY_A: &str = "\
@@ -182,6 +183,164 @@ fn overload_sheds_with_typed_refusals() {
     let stats = client.stats().unwrap();
     assert!(stat_value(&stats, "serve.refused.queue_full").unwrap() >= 1);
     client.shutdown().unwrap();
+    server.wait();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A peer that starts a frame and then stalls (slow loris) is cut off
+/// at the frame deadline with a typed error — not after `io_timeout`,
+/// and never by pinning the handler thread indefinitely.
+#[test]
+fn slow_loris_frame_is_cut_off_at_the_deadline_with_a_typed_error() {
+    use std::io::{Read as _, Write as _};
+    let (server, _client, dir) = start(
+        "loris",
+        ServeConfig {
+            frame_deadline: Duration::from_millis(150),
+            io_timeout: Duration::from_secs(10),
+            ..ServeConfig::default()
+        },
+    );
+    let mut stream = std::net::TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(3))).unwrap();
+    stream.set_nodelay(true).unwrap();
+    // Claim a 64-byte frame, deliver only the prefix and kind, go silent.
+    let mut partial = 64u32.to_be_bytes().to_vec();
+    partial.push(0x01);
+    stream.write_all(&partial).unwrap();
+    let t0 = std::time::Instant::now();
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).unwrap(); // typed error frame, then close
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "cutoff took {elapsed:?} — the io_timeout, not the frame deadline, fired"
+    );
+    let (kind, payload) = sxe_serve::proto::read_frame(&mut std::io::Cursor::new(buf))
+        .unwrap()
+        .expect("a typed error frame must precede the close");
+    let Response::Error(msg) = Response::decode(kind, &payload).unwrap() else {
+        panic!("expected a typed error response");
+    };
+    assert!(msg.contains("deadline"), "{msg}");
+    assert_eq!(
+        server.telemetry().metrics_snapshot().counter("serve.net.frame_deadline_hits"),
+        1
+    );
+    Client::new(server.port()).shutdown().unwrap();
+    server.wait();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Beyond `max_connections` live handlers, a new connection gets a
+/// typed `connection-limit` refusal with the retry hint — and service
+/// resumes as soon as the held connections go away.
+#[test]
+fn connection_cap_refuses_typed_and_recovers() {
+    let (server, client, dir) = start(
+        "conncap",
+        ServeConfig {
+            max_connections: 2,
+            retry_after: Duration::from_millis(35),
+            ..ServeConfig::default()
+        },
+    );
+    // Two idle connections pin the cap (their handlers wait for a frame).
+    let held: Vec<std::net::TcpStream> = (0..2)
+        .map(|_| std::net::TcpStream::connect(("127.0.0.1", server.port())).unwrap())
+        .collect();
+    std::thread::sleep(Duration::from_millis(100)); // let the accept loop count them
+    let resp = client.compile_once(&CompileRequest::new(BODY_A)).unwrap();
+    let Response::Refused(refusal) = resp else {
+        panic!("expected a connection-limit refusal, got {resp:?}")
+    };
+    assert_eq!(refusal.reason, RefusalReason::ConnectionLimit);
+    assert_eq!(refusal.retry_after_ms, 35);
+    // Capacity freed: the same request now compiles.
+    drop(held);
+    std::thread::sleep(Duration::from_millis(100));
+    let (outcome, _) = compiled(client.compile_once(&CompileRequest::new(BODY_A)).unwrap());
+    assert_eq!(outcome, CacheOutcome::Miss);
+    assert!(
+        server.telemetry().metrics_snapshot().counter("serve.net.conn_refused") >= 1
+    );
+    client.shutdown().unwrap();
+    server.wait();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A compile job that panics is contained to a typed error for its own
+/// requester; the dispatcher and worker pool keep serving everyone
+/// else.
+#[test]
+fn worker_panic_is_a_typed_error_and_the_pool_survives() {
+    let (server, client, dir) = start(
+        "panic",
+        ServeConfig {
+            compile_panic_on: Some("boom".into()),
+            ..ServeConfig::default()
+        },
+    );
+    let bomb = BODY_A.replace("@work", "@boom");
+    let resp = client.compile_once(&CompileRequest::new(bomb)).unwrap();
+    let Response::Error(msg) = resp else {
+        panic!("expected a typed worker-panic error, got {resp:?}")
+    };
+    assert!(msg.contains("panicked"), "{msg}");
+    // The pool is still alive and compiling.
+    let (outcome, artifact) = compiled(client.compile_once(&CompileRequest::new(BODY_A)).unwrap());
+    assert_eq!(outcome, CacheOutcome::Miss);
+    assert!(!artifact.text.is_empty());
+    let stats = client.stats().unwrap();
+    assert_eq!(stat_value(&stats, "serve.worker.panics"), Some(1));
+    client.shutdown().unwrap();
+    server.wait();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The client-side circuit breaker: consecutive transport failures trip
+/// it open (further calls are short-circuited without touching the
+/// network), and after the cooldown a half-open probe against a healthy
+/// daemon closes it again.
+#[test]
+fn circuit_breaker_opens_on_dead_daemon_and_recovers_on_probe() {
+    // A port with nothing listening: connects fail instantly.
+    let dead_port = {
+        let l = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let dead = Client::new(dead_port).with_io_timeout(Duration::from_millis(200));
+    let policy = RetryPolicy {
+        max_attempts: 1,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(2),
+    };
+    let mut breaker = CircuitBreaker::new(BreakerPolicy {
+        failure_threshold: 2,
+        cooldown: Duration::from_millis(20),
+        max_cooldown: Duration::from_millis(100),
+    });
+    let mut rng = sxe_ir::rng::XorShift::new(11);
+    let req = CompileRequest::new(BODY_A);
+    for _ in 0..2 {
+        let err = dead.compile_guarded(&req, &policy, &mut breaker, &mut rng).unwrap_err();
+        assert!(matches!(err, sxe_serve::ClientError::Io(_)), "{err}");
+    }
+    assert_eq!(breaker.state(), BreakerState::Open);
+    let err = dead.compile_guarded(&req, &policy, &mut breaker, &mut rng).unwrap_err();
+    let sxe_serve::ClientError::CircuitOpen { retry_after } = err else {
+        panic!("expected a short-circuit, got {err}")
+    };
+    assert!(retry_after <= Duration::from_millis(20));
+
+    // Past the cooldown, the half-open probe lands on a healthy daemon
+    // and closes the breaker.
+    let (server, live, dir) = start("breaker", ServeConfig::default());
+    std::thread::sleep(Duration::from_millis(30));
+    let (outcome, _, _) = live.compile_guarded(&req, &policy, &mut breaker, &mut rng).unwrap();
+    assert_eq!(outcome, CacheOutcome::Miss);
+    assert_eq!(breaker.state(), BreakerState::Closed);
+    live.shutdown().unwrap();
     server.wait();
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -6,7 +6,12 @@
 # (clean smoke campaign, planted-miscompile self-test with a minimized
 # reproducer, thread-count independence of findings), and the serve gate
 # (daemon warm-pass hit rate, SIGKILL crash recovery with quarantine,
-# clean drain, overload shedding with typed refusals), and the VM gate
+# clean drain, overload shedding with typed refusals), and the netchaos
+# gate (seeded network-fault campaign over every fault kind with
+# thread-count-invariant reports, a 10k-frame malformed-protocol fuzz
+# with zero hangs and all-typed outcomes, the slow-loris frame-deadline
+# cutoff, and an every-byte-boundary artifact-store crash-point sweep),
+# and the VM gate
 # (engine-identity suite: decoded vs tree observably identical on all
 # 17 workloads, fuel cutoffs, and a seeded fuzz sweep; vmbench decoded
 # throughput at least 3x the tree-walking oracle), and the native gate
@@ -78,6 +83,9 @@ if [ "${1:-}" != "--fast" ]; then
 
     echo "== tier1: serve gate (daemon warm pass, SIGKILL crash recovery, quarantine, overload shedding)"
     cargo run -q --release -p sxe-bench --bin stress -- --gate
+
+    echo "== tier1: netchaos gate (fault campaign, 10k-frame protocol fuzz, slow-loris cutoff, crash-point sweep)"
+    cargo run -q --release -p sxe-bench --bin netchaos -- --gate
 
     echo "== tier1: engine identity (decoded vs tree: outcome, trap kind, counters)"
     cargo test -q -p xelim-integration-tests --release --test vm_identity
